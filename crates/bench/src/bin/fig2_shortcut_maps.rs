@@ -1,0 +1,96 @@
+//! Figure 2: topology maps — (a) the RF-I overlay with 50 staggered
+//! RF-enabled routers, (b) the static (architecture-specific) shortcut
+//! set, and (c) the adaptive shortcut set selected for the 1Hotspot trace.
+//!
+//! ```sh
+//! cargo run --release -p rfnoc-bench --bin fig2_shortcut_maps
+//! ```
+
+use rfnoc::{static_shortcuts, Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_topology::Shortcut;
+use rfnoc_traffic::{staggered_rf_routers, ComponentKind, Placement, TraceKind};
+
+/// Component glyphs: core '.', cache 'c', memory 'M'; RF-enabled routers
+/// are upper-cased / marked.
+fn render(placement: &Placement, rf_enabled: &[usize], shortcuts: &[Shortcut]) -> String {
+    let dims = placement.dims();
+    let mut out = String::new();
+    for y in 0..dims.height() {
+        out.push_str("    ");
+        for x in 0..dims.width() {
+            let node = y * dims.width() + x;
+            let mut ch = match placement.kind(node) {
+                ComponentKind::Core => '.',
+                ComponentKind::Cache => 'c',
+                ComponentKind::Memory => 'M',
+            };
+            if rf_enabled.contains(&node) {
+                ch = match ch {
+                    '.' => 'o',
+                    'c' => 'C',
+                    other => other,
+                };
+            }
+            if shortcuts.iter().any(|s| s.src == node) {
+                ch = 'S';
+            }
+            if shortcuts.iter().any(|s| s.dst == node) {
+                ch = if ch == 'S' { 'B' } else { 'D' };
+            }
+            out.push(ch);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn describe(placement: &Placement, shortcuts: &[Shortcut]) {
+    let dims = placement.dims();
+    for s in shortcuts {
+        println!(
+            "    {} -> {}   (spans {} mesh hops)",
+            dims.coord_of(s.src),
+            dims.coord_of(s.dst),
+            dims.manhattan(s.src, s.dst)
+        );
+    }
+}
+
+fn main() {
+    let placement = Placement::paper_10x10();
+
+    println!("# Figure 2a: RF-I overlay — 50 staggered RF-enabled routers");
+    println!("  (o = RF-enabled core router, C = RF-enabled cache, M = memory)\n");
+    let rf50 = staggered_rf_routers(placement.dims(), 50);
+    println!("{}", render(&placement, &rf50, &[]));
+
+    println!("# Figure 2b: static (architecture-specific) shortcuts");
+    println!("  (S = shortcut source, D = destination, B = both)\n");
+    let static_set = static_shortcuts(&placement, 16);
+    println!("{}", render(&placement, &[], &static_set));
+    describe(&placement, &static_set);
+
+    println!("\n# Figure 2c: adaptive shortcuts selected for the 1Hotspot trace");
+    let system = SystemConfig::new(
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        LinkWidth::B16,
+    );
+    let built = Experiment::new(system, WorkloadSpec::Trace(TraceKind::Hotspot1)).build();
+    println!("{}", render(&placement, &rf50, &built.shortcuts));
+    describe(&placement, &built.shortcuts);
+
+    let hot = placement.hotspot_caches(1)[0];
+    let dims = placement.dims();
+    let near = built
+        .shortcuts
+        .iter()
+        .filter(|s| dims.manhattan(s.src, hot).min(dims.manhattan(s.dst, hot)) <= 4)
+        .count();
+    println!(
+        "\n  hotspot cache at {}; {near}/16 shortcuts have an endpoint within 4 hops \
+         (the region effect of section 3.2.2)",
+        dims.coord_of(hot)
+    );
+}

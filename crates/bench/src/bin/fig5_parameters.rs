@@ -1,0 +1,102 @@
+//! Figure 5: (a) network simulation parameters and (b) application trace
+//! setup — the configuration tables of the methodology section,
+//! regenerated from the code's actual defaults so they cannot drift from
+//! what the experiments run.
+//!
+//! ```sh
+//! cargo run --release -p rfnoc-bench --bin fig5_parameters
+//! ```
+
+use rfnoc_bench::print_table;
+use rfnoc_sim::{MessageClass, SimConfig};
+use rfnoc_traffic::{AppProfile, Placement, TrafficConfig};
+
+fn main() {
+    let sim = SimConfig::paper_baseline();
+    let traffic = TrafficConfig::default();
+    let placement = Placement::paper_10x10();
+
+    println!("# Figure 5a: network simulation parameters");
+    let rows = vec![
+        vec!["topology".into(), "10x10 2D mesh".into()],
+        vec![
+            "components".into(),
+            format!(
+                "{} cores, {} cache banks, {} memory ports",
+                placement.cores().len(),
+                placement.caches().len(),
+                placement.memories().len()
+            ),
+        ],
+        vec!["system clock".into(), "4 GHz (cores/caches)".into()],
+        vec!["network clock".into(), "2 GHz".into()],
+        vec!["routing".into(), "wormhole; XY baseline, shortest-path with RF-I".into()],
+        vec![
+            "router pipeline".into(),
+            "5 cycles head (RC/VA/SA/ST/LT), 3 cycles body/tail".into(),
+        ],
+        vec![
+            "virtual channels".into(),
+            format!(
+                "{} adaptive + {} escape (mesh-only, deadlock avoidance)",
+                sim.vcs_adaptive, sim.vcs_escape
+            ),
+        ],
+        vec!["VC buffer depth".into(), format!("{} flits", sim.buffer_depth)],
+        vec!["link width".into(), format!("{} baseline; swept 16B/8B/4B", sim.link_width)],
+        vec![
+            "RF-I".into(),
+            format!(
+                "256B aggregate, {}B single-cycle channels, budget 16 shortcuts",
+                sim.rf_channel_bytes
+            ),
+        ],
+        vec![
+            "message sizes".into(),
+            format!(
+                "request {}B, data {}B, cache-memory {}B",
+                MessageClass::Request.bytes(),
+                MessageClass::Data.bytes(),
+                MessageClass::Memory.bytes()
+            ),
+        ],
+        vec![
+            "local ports".into(),
+            format!("{} flits/network-cycle (4 GHz nodes)", sim.local_port_speedup),
+        ],
+        vec![
+            "simulation window".into(),
+            format!(
+                "{} warmup + {} measured cycles (+{} drain)",
+                sim.warmup_cycles, sim.measure_cycles, sim.drain_cycles
+            ),
+        ],
+        vec![
+            "injection".into(),
+            format!("{} msg/component/cycle (probabilistic traces)", traffic.injection_rate),
+        ],
+        vec![
+            "reconfiguration".into(),
+            format!("{} cycles (routing-table rewrite)", sim.reconfig_cycles),
+        ],
+    ];
+    print_table("Simulation parameters", &["parameter", "value"], &rows);
+
+    println!("\n# Figure 5b: application trace setup");
+    let rows: Vec<Vec<String>> = AppProfile::paper_suite()
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                p.threads.to_string(),
+                p.input_set.to_string(),
+                format!("{} hotspot(s)", p.hotspot_count),
+            ]
+        })
+        .collect();
+    print_table(
+        "Applications (synthetic stand-ins; see DESIGN.md substitutions)",
+        &["application", "threads", "input", "network hotspots"],
+        &rows,
+    );
+}

@@ -1,0 +1,86 @@
+//! Renders the topology figures as SVG files under `results/svg/`:
+//! Figure 2a (RF-I overlay), 2b (static shortcuts), 2c (adaptive shortcuts
+//! for 1Hotspot), plus a utilization heatmap of the 1Hotspot trace.
+//!
+//! ```sh
+//! cargo run --release -p rfnoc-bench --bin figures_svg
+//! ```
+
+use rfnoc::{static_shortcuts, Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc_bench::svg::{render_topology, utilization_heat, TopologyFigure};
+use rfnoc_power::LinkWidth;
+use rfnoc_traffic::{staggered_rf_routers, Placement, TraceKind};
+use std::fs;
+
+fn save(name: &str, content: &str) {
+    let dir = "results/svg";
+    fs::create_dir_all(dir).expect("create results/svg");
+    let path = format!("{dir}/{name}.svg");
+    fs::write(&path, content).expect("write svg");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let placement = Placement::paper_10x10();
+    let rf50 = staggered_rf_routers(placement.dims(), 50);
+
+    save(
+        "fig2a_rf_overlay",
+        &render_topology(
+            &placement,
+            &TopologyFigure {
+                rf_enabled: &rf50,
+                title: "Figure 2a: 50 staggered RF-enabled routers".into(),
+                ..Default::default()
+            },
+        ),
+    );
+
+    let static_set = static_shortcuts(&placement, 16);
+    save(
+        "fig2b_static_shortcuts",
+        &render_topology(
+            &placement,
+            &TopologyFigure {
+                shortcuts: &static_set,
+                title: "Figure 2b: architecture-specific shortcuts".into(),
+                ..Default::default()
+            },
+        ),
+    );
+
+    let system = SystemConfig::new(
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        LinkWidth::B16,
+    );
+    let experiment =
+        Experiment::new(system, WorkloadSpec::Trace(TraceKind::Hotspot1));
+    let built = experiment.build();
+    save(
+        "fig2c_adaptive_1hotspot",
+        &render_topology(
+            &placement,
+            &TopologyFigure {
+                rf_enabled: &rf50,
+                shortcuts: &built.shortcuts,
+                title: "Figure 2c: adaptive shortcuts for 1Hotspot".into(),
+                ..Default::default()
+            },
+        ),
+    );
+
+    eprintln!("simulating 1Hotspot for the utilization heatmap ...");
+    let report = experiment.run();
+    save(
+        "utilization_1hotspot_adaptive",
+        &render_topology(
+            &placement,
+            &TopologyFigure {
+                rf_enabled: &rf50,
+                shortcuts: &built.shortcuts,
+                heat: utilization_heat(&report.stats, placement.dims().nodes()),
+                title: "Mesh utilization: 1Hotspot on adaptive shortcuts".into(),
+            },
+        ),
+    );
+}

@@ -1,0 +1,77 @@
+//! Phased-workload demonstration: the value of *re*-configuration.
+//!
+//! The paper's adaptive NoC retunes its RF-I shortcuts per application
+//! (§3.2). This harness runs a sequence of application phases with very
+//! different communication patterns and compares three strategies on the
+//! same adaptive hardware, plus the static design:
+//!
+//! * **retune per phase** — the paper's policy (99-cycle table update per
+//!   switch, overlapped with the context switch);
+//! * **freeze first** — tune once for the first phase and keep it;
+//! * **static** — the design-time shortcut set.
+//!
+//! ```sh
+//! cargo run --release -p rfnoc-bench --bin phased_workloads
+//! ```
+
+use rfnoc::{
+    Architecture, PhasedExperiment, ReconfigPolicy, SystemConfig, WorkloadSpec,
+};
+use rfnoc_bench::print_table;
+use rfnoc_power::LinkWidth;
+use rfnoc_traffic::{AppProfile, TraceKind};
+
+fn main() {
+    println!("# Phased workloads: per-application RF-I reconfiguration");
+    let phases = vec![
+        WorkloadSpec::Trace(TraceKind::Hotspot1),
+        WorkloadSpec::App(AppProfile::bodytrack()),
+        WorkloadSpec::Trace(TraceKind::BiDf),
+        WorkloadSpec::App(AppProfile::x264()),
+        WorkloadSpec::Trace(TraceKind::Hotspot4),
+    ];
+    let adaptive = SystemConfig::new(
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        LinkWidth::B16,
+    );
+    let static_sys = SystemConfig::new(Architecture::StaticShortcuts, LinkWidth::B16);
+
+    let strategies: Vec<(&str, PhasedExperiment)> = vec![
+        (
+            "adaptive, retuned per phase",
+            PhasedExperiment::new(adaptive.clone(), phases.clone(), ReconfigPolicy::PerPhase),
+        ),
+        (
+            "adaptive, frozen after phase 1",
+            PhasedExperiment::new(adaptive, phases.clone(), ReconfigPolicy::FreezeFirst),
+        ),
+        (
+            "static shortcuts",
+            PhasedExperiment::new(static_sys, phases.clone(), ReconfigPolicy::PerPhase),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, experiment) in strategies {
+        eprintln!("running strategy: {name} ...");
+        let report = experiment.run();
+        let mut row = vec![name.to_string()];
+        for phase in &report.phases {
+            row.push(format!("{:.1}", phase.avg_latency()));
+        }
+        row.push(format!("{:.1}", report.avg_latency()));
+        row.push(report.reconfigurations.to_string());
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["strategy".into()];
+    headers.extend(phases.iter().map(|p| p.name()));
+    headers.push("mean".into());
+    headers.push("reconfigs".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Per-phase average latency (cycles)", &header_refs, &rows);
+    println!(
+        "\nExpectation: retuning tracks each phase's hotspots; the frozen\n\
+         tuning decays on later phases; 99 cycles per reconfiguration is\n\
+         negligible against millions of execution cycles."
+    );
+}

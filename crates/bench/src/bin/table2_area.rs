@@ -1,0 +1,94 @@
+//! Table 2: active-layer silicon area of the network designs, broken into
+//! router / link / RF-I columns, side by side with the paper's published
+//! values.
+//!
+//! ```sh
+//! cargo run --release -p rfnoc-bench --bin table2_area
+//! ```
+
+use rfnoc::{build_system, Architecture, SystemConfig, WorkloadSpec};
+use rfnoc_bench::print_table;
+use rfnoc_power::{LinkWidth, NocPowerModel};
+use rfnoc_traffic::{Placement, TraceKind, TrafficConfig};
+
+fn main() {
+    println!("# Table 2: area of network designs (mm^2)");
+    let placement = Placement::paper_10x10();
+    let model = NocPowerModel::paper_32nm();
+    // The adaptive design's port/provision structure is workload
+    // independent; use any profile to elaborate it.
+    let profile = WorkloadSpec::Trace(TraceKind::Uniform).profile(
+        &placement,
+        &TrafficConfig::default(),
+        5_000,
+    );
+
+    // (paper row name, architecture, width, paper total)
+    let rows_spec: Vec<(&str, Architecture, LinkWidth, f64)> = vec![
+        ("Mesh Baseline (16B)", Architecture::Baseline, LinkWidth::B16, 30.29),
+        ("Mesh Baseline (8B)", Architecture::Baseline, LinkWidth::B8, 9.38),
+        ("Mesh Baseline (4B)", Architecture::Baseline, LinkWidth::B4, 3.25),
+        ("Mesh (16B) Arch-Specific", Architecture::StaticShortcuts, LinkWidth::B16, 32.65),
+        (
+            "Mesh (16B) + 50 RF-I APs",
+            Architecture::AdaptiveShortcuts { access_points: 50 },
+            LinkWidth::B16,
+            37.66,
+        ),
+        ("Mesh (8B) Arch-Specific", Architecture::StaticShortcuts, LinkWidth::B8, 10.41),
+        (
+            "Mesh (8B) + 50 RF-I APs",
+            Architecture::AdaptiveShortcuts { access_points: 50 },
+            LinkWidth::B8,
+            12.60,
+        ),
+        ("Mesh (4B) Arch-Specific", Architecture::StaticShortcuts, LinkWidth::B4, 3.92),
+        (
+            "Mesh (4B) + 50 RF-I APs",
+            Architecture::AdaptiveShortcuts { access_points: 50 },
+            LinkWidth::B4,
+            5.34,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut base16_total = None;
+    for (name, arch, width, paper_total) in rows_spec {
+        let system = SystemConfig::new(arch.clone(), width);
+        let needs_profile = arch.is_adaptive();
+        let built =
+            build_system(&system, &placement, needs_profile.then_some(&profile));
+        let area = model.area(&built.design);
+        if base16_total.is_none() {
+            base16_total = Some(area.total_mm2());
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", area.router_mm2),
+            format!("{:.2}", area.link_mm2),
+            format!("{:.2}", area.rf_mm2),
+            format!("{:.2}", area.total_mm2()),
+            format!("{paper_total:.2}"),
+            format!("{:+.1}%", (area.total_mm2() / paper_total - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        "Area of network designs",
+        &["design", "router", "link", "RF-I", "total", "paper total", "delta"],
+        &rows,
+    );
+
+    // Headline: 50 APs on a 4B mesh vs the 16B baseline.
+    let adaptive4 = build_system(
+        &SystemConfig::new(Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B4),
+        &placement,
+        Some(&profile),
+    );
+    let saving =
+        1.0 - model.area(&adaptive4.design).total_mm2() / base16_total.expect("computed");
+    println!(
+        "\nHeadline: 50 access points on a 4B mesh reduce area by {:.1}% \
+         (paper: 82.3%)",
+        saving * 100.0
+    );
+}

@@ -1,0 +1,102 @@
+//! Link-utilization heatmap: where the traffic actually flows.
+//!
+//! Runs one trace on a chosen architecture and renders per-router output
+//! utilization as an ASCII heatmap, plus the hottest ports. Makes the
+//! hotspot structure of the Table 1 traces (and the relief provided by
+//! RF-I shortcuts) directly visible.
+//!
+//! ```sh
+//! cargo run --release -p rfnoc-bench --bin utilization_map [trace] [baseline|static|adaptive]
+//! ```
+
+use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_traffic::{Placement, TraceKind};
+
+const PORT_NAMES: [&str; 6] = ["N", "S", "E", "W", "Local", "RF"];
+
+fn glyph(util: f64) -> char {
+    match util {
+        u if u < 0.02 => '.',
+        u if u < 0.05 => '1',
+        u if u < 0.10 => '2',
+        u if u < 0.20 => '3',
+        u if u < 0.35 => '5',
+        u if u < 0.55 => '7',
+        _ => '#',
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace = args
+        .get(1)
+        .map(|name| {
+            TraceKind::all()
+                .into_iter()
+                .find(|t| t.name().eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| panic!("unknown trace {name}"))
+        })
+        .unwrap_or(TraceKind::Hotspot1);
+    let arch = match args.get(2).map(String::as_str) {
+        None | Some("baseline") => Architecture::Baseline,
+        Some("static") => Architecture::StaticShortcuts,
+        Some("adaptive") => Architecture::AdaptiveShortcuts { access_points: 50 },
+        Some(other) => panic!("unknown architecture {other}"),
+    };
+    println!("# Output-port utilization: {} on {trace}", arch.name());
+    let report =
+        Experiment::new(SystemConfig::new(arch, LinkWidth::B16), WorkloadSpec::Trace(trace))
+            .run();
+    let stats = &report.stats;
+    let placement = Placement::paper_10x10();
+    let dims = placement.dims();
+
+    // Heatmap of the mean mesh-port utilization per router.
+    println!("\nmean mesh-link utilization per router ('.'<2% … '#'>55%):\n");
+    for y in 0..dims.height() {
+        print!("    ");
+        for x in 0..dims.width() {
+            let r = y * dims.width() + x;
+            let mesh: f64 =
+                (0..4).map(|p| stats.port_utilization(r, p, 1)).sum::<f64>() / 4.0;
+            print!("{} ", glyph(mesh));
+        }
+        println!();
+    }
+
+    println!("\nejection (local port) utilization:\n");
+    for y in 0..dims.height() {
+        print!("    ");
+        for x in 0..dims.width() {
+            let r = y * dims.width() + x;
+            print!("{} ", glyph(stats.port_utilization(r, 4, 2)));
+        }
+        println!();
+    }
+
+    // Top 10 hottest ports.
+    let mut ports: Vec<(usize, usize, u64)> = (0..dims.nodes())
+        .flat_map(|r| (0..6).map(move |p| (r, p, 0u64)))
+        .map(|(r, p, _)| (r, p, stats.port_flits[r * 6 + p]))
+        .collect();
+    ports.sort_by_key(|&(_, _, f)| std::cmp::Reverse(f));
+    println!("\nhottest output ports:");
+    for &(r, p, flits) in ports.iter().take(10) {
+        println!(
+            "    {} port {:<5} {:>8} flits  ({:.1}% of cycles)",
+            dims.coord_of(r),
+            PORT_NAMES[p],
+            flits,
+            100.0 * flits as f64 / stats.activity.cycles as f64
+        );
+    }
+    if let Some((r, p, util)) = stats.hottest_port() {
+        println!(
+            "\npeak: {} port {} at {:.1}% occupancy",
+            dims.coord_of(r),
+            PORT_NAMES[p],
+            util * 100.0
+        );
+    }
+}

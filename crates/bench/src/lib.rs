@@ -1,0 +1,130 @@
+//! Shared helpers for the paper-reproduction benchmark harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md`'s experiment index); this library holds the common
+//! experiment-running and table-printing plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod svg;
+
+use rfnoc::{Architecture, Experiment, RunReport, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_traffic::TraceKind;
+
+/// Builds the standard experiment for an architecture/width/workload
+/// triple with paper-default parameters.
+pub fn experiment(arch: Architecture, width: LinkWidth, workload: WorkloadSpec) -> Experiment {
+    Experiment::new(SystemConfig::new(arch, width), workload)
+}
+
+/// Runs one experiment, printing a progress line to stderr.
+pub fn run_logged(arch: Architecture, width: LinkWidth, workload: WorkloadSpec) -> RunReport {
+    eprintln!("  running {} @{width} on {} ...", arch.name(), workload.name());
+    let report = experiment(arch, width, workload).run();
+    if report.stats.saturated {
+        eprintln!("    WARNING: saturated (latency is a lower bound)");
+    }
+    report
+}
+
+/// The multicast-augmented workload used by the Figure 9/10b experiments.
+pub fn multicast_workload(base: TraceKind, locality: f64) -> WorkloadSpec {
+    WorkloadSpec::TraceWithMulticast { base, locality, rate_per_cache: 0.001 }
+}
+
+/// Formats a normalised `(latency, power)` pair.
+pub fn fmt_norm(pair: (f64, f64)) -> String {
+    format!("{:.2}x lat  {:.2}x pow", pair.0, pair.1)
+}
+
+/// Geometric-mean helper for averaging normalised results across traces
+/// (ratios should be averaged geometrically).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Prints a Markdown-style table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[0.5, 0.5]) - 0.5).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn fmt_norm_renders() {
+        assert_eq!(fmt_norm((0.991, 0.352)), "0.99x lat  0.35x pow");
+    }
+}
+
+/// Writes rows as CSV next to the Markdown output (for plotting).
+///
+/// Cells containing commas or quotes are quoted per RFC 4180.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_csv(
+    path: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let escape = |cell: &str| {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    writeln!(file, "{}", headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(
+            file,
+            "{}",
+            row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod csv_tests {
+    #[test]
+    fn csv_roundtrip_escaping() {
+        let dir = std::env::temp_dir().join("rfnoc_csv_test");
+        let path = dir.join("t.csv");
+        let path_str = path.to_str().unwrap();
+        super::write_csv(
+            path_str,
+            &["a", "b"],
+            &[vec!["plain".into(), "with,comma".into()], vec!["q\"uote".into(), "x".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(path_str).unwrap();
+        assert_eq!(text, "a,b\nplain,\"with,comma\"\n\"q\"\"uote\",x\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

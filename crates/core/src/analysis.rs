@@ -1,0 +1,160 @@
+//! Analytical zero-load latency model.
+//!
+//! A closed-form estimate of message latency in the absence of contention,
+//! derived from the paper's router pipeline (§3.1): each hop costs the
+//! 5-cycle head pipeline (route computation, VC allocation, switch
+//! allocation, switch traversal, link traversal), the destination router
+//! adds one more pipeline traversal for ejection, body/tail flits stream
+//! one per cycle behind the head, and injection adds one cycle of local
+//! link traversal.
+//!
+//! Useful for quick what-if topology studies (evaluating a shortcut set
+//! without simulating) and as a validation oracle for the simulator's
+//! zero-load behaviour.
+
+use rfnoc_power::LinkWidth;
+use rfnoc_topology::{DistanceMatrix, PairWeights};
+
+/// Zero-load latency model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZeroLoadModel {
+    /// Cycles per hop for the head flit (the paper's 5-stage pipeline).
+    pub head_cycles_per_hop: u64,
+    /// Injection overhead in cycles (local link traversal).
+    pub injection_cycles: u64,
+}
+
+impl Default for ZeroLoadModel {
+    fn default() -> Self {
+        Self { head_cycles_per_hop: 5, injection_cycles: 1 }
+    }
+}
+
+impl ZeroLoadModel {
+    /// Zero-load latency in cycles for a message of `bytes` crossing
+    /// `hops` network hops at the given link width.
+    ///
+    /// `hops + 1` router traversals (the destination router ejects), plus
+    /// serialization of the body flits.
+    pub fn message_latency(&self, hops: u32, bytes: u32, width: LinkWidth) -> f64 {
+        let flits = width.flits_for(bytes);
+        (self.injection_cycles
+            + self.head_cycles_per_hop * (hops as u64 + 1)
+            + (flits as u64 - 1)) as f64
+    }
+
+    /// Expected zero-load latency over a traffic distribution: the
+    /// `weights`-weighted mean of per-pair latency under `dist`.
+    ///
+    /// Returns 0.0 when the weights are all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix and weights disagree on node count.
+    pub fn expected_latency(
+        &self,
+        dist: &DistanceMatrix,
+        weights: &PairWeights,
+        bytes: u32,
+        width: LinkWidth,
+    ) -> f64 {
+        let n = dist.node_count();
+        assert_eq!(weights.node_count(), n, "node count mismatch");
+        let mut total_w = 0.0;
+        let mut total_l = 0.0;
+        for x in 0..n {
+            for y in 0..n {
+                if x == y {
+                    continue;
+                }
+                let w = weights.get(x, y);
+                if w > 0.0 {
+                    total_w += w;
+                    total_l += w * self.message_latency(dist.get(x, y), bytes, width);
+                }
+            }
+        }
+        if total_w == 0.0 {
+            0.0
+        } else {
+            total_l / total_w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfnoc_sim::{
+        MessageClass, MessageSpec, Network, NetworkSpec, ScriptedWorkload, SimConfig,
+    };
+    use rfnoc_topology::{GridDims, GridGraph, Shortcut};
+
+    fn simulated_single(src: usize, dst: usize, class: MessageClass, width: LinkWidth) -> f64 {
+        let mut cfg = SimConfig::paper_baseline().with_link_width(width);
+        cfg.warmup_cycles = 0;
+        cfg.measure_cycles = 100;
+        let spec = NetworkSpec::mesh_baseline(GridDims::new(10, 10), cfg);
+        let mut network = Network::new(spec);
+        let stats = network
+            .run(&mut ScriptedWorkload::new(vec![(0, MessageSpec::unicast(src, dst, class))]));
+        assert_eq!(stats.completed_messages, 1);
+        stats.avg_message_latency()
+    }
+
+    #[test]
+    fn model_matches_simulator_zero_load() {
+        let model = ZeroLoadModel::default();
+        let dims = GridDims::new(10, 10);
+        for (src, dst, class, width) in [
+            (0usize, 99usize, MessageClass::Data, LinkWidth::B16),
+            (0, 9, MessageClass::Request, LinkWidth::B16),
+            (5, 87, MessageClass::Memory, LinkWidth::B4),
+            (22, 23, MessageClass::Data, LinkWidth::B8),
+        ] {
+            let sim = simulated_single(src, dst, class, width);
+            let hops = dims.manhattan(src, dst);
+            let predicted = model.message_latency(hops, class.bytes(), width);
+            let err = (sim - predicted).abs();
+            assert!(
+                err <= 3.0,
+                "{src}->{dst} {class:?} @{width}: sim {sim}, model {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_latency_drops_with_shortcuts() {
+        let model = ZeroLoadModel::default();
+        let dims = GridDims::new(10, 10);
+        let weights = PairWeights::uniform(100);
+        let mesh = GridGraph::mesh(dims);
+        let base = model.expected_latency(
+            &mesh.distances(),
+            &weights,
+            MessageClass::Data.bytes(),
+            LinkWidth::B16,
+        );
+        let mut with_sc = mesh.clone();
+        with_sc.add_shortcut(Shortcut::new(0, 99));
+        with_sc.add_shortcut(Shortcut::new(99, 0));
+        with_sc.add_shortcut(Shortcut::new(9, 90));
+        with_sc.add_shortcut(Shortcut::new(90, 9));
+        let cut = model.expected_latency(
+            &with_sc.distances(),
+            &weights,
+            MessageClass::Data.bytes(),
+            LinkWidth::B16,
+        );
+        assert!(cut < base, "{cut} vs {base}");
+    }
+
+    #[test]
+    fn zero_weights_yield_zero() {
+        let model = ZeroLoadModel::default();
+        let dims = GridDims::new(4, 4);
+        let dist = GridGraph::mesh(dims).distances();
+        let w = PairWeights::zero(16);
+        assert_eq!(model.expected_latency(&dist, &w, 39, LinkWidth::B16), 0.0);
+    }
+}

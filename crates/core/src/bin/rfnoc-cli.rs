@@ -1,0 +1,185 @@
+//! `rfnoc-cli` — command-line front end for the RF-I NoC reproduction.
+//!
+//! ```text
+//! rfnoc-cli run <arch> <width> <workload>    simulate one design point
+//! rfnoc-cli compare <workload>               baseline vs static vs adaptive
+//! rfnoc-cli sweep <arch> <workload>          16B/8B/4B width sweep
+//! rfnoc-cli map <workload>                   adaptive shortcut map
+//! rfnoc-cli info                             architecture & workload names
+//! ```
+
+use rfnoc::{Architecture, Experiment, RunReport, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_traffic::{AppProfile, Placement, TraceKind};
+use std::process::ExitCode;
+
+const ARCH_NAMES: &[&str] = &[
+    "baseline",
+    "static",
+    "wire",
+    "adaptive",
+    "adaptive25",
+    "vct",
+    "mc",
+    "mcsc",
+];
+
+fn parse_arch(name: &str) -> Option<Architecture> {
+    Some(match name {
+        "baseline" => Architecture::Baseline,
+        "static" => Architecture::StaticShortcuts,
+        "wire" => Architecture::WireShortcuts,
+        "adaptive" => Architecture::AdaptiveShortcuts { access_points: 50 },
+        "adaptive25" => Architecture::AdaptiveShortcuts { access_points: 25 },
+        "vct" => Architecture::VctMulticast,
+        "mc" => Architecture::RfMulticast { access_points: 50 },
+        "mcsc" => {
+            Architecture::AdaptiveWithMulticast { access_points: 50, shortcut_budget: 15 }
+        }
+        _ => return None,
+    })
+}
+
+fn parse_width(name: &str) -> Option<LinkWidth> {
+    Some(match name {
+        "16" | "16B" | "16b" => LinkWidth::B16,
+        "8" | "8B" | "8b" => LinkWidth::B8,
+        "4" | "4B" | "4b" => LinkWidth::B4,
+        _ => return None,
+    })
+}
+
+fn parse_workload(name: &str) -> Option<WorkloadSpec> {
+    if let Some(kind) =
+        TraceKind::all().into_iter().find(|t| t.name().eq_ignore_ascii_case(name))
+    {
+        return Some(WorkloadSpec::Trace(kind));
+    }
+    if let Some(app) =
+        AppProfile::paper_suite().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    {
+        return Some(WorkloadSpec::App(app));
+    }
+    // trace+mc20 / trace+mc50 forms
+    if let Some((base, loc)) = name.split_once("+mc") {
+        let kind = TraceKind::all()
+            .into_iter()
+            .find(|t| t.name().eq_ignore_ascii_case(base))?;
+        let locality: f64 = loc.parse::<u32>().ok()? as f64 / 100.0;
+        if !(0.0..=1.0).contains(&locality) || locality == 0.0 {
+            return None;
+        }
+        return Some(WorkloadSpec::TraceWithMulticast {
+            base: kind,
+            locality,
+            rate_per_cache: 0.001,
+        });
+    }
+    None
+}
+
+fn report_line(report: &RunReport) {
+    println!("{report}");
+    println!("  power breakdown: {}", report.power);
+    println!("  area breakdown:  {}", report.area);
+    println!(
+        "  avg hops {:.2}, completion {:.1}%, {} messages",
+        report.stats.avg_hops(),
+        report.stats.completion_rate() * 100.0,
+        report.stats.completed_messages
+    );
+}
+
+fn run_one(arch: Architecture, width: LinkWidth, workload: WorkloadSpec) -> RunReport {
+    Experiment::new(SystemConfig::new(arch, width), workload).run()
+}
+
+fn cmd_run(args: &[String]) -> Option<ExitCode> {
+    let [arch, width, workload] = args else { return None };
+    let report =
+        run_one(parse_arch(arch)?, parse_width(width)?, parse_workload(workload)?);
+    report_line(&report);
+    Some(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[String]) -> Option<ExitCode> {
+    let [workload] = args else { return None };
+    let workload = parse_workload(workload)?;
+    let baseline = run_one(Architecture::Baseline, LinkWidth::B16, workload.clone());
+    report_line(&baseline);
+    for (arch, width) in [
+        (Architecture::StaticShortcuts, LinkWidth::B16),
+        (Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B16),
+        (Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B4),
+    ] {
+        let report = run_one(arch, width, workload.clone());
+        let (lat, pow) = report.normalized_to(&baseline);
+        report_line(&report);
+        println!("  vs 16B baseline: {lat:.2}x latency, {pow:.2}x power");
+    }
+    Some(ExitCode::SUCCESS)
+}
+
+fn cmd_sweep(args: &[String]) -> Option<ExitCode> {
+    let [arch, workload] = args else { return None };
+    let arch = parse_arch(arch)?;
+    let workload = parse_workload(workload)?;
+    for width in LinkWidth::all() {
+        report_line(&run_one(arch.clone(), width, workload.clone()));
+    }
+    Some(ExitCode::SUCCESS)
+}
+
+fn cmd_map(args: &[String]) -> Option<ExitCode> {
+    let [workload] = args else { return None };
+    let workload = parse_workload(workload)?;
+    let system = SystemConfig::new(
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        LinkWidth::B16,
+    );
+    let built = Experiment::new(system, workload.clone()).build();
+    let placement = Placement::paper_10x10();
+    let dims = placement.dims();
+    println!("adaptive shortcuts for {}:", workload.name());
+    for s in &built.shortcuts {
+        println!(
+            "  {} -> {}  ({} hops)",
+            dims.coord_of(s.src),
+            dims.coord_of(s.dst),
+            dims.manhattan(s.src, s.dst)
+        );
+    }
+    Some(ExitCode::SUCCESS)
+}
+
+fn cmd_info() -> Option<ExitCode> {
+    println!("architectures: {}", ARCH_NAMES.join(" "));
+    let traces: Vec<&str> = TraceKind::all().iter().map(|t| t.name()).collect();
+    println!("traces:        {}", traces.join(" "));
+    let apps: Vec<&str> = AppProfile::paper_suite().iter().map(|p| p.name).collect();
+    println!("apps:          {}", apps.join(" "));
+    println!("multicast:     <trace>+mc20 or <trace>+mc50");
+    Some(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) if cmd == "run" => cmd_run(rest),
+        Some((cmd, rest)) if cmd == "compare" => cmd_compare(rest),
+        Some((cmd, rest)) if cmd == "sweep" => cmd_sweep(rest),
+        Some((cmd, rest)) if cmd == "map" => cmd_map(rest),
+        Some((cmd, _)) if cmd == "info" => cmd_info(),
+        _ => None,
+    };
+    result.unwrap_or_else(|| {
+        eprintln!(
+            "usage:\n  rfnoc-cli run <arch> <16|8|4> <workload>\n  \
+             rfnoc-cli compare <workload>\n  \
+             rfnoc-cli sweep <arch> <workload>\n  \
+             rfnoc-cli map <workload>\n  \
+             rfnoc-cli info"
+        );
+        ExitCode::FAILURE
+    })
+}

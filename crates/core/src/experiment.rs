@@ -1,0 +1,197 @@
+//! End-to-end experiments: build → simulate → cost.
+
+use crate::arch::{Architecture, SystemConfig};
+use crate::builder::{build_system, BuiltSystem};
+use crate::workload::WorkloadSpec;
+use rfnoc_power::{AreaBreakdown, NocPowerModel, PowerBreakdown};
+use rfnoc_sim::{Network, RunStats};
+use rfnoc_topology::PairWeights;
+use rfnoc_traffic::{Placement, TrafficConfig};
+use std::fmt;
+
+/// Cycles of traffic generated to profile communication frequencies for
+/// adaptive shortcut selection.
+pub const DEFAULT_PROFILE_CYCLES: u64 = 20_000;
+
+/// Where the communication-frequency profile for adaptive shortcut
+/// selection comes from (§3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileSource {
+    /// Regenerate the workload's message stream and count pairs directly —
+    /// the paper's "assume that this profile is available" oracle.
+    Generator,
+    /// Simulate the workload on the baseline mesh with the network's
+    /// per-pair event counters enabled and profile from those — the
+    /// "information that can be readily collected by event counters in our
+    /// network" path.
+    EventCounters,
+}
+
+/// A complete experiment: a system configuration exercised by a workload.
+///
+/// # Example
+///
+/// ```no_run
+/// use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
+/// use rfnoc_power::LinkWidth;
+/// use rfnoc_traffic::TraceKind;
+///
+/// let system = SystemConfig::new(Architecture::Baseline, LinkWidth::B16);
+/// let report = Experiment::new(system, WorkloadSpec::Trace(TraceKind::Uniform)).run();
+/// println!("latency {:.1} cycles, power {:.3} W", report.avg_latency(), report.total_power_w());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The architecture/width/simulator configuration.
+    pub system: SystemConfig,
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+    /// Traffic generator parameters.
+    pub traffic: TrafficConfig,
+    /// Cycles of traffic used to build the adaptive-selection profile.
+    pub profile_cycles: u64,
+    /// How adaptive profiles are obtained.
+    pub profile_source: ProfileSource,
+    /// Component placement (defaults to the paper's 10×10 layout; any
+    /// even-sided grid ≥6×6 works, enabling mesh-scaling studies).
+    pub placement: Placement,
+}
+
+impl Experiment {
+    /// An experiment with paper-default traffic parameters.
+    pub fn new(system: SystemConfig, workload: WorkloadSpec) -> Self {
+        Self {
+            system,
+            workload,
+            traffic: TrafficConfig::default(),
+            profile_cycles: DEFAULT_PROFILE_CYCLES,
+            profile_source: ProfileSource::Generator,
+            placement: Placement::paper_10x10(),
+        }
+    }
+
+    /// Overrides the traffic parameters.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Obtains the adaptive-selection profile via the configured source.
+    fn gather_profile(&self, placement: &Placement) -> PairWeights {
+        match self.profile_source {
+            ProfileSource::Generator => {
+                self.workload.profile(placement, &self.traffic, self.profile_cycles)
+            }
+            ProfileSource::EventCounters => {
+                // Profile on the baseline mesh with the hardware counters
+                // enabled for a short warmless window.
+                let mut sim = self.system.sim.clone();
+                sim.warmup_cycles = 0;
+                sim.measure_cycles = self.profile_cycles;
+                sim.drain_cycles = 0;
+                sim.collect_pair_counts = true;
+                let profiling_system =
+                    SystemConfig::new(Architecture::Baseline, self.system.link_width)
+                        .with_sim(sim);
+                let built = build_system(&profiling_system, placement, None);
+                let mut network = Network::new(built.network);
+                let mut workload = self.workload.instantiate(placement, &self.traffic);
+                let stats = network.run(workload.as_mut());
+                stats.pair_weights()
+            }
+        }
+    }
+
+    /// Elaborates the system (selecting adaptive shortcuts from a traffic
+    /// profile when needed) without running it.
+    pub fn build(&self) -> BuiltSystem {
+        let profile = self
+            .system
+            .arch
+            .is_adaptive()
+            .then(|| self.gather_profile(&self.placement));
+        build_system(&self.system, &self.placement, profile.as_ref())
+    }
+
+    /// Builds, simulates, and costs the experiment.
+    pub fn run(&self) -> RunReport {
+        let placement = self.placement.clone();
+        let built = self.build();
+        let mut network = Network::new(built.network.clone());
+        let mut workload = self.workload.instantiate(&placement, &self.traffic);
+        let stats = network.run(workload.as_mut());
+        let model = NocPowerModel::paper_32nm();
+        let power = model.power(&built.design, &stats.activity);
+        let area = model.area(&built.design);
+        RunReport {
+            system: self.system.arch.name(),
+            workload: self.workload.name(),
+            stats,
+            power,
+            area,
+        }
+    }
+}
+
+/// Results of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Architecture name.
+    pub system: String,
+    /// Workload name.
+    pub workload: String,
+    /// Simulation statistics.
+    pub stats: RunStats,
+    /// Average NoC power.
+    pub power: PowerBreakdown,
+    /// NoC active-layer area.
+    pub area: AreaBreakdown,
+}
+
+impl RunReport {
+    /// Average per-message network latency in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        self.stats.avg_message_latency()
+    }
+
+    /// Average per-flit network latency in cycles (the paper's primary
+    /// latency metric).
+    pub fn avg_flit_latency(&self) -> f64 {
+        self.stats.avg_flit_latency()
+    }
+
+    /// Total NoC power in watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.power.total_w()
+    }
+
+    /// Total NoC active-layer area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.area.total_mm2()
+    }
+
+    /// `(latency, power)` of this run normalised to a baseline run — the
+    /// presentation used by Figures 7, 8, 9, and 10.
+    pub fn normalized_to(&self, baseline: &RunReport) -> (f64, f64) {
+        (
+            self.avg_latency() / baseline.avg_latency(),
+            self.total_power_w() / baseline.total_power_w(),
+        )
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {}: latency {:.1} cyc, power {:.3} W, area {:.2} mm2{}",
+            self.system,
+            self.workload,
+            self.avg_latency(),
+            self.total_power_w(),
+            self.total_area_mm2(),
+            if self.stats.saturated { " [SATURATED]" } else { "" }
+        )
+    }
+}

@@ -1,0 +1,165 @@
+//! Workload specifications: constructible, profilable traffic sources.
+
+use rfnoc_sim::{Destination, Workload};
+use rfnoc_topology::PairWeights;
+use rfnoc_traffic::{
+    AppProfile, AppWorkload, CombinedWorkload, MulticastConfig, MulticastTraffic, Placement,
+    ProbabilisticWorkload, TraceKind, TrafficConfig,
+};
+
+/// A recipe for a traffic source. Unlike a live [`Workload`] (which is
+/// stateful), a spec can be instantiated repeatedly — once to profile
+/// communication frequencies for adaptive shortcut selection, and once for
+/// the measured run. Deterministic seeds make both instances identical,
+/// matching the paper's assumption that "this profile is available for the
+/// applications we wish to run" (§3.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// One of the Table 1 probabilistic traces.
+    Trace(TraceKind),
+    /// A synthetic application trace (§4.2 substitution).
+    App(AppProfile),
+    /// A probabilistic trace augmented with coherence multicasts at the
+    /// given destination-set locality (0.2 or 0.5, §5.2).
+    TraceWithMulticast {
+        /// The underlying unicast trace.
+        base: TraceKind,
+        /// Fraction of distinct source-to-destination-set pairs.
+        locality: f64,
+        /// Mean multicasts per cache bank per cycle.
+        rate_per_cache: f64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Trace(kind) => kind.name().to_string(),
+            WorkloadSpec::App(profile) => profile.name.to_string(),
+            WorkloadSpec::TraceWithMulticast { base, locality, .. } => {
+                format!("{}+MC{}", base.name(), (locality * 100.0).round() as u32)
+            }
+        }
+    }
+
+    /// Builds a fresh workload instance.
+    pub fn instantiate(
+        &self,
+        placement: &Placement,
+        traffic: &TrafficConfig,
+    ) -> Box<dyn Workload> {
+        match self {
+            WorkloadSpec::Trace(kind) => Box::new(ProbabilisticWorkload::new(
+                placement.clone(),
+                *kind,
+                traffic.clone(),
+            )),
+            WorkloadSpec::App(profile) => Box::new(AppWorkload::new(
+                placement.clone(),
+                profile.clone(),
+                traffic.injection_rate,
+                traffic.seed,
+            )),
+            WorkloadSpec::TraceWithMulticast { base, locality, rate_per_cache } => {
+                let unicast = ProbabilisticWorkload::new(
+                    placement.clone(),
+                    *base,
+                    traffic.clone(),
+                );
+                let mc = MulticastTraffic::new(
+                    placement.clone(),
+                    MulticastConfig {
+                        rate_per_cache: *rate_per_cache,
+                        locality: *locality,
+                        seed: traffic.seed ^ 0x5EED,
+                        ..MulticastConfig::default()
+                    },
+                );
+                Box::new(CombinedWorkload::new().with(Box::new(unicast)).with(Box::new(mc)))
+            }
+        }
+    }
+
+    /// Profiles inter-router communication frequency `F(x,y)` — the number
+    /// of messages sent from router `x` to router `y` — by generating
+    /// `cycles` cycles of traffic (the event-counter profile of §3.2.2).
+    /// Only unicast messages are counted: shortcuts serve point-to-point
+    /// traffic, multicasts ride the broadcast band.
+    pub fn profile(
+        &self,
+        placement: &Placement,
+        traffic: &TrafficConfig,
+        cycles: u64,
+    ) -> PairWeights {
+        let mut workload = self.instantiate(placement, traffic);
+        let n = placement.dims().nodes();
+        let mut weights = PairWeights::zero(n);
+        let mut buf = Vec::new();
+        for cycle in 0..cycles {
+            buf.clear();
+            workload.messages_at(cycle, &mut buf);
+            for m in &buf {
+                if let Destination::Unicast(dst) = m.dest {
+                    weights.add(m.src, dst, 1.0);
+                }
+            }
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_reflects_hotspot() {
+        let placement = Placement::paper_10x10();
+        let spec = WorkloadSpec::Trace(TraceKind::Hotspot1);
+        let weights = spec.profile(&placement, &TrafficConfig::default(), 2_000);
+        let hot = placement.hotspot_caches(1)[0];
+        let top = weights.top_pairs(20);
+        let hot_pairs = top.iter().filter(|(s, d, _)| *s == hot || *d == hot).count();
+        assert!(hot_pairs >= 15, "hotspot pairs in top-20: {hot_pairs}");
+    }
+
+    #[test]
+    fn profile_is_reproducible() {
+        let placement = Placement::paper_10x10();
+        let spec = WorkloadSpec::Trace(TraceKind::BiDf);
+        let traffic = TrafficConfig::default();
+        let a = spec.profile(&placement, &traffic, 500);
+        let b = spec.profile(&placement, &traffic, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multicast_spec_emits_both_kinds() {
+        let placement = Placement::paper_10x10();
+        let spec = WorkloadSpec::TraceWithMulticast {
+            base: TraceKind::Uniform,
+            locality: 0.2,
+            rate_per_cache: 0.01,
+        };
+        let mut w = spec.instantiate(&placement, &TrafficConfig::default());
+        let mut out = Vec::new();
+        for c in 0..500 {
+            w.messages_at(c, &mut out);
+        }
+        assert!(out.iter().any(|m| matches!(m.dest, Destination::Unicast(_))));
+        assert!(out.iter().any(|m| matches!(m.dest, Destination::Multicast(_))));
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(WorkloadSpec::Trace(TraceKind::Uniform).name(), "Uniform");
+        assert_eq!(WorkloadSpec::App(AppProfile::x264()).name(), "x264");
+        let mc = WorkloadSpec::TraceWithMulticast {
+            base: TraceKind::Hotspot1,
+            locality: 0.2,
+            rate_per_cache: 0.01,
+        };
+        assert_eq!(mc.name(), "1Hotspot+MC20");
+    }
+}

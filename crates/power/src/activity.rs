@@ -1,0 +1,98 @@
+//! Activity counters gathered from a simulation run.
+
+/// Transmission-flow statistics for one simulation run, used to convert the
+/// energy models into average instantaneous power (paper §4.3: "Using the
+/// router, link and RF-I power models in conjunction with transmission flow
+/// statistics gathered from our microarchitecture simulator").
+///
+/// Counters are in **payload bytes**: a partially-filled flit (e.g. a 7-byte
+/// request in a 16-byte flit) only switches the datapath bytes it occupies,
+/// so energy is charged per occupied byte rather than per flit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActivityCounters {
+    /// Network cycles simulated.
+    pub cycles: u64,
+    /// Payload bytes traversing each router (indexed by router id).
+    pub router_bytes: Vec<u64>,
+    /// Total payload byte-hops over conventional mesh links (wire shortcuts
+    /// count once per equivalent mesh hop of their length).
+    pub link_byte_hops: u64,
+    /// Total payload bytes transmitted over RF-I (shortcuts and multicast).
+    pub rf_bytes: u64,
+}
+
+impl ActivityCounters {
+    /// Zeroed counters for a network of `routers` routers.
+    pub fn new(routers: usize) -> Self {
+        Self {
+            cycles: 0,
+            router_bytes: vec![0; routers],
+            link_byte_hops: 0,
+            rf_bytes: 0,
+        }
+    }
+
+    /// Records `bytes` of traversal at `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of range.
+    pub fn record_router_traversal(&mut self, router: usize, bytes: u64) {
+        self.router_bytes[router] += bytes;
+    }
+
+    /// Total byte traversals summed over all routers.
+    pub fn total_router_bytes(&self) -> u64 {
+        self.router_bytes.iter().sum()
+    }
+
+    /// Merges another set of counters into this one (e.g. across trace
+    /// segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router counts differ.
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        assert_eq!(
+            self.router_bytes.len(),
+            other.router_bytes.len(),
+            "cannot merge counters for different networks"
+        );
+        self.cycles += other.cycles;
+        self.link_byte_hops += other.link_byte_hops;
+        self.rf_bytes += other.rf_bytes;
+        for (a, b) in self.router_bytes.iter_mut().zip(&other.router_bytes) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ActivityCounters::new(3);
+        a.cycles = 10;
+        a.record_router_traversal(0, 5);
+        let mut b = ActivityCounters::new(3);
+        b.cycles = 20;
+        b.record_router_traversal(0, 1);
+        b.record_router_traversal(2, 7);
+        b.link_byte_hops = 4;
+        b.rf_bytes = 32;
+        a.merge(&b);
+        assert_eq!(a.cycles, 30);
+        assert_eq!(a.router_bytes, vec![6, 0, 7]);
+        assert_eq!(a.link_byte_hops, 4);
+        assert_eq!(a.rf_bytes, 32);
+        assert_eq!(a.total_router_bytes(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "different networks")]
+    fn merge_size_mismatch_panics() {
+        ActivityCounters::new(2).merge(&ActivityCounters::new(3));
+    }
+}

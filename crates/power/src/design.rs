@@ -1,0 +1,165 @@
+//! Design specifications: what is on the die, independent of activity.
+
+/// Width of a conventional mesh link in bytes per network cycle.
+///
+/// The paper's baseline is 16B; the bandwidth-reduction study (Figure 8)
+/// sweeps {16B, 8B, 4B}.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkWidth {
+    /// 4 bytes per network cycle.
+    B4,
+    /// 8 bytes per network cycle.
+    B8,
+    /// 16 bytes per network cycle.
+    B16,
+}
+
+impl LinkWidth {
+    /// Link width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LinkWidth::B4 => 4,
+            LinkWidth::B8 => 8,
+            LinkWidth::B16 => 16,
+        }
+    }
+
+    /// Link width in bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+
+    /// Number of flits needed to carry `bytes` of message payload.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rfnoc_power::LinkWidth;
+    /// assert_eq!(LinkWidth::B4.flits_for(39), 10);
+    /// assert_eq!(LinkWidth::B16.flits_for(39), 3);
+    /// ```
+    pub fn flits_for(self, bytes: u32) -> u32 {
+        bytes.div_ceil(self.bytes()).max(1)
+    }
+
+    /// All widths evaluated in the paper, widest first.
+    pub fn all() -> [LinkWidth; 3] {
+        [LinkWidth::B16, LinkWidth::B8, LinkWidth::B4]
+    }
+}
+
+impl std::fmt::Display for LinkWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// Port configuration of a single router.
+///
+/// A standard mesh router has five input and five output ports (N/S/E/W +
+/// local). RF-enabled routers add a sixth port on the transmit side, the
+/// receive side, or both (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouterConfig {
+    /// Number of input ports.
+    pub in_ports: u32,
+    /// Number of output ports.
+    pub out_ports: u32,
+}
+
+impl RouterConfig {
+    /// A standard 5-port mesh router.
+    pub fn standard() -> Self {
+        Self { in_ports: 5, out_ports: 5 }
+    }
+
+    /// An RF transmit-only router: a sixth *output* port to the RF-I Tx.
+    pub fn rf_tx() -> Self {
+        Self { in_ports: 5, out_ports: 6 }
+    }
+
+    /// An RF receive-only router: a sixth *input* port from the RF-I Rx.
+    pub fn rf_rx() -> Self {
+        Self { in_ports: 6, out_ports: 5 }
+    }
+
+    /// A fully RF-enabled router with both a tunable Tx and Rx (adaptive
+    /// access points).
+    pub fn rf_both() -> Self {
+        Self { in_ports: 6, out_ports: 6 }
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Everything the power/area models need to know about a design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    /// Per-router port configuration (length = number of routers).
+    pub routers: Vec<RouterConfig>,
+    /// Number of *directed* conventional mesh links.
+    pub mesh_links: usize,
+    /// Conventional link width.
+    pub link_width: LinkWidth,
+    /// Provisioned RF-I bandwidth in Gbps (0 when no RF-I is present).
+    ///
+    /// Static shortcut designs provision `shortcuts × 16B × 2 GHz`
+    /// (16 shortcuts → 4096 Gbps → 0.51 mm²); adaptive designs provision a
+    /// tunable 256 Gbps access point per RF-enabled router (50 APs →
+    /// 12 800 Gbps → 1.59 mm²), reproducing Table 2's RF-I column.
+    pub rf_provisioned_gbps: f64,
+    /// Whether routers carry VCT multicast tree tables (adds the 5.4% table
+    /// area reported in §5.2).
+    pub vct_tables: bool,
+}
+
+impl DesignSpec {
+    /// A plain mesh baseline: `routers` standard 5-port routers, no RF-I.
+    pub fn mesh_baseline(routers: usize, mesh_links: usize, width: LinkWidth) -> Self {
+        Self {
+            routers: vec![RouterConfig::standard(); routers],
+            mesh_links,
+            link_width: width,
+            rf_provisioned_gbps: 0.0,
+            vct_tables: false,
+        }
+    }
+
+    /// Number of routers in the design.
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_counts_match_paper_message_sizes() {
+        // request 7B, data 39B, memory 132B (paper §4.1)
+        assert_eq!(LinkWidth::B16.flits_for(7), 1);
+        assert_eq!(LinkWidth::B16.flits_for(39), 3);
+        assert_eq!(LinkWidth::B16.flits_for(132), 9);
+        assert_eq!(LinkWidth::B8.flits_for(7), 1);
+        assert_eq!(LinkWidth::B8.flits_for(39), 5);
+        assert_eq!(LinkWidth::B8.flits_for(132), 17);
+        assert_eq!(LinkWidth::B4.flits_for(7), 2);
+        assert_eq!(LinkWidth::B4.flits_for(39), 10);
+        assert_eq!(LinkWidth::B4.flits_for(132), 33);
+    }
+
+    #[test]
+    fn zero_byte_message_still_one_flit() {
+        assert_eq!(LinkWidth::B16.flits_for(0), 1);
+    }
+
+    #[test]
+    fn display_width() {
+        assert_eq!(LinkWidth::B16.to_string(), "16B");
+    }
+}

@@ -1,0 +1,54 @@
+//! Physical-design models for NoC power and area evaluation (paper §4.3).
+//!
+//! Three component models, combined by [`NocPowerModel`]:
+//!
+//! * [`RouterEnergyModel`] / [`RouterAreaModel`] — Orion-style parametric
+//!   router models. Dynamic energy per flit traversal is dominated by the
+//!   crossbar (`∝ in_ports · out_ports · width²`), with buffer
+//!   (`∝ width`) and fixed allocator terms; area uses the same structure and
+//!   is calibrated to reproduce the paper's Table 2 *exactly* (see
+//!   `DESIGN.md`, "Calibration notes").
+//! * [`LinkModel`] — the CosiNoC/IPEM repeated-wire model of Figure 6:
+//!   `E_link = 0.25·V²_DD·(k_opt(c₀+c_p)/h_opt + c_wire)` per bit per unit
+//!   length, with closed-form optimal repeater sizing `k_opt` and spacing
+//!   `h_opt`, plus repeater leakage and active-layer repeater area.
+//! * [`RfModel`] — RF-I transmission-line endpoints: 0.75 pJ/bit transmit
+//!   energy and 124 µm²/Gbps active area (paper §4.3), plus a static
+//!   carrier/mixer bias term per provisioned Gbps.
+//!
+//! Power is reported as average instantaneous power over a run, from
+//! [`ActivityCounters`] gathered by the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use rfnoc_power::{ActivityCounters, DesignSpec, LinkWidth, NocPowerModel};
+//!
+//! let model = NocPowerModel::paper_32nm();
+//! let design = DesignSpec::mesh_baseline(100, 360, LinkWidth::B16);
+//! let mut activity = ActivityCounters::new(100);
+//! activity.cycles = 1_000_000;
+//! activity.record_router_traversal(42, 300);
+//! activity.link_byte_hops = 200;
+//! let power = model.power(&design, &activity);
+//! assert!(power.total_w() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod design;
+mod link;
+mod report;
+mod rf;
+mod router;
+mod tech;
+
+pub use activity::ActivityCounters;
+pub use design::{DesignSpec, LinkWidth, RouterConfig};
+pub use link::LinkModel;
+pub use report::{AreaBreakdown, NocPowerModel, PowerBreakdown};
+pub use rf::{adaptive_provision_gbps, static_provision_gbps, RfModel};
+pub use router::{RouterAreaModel, RouterEnergyModel};
+pub use tech::TechParams;

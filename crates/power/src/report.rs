@@ -1,0 +1,328 @@
+//! Combined NoC power/area evaluation and reports.
+
+use crate::activity::ActivityCounters;
+use crate::design::DesignSpec;
+use crate::link::LinkModel;
+use crate::rf::RfModel;
+use crate::router::{RouterAreaModel, RouterEnergyModel};
+use crate::tech::TechParams;
+use std::fmt;
+
+/// Per-component average power (watts) for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Router dynamic (crossbar + buffer + allocation) power.
+    pub router_dynamic_w: f64,
+    /// Router leakage power.
+    pub router_leakage_w: f64,
+    /// Conventional link dynamic power.
+    pub link_dynamic_w: f64,
+    /// Conventional link (repeater) leakage power.
+    pub link_leakage_w: f64,
+    /// RF-I dynamic (modulation) power.
+    pub rf_dynamic_w: f64,
+    /// RF-I static (carrier/mixer bias) power.
+    pub rf_static_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total NoC power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.router_dynamic_w
+            + self.router_leakage_w
+            + self.link_dynamic_w
+            + self.link_leakage_w
+            + self.rf_dynamic_w
+            + self.rf_static_w
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.3} W (router dyn {:.3} + leak {:.3}, link dyn {:.3} + leak {:.3}, rf dyn {:.3} + static {:.3})",
+            self.total_w(),
+            self.router_dynamic_w,
+            self.router_leakage_w,
+            self.link_dynamic_w,
+            self.link_leakage_w,
+            self.rf_dynamic_w,
+            self.rf_static_w
+        )
+    }
+}
+
+/// Active-layer silicon area (mm²), broken down as in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Total router area (crossbars, buffers, VCT tables if present).
+    pub router_mm2: f64,
+    /// Total link repeater area.
+    pub link_mm2: f64,
+    /// Total RF-I transceiver area.
+    pub rf_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total NoC active-layer area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.router_mm2 + self.link_mm2 + self.rf_mm2
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.2} mm² (router {:.2}, link {:.2}, rf {:.2})",
+            self.total_mm2(),
+            self.router_mm2,
+            self.link_mm2,
+            self.rf_mm2
+        )
+    }
+}
+
+/// The complete NoC physical model: technology + router + link + RF-I.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NocPowerModel {
+    /// Technology parameters (Figure 6a).
+    pub tech: TechParams,
+    /// Router dynamic-energy model.
+    pub router_energy: RouterEnergyModel,
+    /// Router area model.
+    pub router_area: RouterAreaModel,
+    /// Link model (Figure 6b equations).
+    pub link: LinkModel,
+    /// RF-I endpoint model.
+    pub rf: RfModel,
+}
+
+impl NocPowerModel {
+    /// The calibrated 32 nm model used for all paper reproductions.
+    pub fn paper_32nm() -> Self {
+        let tech = TechParams::paper_32nm();
+        let link = LinkModel::new(&tech);
+        Self {
+            tech,
+            router_energy: RouterEnergyModel::paper_32nm(),
+            router_area: RouterAreaModel::paper_32nm(),
+            link,
+            rf: RfModel::paper_32nm(),
+        }
+    }
+
+    /// Average instantaneous power of `design` over the run described by
+    /// `activity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity.cycles == 0` or the router counts disagree.
+    pub fn power(&self, design: &DesignSpec, activity: &ActivityCounters) -> PowerBreakdown {
+        assert!(activity.cycles > 0, "activity must cover at least one cycle");
+        assert_eq!(
+            design.router_count(),
+            activity.router_bytes.len(),
+            "design and activity disagree on router count"
+        );
+        let seconds = activity.cycles as f64 / self.tech.clock_hz;
+        let width = design.link_width;
+
+        let mut router_dyn_pj = 0.0;
+        for (config, &bytes) in design.routers.iter().zip(&activity.router_bytes) {
+            router_dyn_pj += bytes as f64 * self.router_energy.energy_per_byte_pj(*config, width);
+        }
+        let link_dyn_pj = activity.link_byte_hops as f64 * self.link.energy_per_byte_pj();
+        let rf_dyn_pj = self.rf.dynamic_energy_pj(activity.rf_bytes);
+
+        let router_leak_w: f64 = design
+            .routers
+            .iter()
+            .map(|c| self.router_area.area_mm2(*c, width) * self.tech.router_leak_w_per_mm2)
+            .sum();
+        let link_leak_w = design.mesh_links as f64 * self.link.leakage_w(width);
+        let rf_static_w = self.rf.static_power_w(design.rf_provisioned_gbps);
+
+        PowerBreakdown {
+            router_dynamic_w: router_dyn_pj * 1e-12 / seconds,
+            router_leakage_w: router_leak_w,
+            link_dynamic_w: link_dyn_pj * 1e-12 / seconds,
+            link_leakage_w: link_leak_w,
+            rf_dynamic_w: rf_dyn_pj * 1e-12 / seconds,
+            rf_static_w,
+        }
+    }
+
+    /// Active-layer area of `design` (Table 2 columns).
+    pub fn area(&self, design: &DesignSpec) -> AreaBreakdown {
+        let width = design.link_width;
+        let mut router_mm2: f64 = design
+            .routers
+            .iter()
+            .map(|c| self.router_area.area_mm2(*c, width))
+            .sum();
+        if design.vct_tables {
+            router_mm2 += design.router_count() as f64 * self.router_area.vct_table_mm2;
+        }
+        AreaBreakdown {
+            router_mm2,
+            link_mm2: design.mesh_links as f64 * self.link.area_mm2(width),
+            rf_mm2: self.rf.area_mm2(design.rf_provisioned_gbps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{LinkWidth, RouterConfig};
+    use crate::rf::{adaptive_provision_gbps, static_provision_gbps};
+
+    /// Synthetic reference activity: the same byte demand carried at each
+    /// width, matching the paper's fixed-workload power comparison.
+    fn reference_activity(_width: LinkWidth, routers: usize) -> ActivityCounters {
+        let cycles = 1_000_000u64;
+        // ~10 payload bytes injected per cycle network-wide, average route
+        // of 7 mesh hops → 8 router traversals per packet.
+        let bytes_total = 10u64 * cycles;
+        let mut a = ActivityCounters::new(routers);
+        a.cycles = cycles;
+        for r in 0..routers {
+            a.router_bytes[r] = bytes_total * 8 / routers as u64;
+        }
+        a.link_byte_hops = bytes_total * 7;
+        a
+    }
+
+    #[test]
+    fn bandwidth_reduction_power_anchors() {
+        // Paper §5.1.2: halving to 8B saves ~48% power, 4B saves ~72%.
+        let model = NocPowerModel::paper_32nm();
+        let power_at = |w: LinkWidth| {
+            let design = DesignSpec::mesh_baseline(100, 360, w);
+            model.power(&design, &reference_activity(w, 100)).total_w()
+        };
+        let p16 = power_at(LinkWidth::B16);
+        let p8 = power_at(LinkWidth::B8);
+        let p4 = power_at(LinkWidth::B4);
+        let s8 = 1.0 - p8 / p16;
+        let s4 = 1.0 - p4 / p16;
+        assert!((s8 - 0.48).abs() < 0.06, "8B saving {s8:.3}, paper 0.48");
+        assert!((s4 - 0.72).abs() < 0.06, "4B saving {s4:.3}, paper 0.72");
+    }
+
+    #[test]
+    fn table2_totals_reproduced() {
+        let model = NocPowerModel::paper_32nm();
+        // (routers, rf gbps, width, expected total) rows of Table 2
+        let std = RouterConfig::standard();
+        let both = RouterConfig::rf_both();
+        let rows: Vec<(Vec<RouterConfig>, f64, LinkWidth, f64)> = vec![
+            (vec![std; 100], 0.0, LinkWidth::B16, 30.29),
+            (vec![std; 100], 0.0, LinkWidth::B8, 9.38),
+            (vec![std; 100], 0.0, LinkWidth::B4, 3.25),
+            (
+                [vec![both; 50], vec![std; 50]].concat(),
+                adaptive_provision_gbps(50, 16, 2.0e9),
+                LinkWidth::B16,
+                37.66,
+            ),
+            (
+                [vec![both; 50], vec![std; 50]].concat(),
+                adaptive_provision_gbps(50, 16, 2.0e9),
+                LinkWidth::B8,
+                12.60,
+            ),
+            (
+                [vec![both; 50], vec![std; 50]].concat(),
+                adaptive_provision_gbps(50, 16, 2.0e9),
+                LinkWidth::B4,
+                5.34,
+            ),
+        ];
+        for (routers, rf_gbps, width, expected) in rows {
+            let design = DesignSpec {
+                routers,
+                mesh_links: 360,
+                link_width: width,
+                rf_provisioned_gbps: rf_gbps,
+                vct_tables: false,
+            };
+            let total = model.area(&design).total_mm2();
+            assert!(
+                (total - expected).abs() / expected < 0.05,
+                "width {width}: got {total:.2}, Table 2 says {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn arch_specific_static_rf_area() {
+        // Table 2 "Mesh (16B) Arch-Specific": 16 Tx + 16 Rx routers,
+        // 4096 Gbps static provision → total 32.65.
+        let model = NocPowerModel::paper_32nm();
+        let mut routers = vec![RouterConfig::standard(); 68];
+        routers.extend(vec![RouterConfig::rf_tx(); 16]);
+        routers.extend(vec![RouterConfig::rf_rx(); 16]);
+        let design = DesignSpec {
+            routers,
+            mesh_links: 360,
+            link_width: LinkWidth::B16,
+            rf_provisioned_gbps: static_provision_gbps(16, 16, 2.0e9),
+            vct_tables: false,
+        };
+        let total = model.area(&design).total_mm2();
+        assert!((total - 32.65).abs() / 32.65 < 0.05, "got {total:.2}");
+    }
+
+    #[test]
+    fn area_savings_headline() {
+        // "Using 50 access points on a 4B mesh enables an area reduction of
+        // 82.3% compared to the baseline 16B mesh" (§5.1.2).
+        let model = NocPowerModel::paper_32nm();
+        let base = model
+            .area(&DesignSpec::mesh_baseline(100, 360, LinkWidth::B16))
+            .total_mm2();
+        let adaptive = DesignSpec {
+            routers: [vec![RouterConfig::rf_both(); 50], vec![RouterConfig::standard(); 50]]
+                .concat(),
+            mesh_links: 360,
+            link_width: LinkWidth::B4,
+            rf_provisioned_gbps: adaptive_provision_gbps(50, 16, 2.0e9),
+            vct_tables: false,
+        };
+        let reduced = model.area(&adaptive).total_mm2();
+        let saving = 1.0 - reduced / base;
+        assert!((saving - 0.823).abs() < 0.02, "area saving {saving:.3}");
+    }
+
+    #[test]
+    fn vct_tables_add_area() {
+        let model = NocPowerModel::paper_32nm();
+        let mut design = DesignSpec::mesh_baseline(100, 360, LinkWidth::B16);
+        let base = model.area(&design).total_mm2();
+        design.vct_tables = true;
+        let vct = model.area(&design).total_mm2();
+        // §5.2: ~5.4% silicon area cost for VCT table structures.
+        let overhead = vct / base - 1.0;
+        assert!((overhead - 0.054).abs() < 0.01, "VCT overhead {overhead:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_cycle_power_panics() {
+        let model = NocPowerModel::paper_32nm();
+        let design = DesignSpec::mesh_baseline(4, 8, LinkWidth::B16);
+        model.power(&design, &ActivityCounters::new(4));
+    }
+
+    #[test]
+    fn power_display_nonempty() {
+        let model = NocPowerModel::paper_32nm();
+        let design = DesignSpec::mesh_baseline(100, 360, LinkWidth::B16);
+        let p = model.power(&design, &reference_activity(LinkWidth::B16, 100));
+        assert!(p.to_string().contains("total"));
+        assert!(model.area(&design).to_string().contains("router"));
+    }
+}

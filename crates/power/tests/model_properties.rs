@@ -1,0 +1,118 @@
+//! Property-based tests for the power/area models.
+
+use proptest::prelude::*;
+use rfnoc_power::{
+    ActivityCounters, DesignSpec, LinkWidth, NocPowerModel, RouterConfig,
+};
+
+fn width_of(idx: usize) -> LinkWidth {
+    LinkWidth::all()[idx % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Power is monotone in activity: more bytes anywhere never reduces
+    /// total power.
+    #[test]
+    fn power_monotone_in_activity(
+        base in proptest::collection::vec(0u64..10_000, 16),
+        extra_router in 0usize..16,
+        extra in 1u64..10_000,
+        width_idx in 0usize..3,
+    ) {
+        let model = NocPowerModel::paper_32nm();
+        let design = DesignSpec::mesh_baseline(16, 48, width_of(width_idx));
+        let mut a = ActivityCounters::new(16);
+        a.cycles = 1_000;
+        a.router_bytes = base;
+        a.link_byte_hops = 100;
+        let p1 = model.power(&design, &a).total_w();
+        a.router_bytes[extra_router] += extra;
+        let p2 = model.power(&design, &a).total_w();
+        prop_assert!(p2 > p1);
+    }
+
+    /// At a fixed byte demand, narrower links never cost more power.
+    #[test]
+    fn narrower_is_never_more_power(
+        bytes in 1_000u64..1_000_000,
+        hops in 1u64..10,
+    ) {
+        let model = NocPowerModel::paper_32nm();
+        let mut last = f64::INFINITY;
+        for width in LinkWidth::all() {
+            let design = DesignSpec::mesh_baseline(100, 360, width);
+            let mut a = ActivityCounters::new(100);
+            a.cycles = 1_000_000;
+            for r in 0..100 {
+                a.router_bytes[r] = bytes;
+            }
+            a.link_byte_hops = bytes * hops;
+            let p = model.power(&design, &a).total_w();
+            prop_assert!(p <= last, "width {width} costs more than wider link");
+            last = p;
+        }
+    }
+
+    /// Router area is monotone in port count and width.
+    #[test]
+    fn area_monotone(in_ports in 5u32..7, out_ports in 5u32..7, width_idx in 0usize..2) {
+        let model = NocPowerModel::paper_32nm();
+        let smaller = RouterConfig { in_ports, out_ports };
+        let bigger = RouterConfig { in_ports: in_ports + 1, out_ports };
+        let w = width_of(width_idx);
+        prop_assert!(
+            model.router_area.area_mm2(bigger, w) > model.router_area.area_mm2(smaller, w)
+        );
+        // wider datapath costs more area too (B4 < B8 < B16 ordering)
+        prop_assert!(
+            model.router_area.area_mm2(smaller, LinkWidth::B16)
+                > model.router_area.area_mm2(smaller, LinkWidth::B8)
+        );
+    }
+
+    /// Power breakdown components are individually non-negative and sum to
+    /// the total.
+    #[test]
+    fn breakdown_sums(
+        bytes in 0u64..100_000,
+        rf_bytes in 0u64..100_000,
+        rf_gbps in 0.0f64..20_000.0,
+    ) {
+        let model = NocPowerModel::paper_32nm();
+        let mut design = DesignSpec::mesh_baseline(16, 48, LinkWidth::B16);
+        design.rf_provisioned_gbps = rf_gbps;
+        let mut a = ActivityCounters::new(16);
+        a.cycles = 10_000;
+        a.router_bytes[3] = bytes;
+        a.rf_bytes = rf_bytes;
+        let p = model.power(&design, &a);
+        for part in [
+            p.router_dynamic_w,
+            p.router_leakage_w,
+            p.link_dynamic_w,
+            p.link_leakage_w,
+            p.rf_dynamic_w,
+            p.rf_static_w,
+        ] {
+            prop_assert!(part >= 0.0);
+        }
+        let sum = p.router_dynamic_w + p.router_leakage_w + p.link_dynamic_w
+            + p.link_leakage_w + p.rf_dynamic_w + p.rf_static_w;
+        prop_assert!((sum - p.total_w()).abs() < 1e-12);
+    }
+
+    /// Area scales linearly with the number of identical routers.
+    #[test]
+    fn area_linear_in_routers(count in 1usize..200) {
+        let model = NocPowerModel::paper_32nm();
+        let one = model
+            .area(&DesignSpec::mesh_baseline(1, 0, LinkWidth::B16))
+            .router_mm2;
+        let many = model
+            .area(&DesignSpec::mesh_baseline(count, 0, LinkWidth::B16))
+            .router_mm2;
+        prop_assert!((many - one * count as f64).abs() < 1e-9);
+    }
+}

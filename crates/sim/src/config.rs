@@ -1,0 +1,149 @@
+//! Simulator configuration (paper Figure 5a parameters).
+
+use rfnoc_power::LinkWidth;
+
+/// Microarchitectural configuration of the simulated network.
+///
+/// Defaults follow the paper's §3.1/§4 description: wormhole routing,
+/// 5-cycle pipelined routers (head flits; 3 cycles for body/tail), a 2 GHz
+/// network clock, eight reserved escape virtual channels restricted to
+/// conventional mesh links for deadlock avoidance, and 16B baseline links.
+///
+/// # Example
+///
+/// ```
+/// use rfnoc_sim::SimConfig;
+/// let cfg = SimConfig::paper_baseline();
+/// assert_eq!(cfg.vcs_escape, 8);
+/// assert_eq!(cfg.total_vcs(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Conventional mesh link width (bytes per network cycle).
+    pub link_width: LinkWidth,
+    /// Adaptive virtual channels per input port (may use RF-I shortcuts).
+    pub vcs_adaptive: usize,
+    /// Escape virtual channels per input port (XY routing over mesh links
+    /// only — the paper's "eight reserved virtual channels").
+    pub vcs_escape: usize,
+    /// Flit buffer depth per virtual channel.
+    pub buffer_depth: usize,
+    /// Aggregate RF-I shortcut channel width in bytes (always 16B in the
+    /// paper, independent of the mesh link width).
+    pub rf_channel_bytes: u32,
+    /// Warmup cycles before measurement starts.
+    pub warmup_cycles: u64,
+    /// Measurement window length in cycles.
+    pub measure_cycles: u64,
+    /// Maximum extra cycles to drain in-flight measured packets.
+    pub drain_cycles: u64,
+    /// One-time routing-table reconfiguration cost in cycles (99 in the
+    /// paper: one write per router, all updated in parallel). Charged to
+    /// the run's cycle count when a reconfiguration is performed.
+    pub reconfig_cycles: u64,
+    /// Flits the local injection/ejection interface moves per *network*
+    /// cycle. The paper's cores and cache banks run at 4 GHz against the
+    /// 2 GHz interconnect (§3.1), so the local port drains and fills at
+    /// twice the network rate: 2.
+    pub local_port_speedup: u32,
+    /// Maximum flit-trace events to record (0 disables tracing). See
+    /// `Network::flit_trace`.
+    pub flit_trace_limit: usize,
+    /// Collect per-(source, destination) message counts during the run —
+    /// the "event counters in our network" the paper's application-specific
+    /// selection relies on (§3.2.2). Off by default (memory/time cost).
+    pub collect_pair_counts: bool,
+    /// Adaptive routing around congested shortcuts: when the shortest
+    /// path uses an RF-I port whose virtual channels are all busy, packets
+    /// may take the XY mesh route instead of waiting. This is the
+    /// contention-avoidance technique of the HPCA 2008 paper ("they
+    /// explored the potential of adaptive-routing techniques to avoid
+    /// bottlenecks resulting from contention for the shortcuts", §2).
+    pub adaptive_shortcut_routing: bool,
+}
+
+impl SimConfig {
+    /// The paper's baseline configuration at the given link width.
+    pub fn paper_baseline() -> Self {
+        Self {
+            link_width: LinkWidth::B16,
+            vcs_adaptive: 4,
+            vcs_escape: 8,
+            buffer_depth: 4,
+            rf_channel_bytes: 16,
+            warmup_cycles: 10_000,
+            measure_cycles: 100_000,
+            drain_cycles: 50_000,
+            reconfig_cycles: 99,
+            local_port_speedup: 2,
+            flit_trace_limit: 0,
+            collect_pair_counts: false,
+            adaptive_shortcut_routing: true,
+        }
+    }
+
+    /// Total virtual channels per input port.
+    pub fn total_vcs(&self) -> usize {
+        self.vcs_adaptive + self.vcs_escape
+    }
+
+    /// Flits an RF-I shortcut can carry per cycle at the configured mesh
+    /// flit size (the 16B RF channel carries multiple narrow flits when the
+    /// mesh is reduced to 8B/4B).
+    pub fn rf_flits_per_cycle(&self) -> u32 {
+        (self.rf_channel_bytes / self.link_width.bytes()).max(1)
+    }
+
+    /// Returns a copy with a different link width.
+    #[must_use]
+    pub fn with_link_width(mut self, width: LinkWidth) -> Self {
+        self.link_width = width;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is degenerate (zero VCs, zero buffers, or an
+    /// empty measurement window).
+    pub fn validate(&self) {
+        assert!(self.vcs_adaptive + self.vcs_escape > 0, "need at least one VC");
+        assert!(self.vcs_escape > 0, "escape VCs are required for deadlock freedom");
+        assert!(self.buffer_depth > 0, "buffers must hold at least one flit");
+        assert!(self.measure_cycles > 0, "measurement window must be non-empty");
+        assert!(self.local_port_speedup >= 1, "local port needs bandwidth");
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rf_carries_multiple_narrow_flits() {
+        let cfg = SimConfig::paper_baseline();
+        assert_eq!(cfg.rf_flits_per_cycle(), 1);
+        assert_eq!(cfg.clone().with_link_width(LinkWidth::B8).rf_flits_per_cycle(), 2);
+        assert_eq!(cfg.with_link_width(LinkWidth::B4).rf_flits_per_cycle(), 4);
+    }
+
+    #[test]
+    fn default_validates() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "escape VCs")]
+    fn zero_escape_vcs_rejected() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.vcs_escape = 0;
+        cfg.validate();
+    }
+}

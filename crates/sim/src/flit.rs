@@ -1,0 +1,45 @@
+//! Flits: the unit of link-level transfer in wormhole routing.
+
+/// A flit in flight or buffered. One flit occupies one link-width slot
+/// (the mesh link width; RF-I channels carry `16B / width` flits per cycle).
+///
+/// Flits carry only an index into the packet table; head/tail status is
+/// derived from the packet's flit count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Flit {
+    /// Index into the simulator's packet table.
+    pub packet: u32,
+    /// Position within the packet (0 = head).
+    pub idx: u32,
+    /// Earliest cycle at which this flit may be considered by the next
+    /// pipeline stage (models RC/VA for heads, SA entry for bodies).
+    pub eligible: u64,
+}
+
+impl Flit {
+    /// Whether this is the packet's head flit.
+    pub fn is_head(&self) -> bool {
+        self.idx == 0
+    }
+
+    /// Whether this is the packet's tail flit given the packet length.
+    pub fn is_tail(&self, packet_flits: u32) -> bool {
+        self.idx + 1 == packet_flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_and_tail_flags() {
+        let f = Flit { packet: 0, idx: 0, eligible: 0 };
+        assert!(f.is_head());
+        assert!(f.is_tail(1)); // single-flit packet is both
+        assert!(!f.is_tail(3));
+        let t = Flit { packet: 0, idx: 2, eligible: 0 };
+        assert!(!t.is_head());
+        assert!(t.is_tail(3));
+    }
+}

@@ -1,0 +1,172 @@
+//! Network construction: wiring routers, links, and the RF-I overlay.
+
+#[allow(clippy::wildcard_imports)]
+use super::*;
+
+impl Network {
+
+    /// Builds a network from its specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is inconsistent: invalid config, more
+    /// than one inbound or outbound shortcut per router, shortcuts present
+    /// in XY mode, or a missing/invalid multicast configuration.
+    pub fn new(spec: NetworkSpec) -> Self {
+        spec.config.validate();
+        let dims = spec.dims;
+        let n = dims.nodes();
+        let vcs = spec.config.total_vcs();
+        let depth = spec.config.buffer_depth as u32;
+
+        if spec.routing == RoutingKind::Xy {
+            assert!(
+                spec.shortcuts.is_empty(),
+                "XY routing cannot use shortcuts; use ShortestPath"
+            );
+        }
+        let mut rf_out: Vec<Option<NodeId>> = vec![None; n];
+        let mut rf_in: Vec<Option<NodeId>> = vec![None; n];
+        for s in &spec.shortcuts {
+            assert!(s.src < n && s.dst < n, "shortcut endpoint out of range");
+            assert!(rf_out[s.src].is_none(), "router {} has two outbound shortcuts", s.src);
+            assert!(rf_in[s.dst].is_none(), "router {} has two inbound shortcuts", s.dst);
+            rf_out[s.src] = Some(s.dst);
+            rf_in[s.dst] = Some(s.src);
+        }
+
+        let (port_table, sp_dist) = match spec.routing {
+            RoutingKind::Xy => (None, None),
+            RoutingKind::ShortestPath => {
+                let graph = GridGraph::with_shortcuts(dims, &spec.shortcuts);
+                let dist = graph.distances();
+                let tables = RoutingTables::from_distances(&graph, &dist);
+                let mut pt = vec![PORT_LOCAL as u8; n * n];
+                let mut dm = vec![0u32; n * n];
+                for r in 0..n {
+                    for d in 0..n {
+                        dm[r * n + d] = dist.get(r, d);
+                        if r == d {
+                            continue;
+                        }
+                        let next = tables.next_hop(r, d);
+                        pt[r * n + d] = if dims.manhattan(r, next) == 1 {
+                            mesh_port(dims, r, next)
+                        } else {
+                            debug_assert_eq!(rf_out[r], Some(next), "non-adjacent hop without shortcut");
+                            PORT_RF as u8
+                        };
+                    }
+                }
+                (Some(pt), Some(dm))
+            }
+        };
+
+        // Wire up routers.
+        let mut routers = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut inputs = vec![InputPort::default(); NUM_PORTS];
+            let mut outputs = vec![OutputPort::default(); NUM_PORTS];
+            for port in [PORT_N, PORT_S, PORT_E, PORT_W] {
+                if let Some(nb) = mesh_neighbor(dims, r, port) {
+                    inputs[port].exists = true;
+                    inputs[port].vcs = vec![Default::default(); vcs];
+                    inputs[port].upstream = Some((nb, opposite_port(port) as u8));
+                    outputs[port].exists = true;
+                    outputs[port].target = Some((nb, opposite_port(port) as u8));
+                    outputs[port].capacity = 1;
+                    outputs[port].vcs = vec![Default::default(); vcs];
+                    for v in &mut outputs[port].vcs {
+                        v.credits = depth;
+                    }
+                }
+            }
+            // Local port: injection in, ejection out.
+            inputs[PORT_LOCAL].exists = true;
+            inputs[PORT_LOCAL].vcs = vec![Default::default(); vcs];
+            inputs[PORT_LOCAL].upstream = None;
+            outputs[PORT_LOCAL].exists = true;
+            outputs[PORT_LOCAL].target = None;
+            outputs[PORT_LOCAL].capacity = spec.config.local_port_speedup;
+            outputs[PORT_LOCAL].vcs = vec![Default::default(); vcs];
+            // RF port.
+            if let Some(dst) = rf_out[r] {
+                let hops = dims.manhattan(r, dst);
+                outputs[PORT_RF].exists = true;
+                outputs[PORT_RF].target = Some((dst, PORT_RF as u8));
+                outputs[PORT_RF].shortcut_hops = hops;
+                match spec.wire_shortcut_cycles_per_hop {
+                    Some(cph) => {
+                        // Conventional buffered wire: multi-cycle traversal,
+                        // same width as the mesh links it replaces.
+                        outputs[PORT_RF].capacity = 1;
+                        outputs[PORT_RF].is_wire = true;
+                        outputs[PORT_RF].extra_latency =
+                            ((cph * hops as f64).ceil() as u64).saturating_sub(1);
+                    }
+                    None => {
+                        outputs[PORT_RF].capacity = spec.config.rf_flits_per_cycle();
+                    }
+                }
+                outputs[PORT_RF].vcs = vec![Default::default(); vcs];
+                for v in &mut outputs[PORT_RF].vcs {
+                    v.credits = depth;
+                }
+            }
+            if let Some(src) = rf_in[r] {
+                inputs[PORT_RF].exists = true;
+                inputs[PORT_RF].vcs = vec![Default::default(); vcs];
+                inputs[PORT_RF].upstream = Some((src, PORT_RF as u8));
+            }
+            routers.push(Router {
+                inputs,
+                outputs,
+                injector: Injector::new(vcs, depth),
+                va_rr: r % NUM_PORTS,
+            });
+        }
+
+        let (mc_queues, vct_table) = match &spec.multicast {
+            MulticastMode::Rf => {
+                let mc = spec.mc.as_ref().expect("RF multicast requires an McConfig");
+                mc.validate(n);
+                (vec![VecDeque::new(); mc.transmitters.len()], None)
+            }
+            MulticastMode::Vct(cfg) => (Vec::new(), Some(VctTable::new(*cfg))),
+            MulticastMode::AsUnicasts => (Vec::new(), None),
+        };
+
+        let max_dist = (dims.width() - 1 + dims.height() - 1).max(1);
+        let mut stats = RunStats::new(n, max_dist);
+        if spec.config.collect_pair_counts {
+            stats.pair_counts = vec![0; n * n];
+        }
+        Self {
+            dims,
+            routing: spec.routing,
+            port_table,
+            routers,
+            packets: Vec::new(),
+            parents: Vec::new(),
+            multicast: spec.multicast,
+            mc: spec.mc,
+            mc_queues,
+            mc_current: None,
+            vct_table,
+            stats,
+            cycle: 0,
+            measured_outstanding: 0,
+            counting: false,
+            deliveries: Vec::new(),
+            credit_returns: Vec::new(),
+            mc_enqueues: Vec::new(),
+            pending_inj: Vec::new(),
+            sa_requests: vec![Vec::new(); NUM_PORTS],
+            sp_dist,
+            flit_trace: Vec::new(),
+            reconfig: ReconfigState::Idle,
+            reconfigurations: 0,
+            config: spec.config,
+        }
+    }
+}

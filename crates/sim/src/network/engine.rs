@@ -1,0 +1,563 @@
+//! The cycle engine: arrivals, route computation / VC allocation,
+//! switch allocation, flit movement, and completion bookkeeping.
+
+#[allow(clippy::wildcard_imports)]
+use super::*;
+
+impl Network {
+
+    /// Runs the workload for the configured warmup + measurement window,
+    /// then drains measured packets (up to the drain limit), and returns
+    /// the collected statistics.
+    pub fn run(&mut self, workload: &mut dyn Workload) -> RunStats {
+        let horizon = self.config.warmup_cycles + self.config.measure_cycles;
+        let limit = horizon + self.config.drain_cycles;
+        let mut buf = Vec::new();
+        while self.cycle < horizon || (self.measured_outstanding > 0 && self.cycle < limit) {
+            buf.clear();
+            workload.messages_at(self.cycle, &mut buf);
+            for spec in buf.drain(..) {
+                self.inject_message(spec);
+            }
+            self.step();
+        }
+        self.stats.saturated = self.measured_outstanding > 0;
+        self.stats.end_cycle = self.cycle;
+        self.stats.activity.cycles = (self.cycle - self.config.warmup_cycles).max(1);
+        self.stats.clone()
+    }
+
+    pub(super) fn complete_parent_part(&mut self, parent: u32, covered: u32, at: u64) {
+        let p = &mut self.parents[parent as usize];
+        assert!(p.remaining >= covered, "multicast over-completion");
+        p.remaining -= covered;
+        if p.remaining == 0 && p.measured {
+            let latency = at.saturating_sub(p.created);
+            self.stats.completed_messages += 1;
+            self.stats.message_latency_sum += latency;
+            self.stats.message_latencies.push(latency.min(u32::MAX as u64) as u32);
+            self.measured_outstanding -= 1;
+        }
+    }
+
+    /// Handles a flit leaving the network at `router` at time `at`.
+    pub(super) fn on_flit_ejected(&mut self, packet: u32, router: NodeId, at: u64) {
+        let (measured, created, flits, ejected) = {
+            let p = &mut self.packets[packet as usize];
+            p.ejected += 1;
+            (p.measured, p.created, p.flits, p.ejected)
+        };
+        if measured {
+            self.stats.ejected_flits += 1;
+            self.stats.flit_latency_sum += at.saturating_sub(created);
+        }
+        if ejected == flits {
+            let (parent, mc_carry, is_unicast_measured, head_grants) = {
+                let p = &self.packets[packet as usize];
+                (p.parent, p.mc_carry, p.measured, p.head_grants)
+            };
+            if measured && head_grants > 0 {
+                self.stats.hops_sum += (head_grants - 1) as u64;
+                self.stats.hop_packets += 1;
+            }
+            if mc_carry {
+                let cluster = self
+                    .mc
+                    .as_ref()
+                    .and_then(|mc| mc.cluster_of[router])
+                    .expect("carry packets terminate at cluster transmitters");
+                let parent = parent.expect("carry packets have a parent");
+                self.mc_enqueues.push((cluster, parent));
+            } else if let Some(par) = parent {
+                self.complete_parent_part(par, 1, at);
+            } else if is_unicast_measured {
+                let latency = at.saturating_sub(created);
+                self.stats.completed_messages += 1;
+                self.stats.message_latency_sum += latency;
+                self.stats.message_latencies.push(latency.min(u32::MAX as u64) as u32);
+                self.measured_outstanding -= 1;
+            }
+        }
+    }
+
+    /// The output port toward `dest` under the active routing mode.
+    pub(super) fn route_port(&self, router: NodeId, dest: NodeId) -> u8 {
+        if router == dest {
+            return PORT_LOCAL as u8;
+        }
+        match &self.port_table {
+            Some(pt) => pt[router * self.dims.nodes() + dest],
+            None => xy_port(self.dims, router, dest),
+        }
+    }
+
+    /// The escape (XY over mesh) output port toward `dest`.
+    pub(super) fn escape_port(&self, router: NodeId, dest: NodeId) -> u8 {
+        if router == dest {
+            PORT_LOCAL as u8
+        } else {
+            xy_port(self.dims, router, dest)
+        }
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.counting = self.cycle >= self.config.warmup_cycles;
+        self.step_reconfig();
+        self.apply_pending_injections();
+        self.step_mc_engine();
+        self.step_routers();
+        self.apply_outboxes();
+        self.cycle += 1;
+    }
+
+    pub(super) fn step_routers(&mut self) {
+        let n = self.routers.len();
+        for r in 0..n {
+            self.deliver_arrivals(r);
+            self.step_injector(r);
+            self.step_va(r);
+            self.step_sa(r);
+        }
+    }
+
+    pub(super) fn deliver_arrivals(&mut self, r: usize) {
+        let now = self.cycle;
+        for port in 0..NUM_PORTS {
+            loop {
+                let front = self.routers[r].inputs[port].arrivals.front().copied();
+                match front {
+                    Some((at, vc, flit)) if at <= now => {
+                        self.routers[r].inputs[port].arrivals.pop_front();
+                        if flit.is_head() {
+                            self.routers[r].claim_vc(port, vc, flit.packet);
+                        }
+                        self.routers[r].inputs[port].vcs[vc as usize].buffer.push_back(flit);
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// Route computation + VC allocation for head flits.
+    pub(super) fn step_va(&mut self, r: usize) {
+        let now = self.cycle;
+        let escape_vcs = self.config.vcs_escape;
+        let depth = self.config.buffer_depth as u32;
+        for port_off in 0..NUM_PORTS {
+            let port = (self.routers[r].va_rr + port_off) % NUM_PORTS;
+            if !self.routers[r].inputs[port].exists {
+                continue;
+            }
+            let occupied = self.routers[r].inputs[port].occupied.clone();
+            for vc in occupied {
+                let vci = vc as usize;
+                let (needs_va, front, packet_id) = {
+                    let v = &self.routers[r].inputs[port].vcs[vci];
+                    let needs = !v.allocated
+                        && (!v.mc_routed || v.mc_branches.iter().any(|b| b.out_vc.is_none()));
+                    (needs, v.buffer.front().copied(), v.cur_packet)
+                };
+                if !needs_va {
+                    continue;
+                }
+                let Some(flit) = front else { continue };
+                if !flit.is_head() || flit.eligible > now {
+                    continue;
+                }
+                let packet_id = packet_id.expect("claimed VC has a packet");
+                match self.packets[packet_id as usize].dest {
+                    PacketDest::Unicast(dest) => {
+                        self.va_unicast(r, port, vci, packet_id, dest, escape_vcs, depth, now);
+                    }
+                    PacketDest::Tree(set) => {
+                        self.va_tree(r, port, vci, packet_id, set, escape_vcs, depth, now);
+                    }
+                }
+            }
+        }
+        self.routers[r].va_rr = (self.routers[r].va_rr + 1) % NUM_PORTS;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn va_unicast(
+        &mut self,
+        r: usize,
+        port: usize,
+        vci: usize,
+        packet: u32,
+        dest: NodeId,
+        escape_vcs: usize,
+        depth: u32,
+        now: u64,
+    ) {
+        let total = self.config.total_vcs();
+        let on_escape = vci < escape_vcs;
+        let grant = if on_escape {
+            let out = self.escape_port(r, dest) as usize;
+            alloc_out_vc(&mut self.routers[r].outputs, out, 0..escape_vcs, packet, depth)
+                .map(|ov| (out, ov))
+        } else {
+            let mesh_only = self.packets[packet as usize].mesh_only;
+            let mut out = if mesh_only {
+                self.escape_port(r, dest) as usize
+            } else {
+                self.route_port(r, dest) as usize
+            };
+            // A draining reconfiguration closes the RF ports to new
+            // packets; route over the mesh instead.
+            if out == PORT_RF && !self.rf_accepting() {
+                out = self.escape_port(r, dest) as usize;
+            }
+            let mut grant =
+                alloc_out_vc(&mut self.routers[r].outputs, out, escape_vcs..total, packet, depth)
+                    .map(|ov| (out, ov));
+            // HPCA-2008 contention avoidance: a packet blocked on a busy
+            // shortcut may adaptively take the mesh route instead, but only
+            // once the wait already exceeds the estimated extra cost of the
+            // mesh detour (≈3 cycles per extra hop); it then commits to XY
+            // so the detour cannot loop back.
+            if grant.is_none() && out == PORT_RF && self.config.adaptive_shortcut_routing {
+                let blocked = self.routers[r].inputs[port].vcs[vci].va_blocked;
+                let extra_hops = self
+                    .sp_dist
+                    .as_ref()
+                    .map(|dm| {
+                        let n = self.dims.nodes();
+                        self.dims.manhattan(r, dest).saturating_sub(dm[r * n + dest])
+                    })
+                    .unwrap_or(0);
+                if blocked >= 3 * extra_hops {
+                    let mesh = self.escape_port(r, dest) as usize;
+                    grant = alloc_out_vc(
+                        &mut self.routers[r].outputs,
+                        mesh,
+                        escape_vcs..total,
+                        packet,
+                        depth,
+                    )
+                    .map(|ov| (mesh, ov));
+                    if grant.is_some() {
+                        self.packets[packet as usize].mesh_only = true;
+                    }
+                }
+            }
+            grant.or_else(|| {
+                let esc = self.escape_port(r, dest) as usize;
+                alloc_out_vc(&mut self.routers[r].outputs, esc, 0..escape_vcs, packet, depth)
+                    .map(|ov| (esc, ov))
+            })
+        };
+        let v = &mut self.routers[r].inputs[port].vcs[vci];
+        match grant {
+            Some((out, ovc)) => {
+                v.allocated = true;
+                v.out_port = out as u8;
+                v.out_vc = ovc;
+                v.va_blocked = 0;
+                if let Some(f) = v.buffer.front_mut() {
+                    f.eligible = now + 1;
+                }
+            }
+            None => v.va_blocked += 1,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn va_tree(
+        &mut self,
+        r: usize,
+        port: usize,
+        vci: usize,
+        packet: u32,
+        set: DestSet,
+        escape_vcs: usize,
+        depth: u32,
+        now: u64,
+    ) {
+        let total = self.config.total_vcs();
+        // Compute the XY-tree partition once.
+        if !self.routers[r].inputs[port].vcs[vci].mc_routed {
+            let groups = partition_tree(self.dims, r, &set);
+            debug_assert!(!groups.is_empty(), "tree packet with no progress");
+            let branches: Vec<McBranch> = if groups.len() == 1 {
+                vec![McBranch { port: groups[0].0, out_vc: None, packet }]
+            } else {
+                let (created, measured, flits, bytes, parent) = {
+                    let p = &self.packets[packet as usize];
+                    (p.created, p.measured, p.flits, p.bytes, p.parent)
+                };
+                groups
+                    .iter()
+                    .map(|(gp, gset)| {
+                        let child = self.new_packet(PacketInfo {
+                            dest: PacketDest::Tree(*gset),
+                            flits,
+                            bytes,
+                            created,
+                            measured,
+                            parent,
+                            mc_carry: false,
+                            mesh_only: false,
+                            ejected: 0,
+                            head_grants: 0,
+                        });
+                        McBranch { port: *gp, out_vc: None, packet: child }
+                    })
+                    .collect()
+            };
+            let v = &mut self.routers[r].inputs[port].vcs[vci];
+            v.mc_branches = branches;
+            v.mc_routed = true;
+        }
+        // Allocate remaining branches (adaptive class first, escape
+        // fallback — tree hops follow XY so escape semantics hold).
+        let branch_count = self.routers[r].inputs[port].vcs[vci].mc_branches.len();
+        let had_allocation = self.routers[r].inputs[port].vcs[vci]
+            .mc_branches
+            .iter()
+            .any(|b| b.out_vc.is_some());
+        let mut any_allocated = false;
+        for b in 0..branch_count {
+            let branch = self.routers[r].inputs[port].vcs[vci].mc_branches[b];
+            if branch.out_vc.is_some() {
+                continue;
+            }
+            let out = branch.port as usize;
+            let grant =
+                alloc_out_vc(&mut self.routers[r].outputs, out, escape_vcs..total, branch.packet, depth)
+                    .or_else(|| {
+                        alloc_out_vc(&mut self.routers[r].outputs, out, 0..escape_vcs, branch.packet, depth)
+                    });
+            if let Some(ovc) = grant {
+                self.routers[r].inputs[port].vcs[vci].mc_branches[b].out_vc = Some(ovc);
+                any_allocated = true;
+            }
+        }
+        // Release the head flit into switch allocation on the *first*
+        // successful branch allocation only.
+        if any_allocated && !had_allocation {
+            if let Some(f) = self.routers[r].inputs[port].vcs[vci].buffer.front_mut() {
+                if f.is_head() && f.eligible <= now {
+                    f.eligible = now + 1;
+                }
+            }
+        }
+    }
+
+    /// Switch allocation + traversal: grant flits to output ports.
+    pub(super) fn step_sa(&mut self, r: usize) {
+        let now = self.cycle;
+        let depth_flits = self.config.link_width.bytes() as u64;
+        // Collect requests per output port.
+        for reqs in &mut self.sa_requests {
+            reqs.clear();
+        }
+        for port in 0..NUM_PORTS {
+            if !self.routers[r].inputs[port].exists {
+                continue;
+            }
+            for vc in self.routers[r].inputs[port].occupied.clone() {
+                let v = &self.routers[r].inputs[port].vcs[vc as usize];
+                let Some(front) = v.buffer.front() else { continue };
+                if front.eligible > now {
+                    continue;
+                }
+                if v.allocated {
+                    self.sa_requests[v.out_port as usize].push((port as u8, vc, -1));
+                } else {
+                    for (bi, b) in v.mc_branches.iter().enumerate() {
+                        if b.out_vc.is_some() && v.mc_front_sent & (1 << bi) == 0 {
+                            self.sa_requests[b.port as usize].push((port as u8, vc, bi as i8));
+                        }
+                    }
+                }
+            }
+        }
+        let mut used_input: [Option<(u8, u16)>; NUM_PORTS] = [None; NUM_PORTS];
+        for out in 0..NUM_PORTS {
+            if !self.routers[r].outputs[out].exists {
+                continue;
+            }
+            let reqs = std::mem::take(&mut self.sa_requests[out]);
+            if reqs.is_empty() {
+                self.sa_requests[out] = reqs;
+                continue;
+            }
+            let mut budget = self.routers[r].outputs[out].capacity;
+            let start = self.routers[r].outputs[out].rr % reqs.len();
+            for i in 0..reqs.len() {
+                if budget == 0 {
+                    break;
+                }
+                let (in_port, vc, branch) = reqs[(start + i) % reqs.len()];
+                let ip = in_port as usize;
+                // One buffer read per input port per cycle, except multicast
+                // fanout of the same front flit.
+                if let Some(used) = used_input[ip] {
+                    if used != (in_port, vc) || branch < 0 {
+                        continue;
+                    }
+                }
+                if self.try_grant(r, ip, vc as usize, out, branch, now, depth_flits) {
+                    used_input[ip] = Some((in_port, vc));
+                    budget -= 1;
+                    self.routers[r].outputs[out].rr =
+                        self.routers[r].outputs[out].rr.wrapping_add(1);
+                    // A 16B RF channel drains several buffered narrow flits
+                    // of the same packet in one cycle (burst drain).
+                    while budget > 0
+                        && branch < 0
+                        && self.try_grant(r, ip, vc as usize, out, branch, now, depth_flits)
+                    {
+                        budget -= 1;
+                    }
+                }
+            }
+            self.sa_requests[out] = reqs;
+        }
+    }
+
+    /// Attempts one switch-allocation grant. Returns true on success.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn try_grant(
+        &mut self,
+        r: usize,
+        port: usize,
+        vci: usize,
+        out: usize,
+        branch: i8,
+        now: u64,
+        width_bytes: u64,
+    ) -> bool {
+        let is_ejection = self.routers[r].outputs[out].target.is_none();
+        let (flit, out_vc, sent_packet, is_mc, pop) = {
+            let v = &self.routers[r].inputs[port].vcs[vci];
+            let Some(&front) = v.buffer.front() else { return false };
+            if front.eligible > now {
+                return false;
+            }
+            if branch < 0 {
+                (front, v.out_vc, front.packet, false, true)
+            } else {
+                let b = v.mc_branches[branch as usize];
+                let Some(ovc) = b.out_vc else { return false };
+                (front, ovc, b.packet, true, false)
+            }
+        };
+        // Credit check for non-ejection ports.
+        if !is_ejection && self.routers[r].outputs[out].vcs[out_vc as usize].credits == 0 {
+            return false;
+        }
+        let (packet_flits, packet_bytes) = {
+            let p = &self.packets[sent_packet as usize];
+            (p.flits, p.bytes)
+        };
+        let is_tail = flit.is_tail(packet_flits);
+        if flit.is_head() {
+            self.packets[sent_packet as usize].head_grants += 1;
+        }
+        // Payload bytes carried by this flit (the tail may be partial).
+        let flit_bytes = if is_tail {
+            (packet_bytes as u64).saturating_sub((packet_flits as u64 - 1) * width_bytes).max(1)
+        } else {
+            width_bytes
+        };
+
+        if self.config.flit_trace_limit > 0 {
+            let kind = if is_ejection {
+                observe::FlitEventKind::Ejected
+            } else {
+                observe::FlitEventKind::Granted { out_port: out as u8 }
+            };
+            self.trace_event(sent_packet, flit.idx, r, kind);
+        }
+
+        // Statistics (per payload byte; see rfnoc-power's ActivityCounters).
+        if self.counting {
+            self.stats.activity.router_bytes[r] += flit_bytes;
+            self.stats.port_flits[r * NUM_PORTS + out] += 1;
+            if !is_ejection {
+                if out == PORT_RF {
+                    let op = &self.routers[r].outputs[out];
+                    if op.is_wire {
+                        // Wire shortcuts burn repeated-wire energy over
+                        // their full Manhattan length.
+                        self.stats.activity.link_byte_hops +=
+                            op.shortcut_hops as u64 * flit_bytes;
+                    } else {
+                        self.stats.activity.rf_bytes += flit_bytes;
+                    }
+                } else {
+                    self.stats.activity.link_byte_hops += flit_bytes;
+                }
+            }
+        }
+
+        // Move the flit.
+        if is_ejection {
+            if is_tail {
+                self.routers[r].outputs[out].vcs[out_vc as usize].owner = None;
+            }
+            self.on_flit_ejected(sent_packet, r, now + 2);
+        } else {
+            let (t_router, t_port) = self.routers[r].outputs[out].target.expect("non-ejection");
+            self.routers[r].outputs[out].vcs[out_vc as usize].credits -= 1;
+            if is_tail {
+                self.routers[r].outputs[out].vcs[out_vc as usize].owner = None;
+            }
+            let arrival = now + 2 + self.routers[r].outputs[out].extra_latency;
+            let eligible = arrival + if flit.is_head() { 2 } else { 1 };
+            self.deliveries.push((
+                t_router,
+                t_port,
+                out_vc,
+                Flit { packet: sent_packet, idx: flit.idx, eligible },
+                arrival,
+            ));
+        }
+
+        // Retire the front flit (immediately for unicast; multicast waits
+        // for all branches).
+        let retire = if is_mc {
+            let v = &mut self.routers[r].inputs[port].vcs[vci];
+            v.mc_front_sent |= 1 << (branch as u32);
+            let all = v.mc_all_sent();
+            if all {
+                v.mc_front_sent = 0;
+            }
+            all
+        } else {
+            pop
+        };
+        if retire {
+            self.routers[r].inputs[port].vcs[vci].buffer.pop_front();
+            match self.routers[r].inputs[port].upstream {
+                Some((ur, up)) => self.credit_returns.push((ur, up, vci as u16)),
+                None => self.routers[r].injector.credits[vci] += 1,
+            }
+            if is_tail {
+                self.routers[r].release_vc(port, vci as u16);
+            }
+        }
+        true
+    }
+
+    pub(super) fn apply_outboxes(&mut self) {
+        let deliveries = std::mem::take(&mut self.deliveries);
+        for (router, port, vc, flit, arrival) in deliveries {
+            self.routers[router].inputs[port as usize]
+                .arrivals
+                .push_back((arrival, vc, flit));
+        }
+        let credits = std::mem::take(&mut self.credit_returns);
+        for (router, port, vc) in credits {
+            self.routers[router].outputs[port as usize].vcs[vc as usize].credits += 1;
+        }
+        let enqueues = std::mem::take(&mut self.mc_enqueues);
+        for (cluster, parent) in enqueues {
+            self.mc_queues[cluster].push_back(parent);
+        }
+    }
+}

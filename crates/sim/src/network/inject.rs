@@ -1,0 +1,265 @@
+//! Message injection: packet creation and the per-node injection
+//! engine feeding the local ports.
+
+#[allow(clippy::wildcard_imports)]
+use super::*;
+
+impl Network {
+
+    /// Whether the message-creation window is currently open.
+    pub(super) fn in_window(&self) -> bool {
+        self.cycle >= self.config.warmup_cycles
+            && self.cycle < self.config.warmup_cycles + self.config.measure_cycles
+    }
+
+    pub(super) fn new_packet(&mut self, p: PacketInfo) -> u32 {
+        self.packets.push(p);
+        (self.packets.len() - 1) as u32
+    }
+
+    pub(super) fn flits_for(&self, bytes: u32) -> u32 {
+        self.config.link_width.flits_for(bytes)
+    }
+
+    /// Creates the packets for one injected message.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a unicast message whose source equals its destination.
+    pub fn inject_message(&mut self, spec: MessageSpec) {
+        let now = self.cycle;
+        let measured = self.in_window();
+        if measured {
+            self.stats.injected_messages += 1;
+            let dist = match spec.dest {
+                Destination::Unicast(d) => self.dims.manhattan(spec.src, d) as usize,
+                Destination::Multicast(set) => {
+                    if set.is_empty() {
+                        0
+                    } else {
+                        let sum: u32 =
+                            set.iter().map(|d| self.dims.manhattan(spec.src, d)).sum();
+                        (sum as f64 / set.len() as f64).round() as usize
+                    }
+                }
+            };
+            let idx = dist.min(self.stats.distance_histogram.len() - 1);
+            self.stats.distance_histogram[idx] += 1;
+        }
+        if !self.stats.pair_counts.is_empty() {
+            let n = self.dims.nodes();
+            match spec.dest {
+                Destination::Unicast(dst) => {
+                    self.stats.pair_counts[spec.src * n + dst] += 1;
+                }
+                Destination::Multicast(set) => {
+                    for dst in set.iter() {
+                        self.stats.pair_counts[spec.src * n + dst] += 1;
+                    }
+                }
+            }
+        }
+        match spec.dest {
+            Destination::Unicast(dst) => {
+                assert_ne!(spec.src, dst, "unicast to self");
+                let bytes = spec.bytes();
+                let flits = self.flits_for(bytes);
+                let pkt = self.new_packet(PacketInfo {
+                    dest: PacketDest::Unicast(dst),
+                    flits,
+                    bytes,
+                    created: now,
+                    measured,
+                    parent: None,
+                    mc_carry: false,
+                    mesh_only: false,
+                    ejected: 0,
+                    head_grants: 0,
+                });
+                if measured {
+                    self.measured_outstanding += 1;
+                }
+                self.pending_inj.push((spec.src, pkt, now));
+            }
+            Destination::Multicast(set) => {
+                assert!(!set.is_empty(), "empty multicast destination set");
+                self.inject_multicast(spec.src, set, spec.bytes(), measured);
+            }
+        }
+    }
+
+    pub(super) fn inject_multicast(&mut self, src: NodeId, set: DestSet, bytes: u32, measured: bool) {
+        let now = self.cycle;
+        let original_len = set.len();
+        // A destination equal to the source is delivered immediately; the
+        // parent's destination set only tracks remote destinations.
+        let mut set = set;
+        let self_dest = set.contains(src);
+        if self_dest {
+            set.remove(src);
+        }
+        self.parents.push(ParentInfo {
+            created: now,
+            measured,
+            remaining: original_len,
+            dests: set,
+            bytes,
+        });
+        let parent = (self.parents.len() - 1) as u32;
+        if measured {
+            self.measured_outstanding += 1;
+        }
+        if self_dest {
+            self.complete_parent_part(parent, 1, now);
+            if set.is_empty() {
+                return;
+            }
+        }
+        let use_rf = matches!(self.multicast, MulticastMode::Rf)
+            && self
+                .mc
+                .as_ref()
+                .is_some_and(|mc| mc.cluster_of[src].is_some());
+        if use_rf {
+            let mc = self.mc.as_ref().expect("checked above");
+            let cluster = mc.cluster_of[src].expect("checked above");
+            let tx = mc.transmitters[cluster];
+            if src == tx {
+                self.mc_enqueues.push((cluster, parent));
+            } else {
+                let flits = self.flits_for(bytes);
+                let pkt = self.new_packet(PacketInfo {
+                    dest: PacketDest::Unicast(tx),
+                    flits,
+                    bytes,
+                    created: now,
+                    measured,
+                    parent: Some(parent),
+                    mc_carry: true,
+                    mesh_only: false,
+                    ejected: 0,
+                    head_grants: 0,
+                });
+                self.pending_inj.push((src, pkt, now));
+            }
+            return;
+        }
+        match &mut self.multicast {
+            MulticastMode::Vct(_) => {
+                let delay = self
+                    .vct_table
+                    .as_mut()
+                    .expect("VCT mode has a table")
+                    .access(src, set);
+                let flits = self.flits_for(bytes);
+                let pkt = self.new_packet(PacketInfo {
+                    dest: PacketDest::Tree(set),
+                    flits,
+                    bytes,
+                    created: now,
+                    measured,
+                    parent: Some(parent),
+                    mc_carry: false,
+                    mesh_only: false,
+                    ejected: 0,
+                    head_grants: 0,
+                });
+                self.pending_inj.push((src, pkt, now + delay));
+            }
+            // AsUnicasts, or RF multicast from a non-cache source.
+            _ => {
+                let flits = self.flits_for(bytes);
+                for dst in set.iter() {
+                    let pkt = self.new_packet(PacketInfo {
+                        dest: PacketDest::Unicast(dst),
+                        flits,
+                        bytes,
+                        created: now,
+                        measured,
+                        parent: Some(parent),
+                        mc_carry: false,
+                        mesh_only: false,
+                        ejected: 0,
+                        head_grants: 0,
+                    });
+                    self.pending_inj.push((src, pkt, now));
+                }
+            }
+        }
+    }
+
+    pub(super) fn apply_pending_injections(&mut self) {
+        let pending = std::mem::take(&mut self.pending_inj);
+        for (router, packet, ready_at) in pending {
+            self.routers[router]
+                .injector
+                .queue
+                .push_back(PendingInjection { packet, ready_at });
+        }
+    }
+
+    pub(super) fn step_injector(&mut self, r: usize) {
+        if self.injection_stalled() {
+            return;
+        }
+        let now = self.cycle;
+        let depth = self.config.buffer_depth as u32;
+        let escape = self.config.vcs_escape;
+        let total = self.config.total_vcs();
+        // Claim VCs for waiting packets (adaptive class preferred).
+        loop {
+            let Some(&PendingInjection { packet, ready_at }) =
+                self.routers[r].injector.queue.front()
+            else {
+                break;
+            };
+            if ready_at > now {
+                break;
+            }
+            let inj = &self.routers[r].injector;
+            let pick = (escape..total)
+                .chain(0..escape)
+                .find(|&vc| inj.vc_free(vc, depth));
+            let Some(vc) = pick else { break };
+            let flits = self.packets[packet as usize].flits;
+            let inj = &mut self.routers[r].injector;
+            inj.queue.pop_front();
+            inj.streams[vc] = Some(InjectStream { packet, total_flits: flits, next: 0 });
+        }
+        // Stream up to `local_port_speedup` flits per network cycle across
+        // the local VCs (the 4 GHz node feeds the 2 GHz network, §3.1).
+        let speedup = self.config.local_port_speedup;
+        let mut sent = 0;
+        'streaming: while sent < speedup {
+            let inj = &mut self.routers[r].injector;
+            let vcs = inj.streams.len();
+            for i in 0..vcs {
+                let vc = (inj.rr + i) % vcs;
+                let Some(stream) = inj.streams[vc] else { continue };
+                if inj.credits[vc] == 0 {
+                    continue;
+                }
+                let idx = stream.next;
+                let arrival = now + 1;
+                let eligible = arrival + if idx == 0 { 2 } else { 1 };
+                let flit = Flit { packet: stream.packet, idx, eligible };
+                inj.credits[vc] -= 1;
+                if idx + 1 == stream.total_flits {
+                    inj.streams[vc] = None;
+                } else {
+                    inj.streams[vc] = Some(InjectStream { next: idx + 1, ..stream });
+                }
+                inj.rr = (vc + 1) % vcs;
+                self.routers[r].inputs[PORT_LOCAL]
+                    .arrivals
+                    .push_back((arrival, vc as u16, flit));
+                if self.config.flit_trace_limit > 0 {
+                    self.trace_event(flit.packet, flit.idx, r, observe::FlitEventKind::Injected);
+                }
+                sent += 1;
+                continue 'streaming;
+            }
+            break;
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! The network: routers, links, RF-I overlay, and the cycle-level engine.
+
+use crate::config::SimConfig;
+use crate::flit::Flit;
+use crate::packet::{DestSet, Destination, MessageSpec};
+use crate::rfmc::{plan_delivery, DeliveryPlan, McConfig, McTransmission};
+use crate::router::{
+    InjectStream, Injector, InputPort, McBranch, OutputPort, PendingInjection, Router,
+    NUM_PORTS, PORT_E, PORT_LOCAL, PORT_N, PORT_RF, PORT_S, PORT_W,
+};
+use crate::stats::RunStats;
+use crate::vct::{VctConfig, VctTable};
+use rfnoc_topology::routing::RoutingTables;
+use rfnoc_topology::{GridDims, GridGraph, NodeId, Shortcut};
+use std::collections::VecDeque;
+
+/// How unicast packets are routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// XY dimension-order routing (the paper's baseline mesh).
+    Xy,
+    /// Table-driven shortest-path routing over mesh + shortcuts (the paper
+    /// switches to this whenever RF-I shortcuts are present, §3.2).
+    ShortestPath,
+}
+
+/// How multicast messages are carried.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MulticastMode {
+    /// Expand each multicast into per-destination unicasts (the paper's
+    /// baseline and "Adaptive Shortcuts" multicast reference).
+    AsUnicasts,
+    /// Virtual Circuit Tree multicast in the conventional mesh (§5.2
+    /// baseline, after Jerger et al.).
+    Vct(VctConfig),
+    /// RF-I broadcast channel with a DBV flit and power-gated receivers
+    /// (§3.3).
+    Rf,
+}
+
+/// Full specification of a network to simulate.
+#[derive(Debug, Clone)]
+pub struct NetworkSpec {
+    /// Mesh dimensions.
+    pub dims: GridDims,
+    /// Microarchitectural configuration.
+    pub config: SimConfig,
+    /// RF-I shortcut set (empty for the baseline).
+    pub shortcuts: Vec<Shortcut>,
+    /// Unicast routing algorithm.
+    pub routing: RoutingKind,
+    /// Multicast handling.
+    pub multicast: MulticastMode,
+    /// RF multicast channel configuration (required for
+    /// [`MulticastMode::Rf`]).
+    pub mc: Option<McConfig>,
+    /// When set, shortcuts are realised in conventional buffered RC wire
+    /// instead of RF-I: each costs `ceil(cycles_per_hop × manhattan)` link
+    /// cycles and its traffic is charged as repeated-wire (not RF) energy.
+    /// The paper's Figure 10a "Mesh Wire Shortcuts" uses ≈0.8 cycles per
+    /// 2 mm hop at the 2 GHz network clock (repeated RC wire crosses a
+    /// 400 mm² die in ≈4 ns vs 0.3 ns for RF-I, §2).
+    pub wire_shortcut_cycles_per_hop: Option<f64>,
+}
+
+impl NetworkSpec {
+    /// A baseline mesh with XY routing and no RF-I.
+    pub fn mesh_baseline(dims: GridDims, config: SimConfig) -> Self {
+        Self {
+            dims,
+            config,
+            shortcuts: Vec::new(),
+            routing: RoutingKind::Xy,
+            multicast: MulticastMode::AsUnicasts,
+            mc: None,
+            wire_shortcut_cycles_per_hop: None,
+        }
+    }
+
+    /// A mesh overlaid with the given RF-I shortcuts, using shortest-path
+    /// routing.
+    pub fn with_shortcuts(dims: GridDims, config: SimConfig, shortcuts: Vec<Shortcut>) -> Self {
+        Self {
+            dims,
+            config,
+            shortcuts,
+            routing: RoutingKind::ShortestPath,
+            multicast: MulticastMode::AsUnicasts,
+            mc: None,
+            wire_shortcut_cycles_per_hop: None,
+        }
+    }
+}
+
+/// A source of injected messages, driven cycle by cycle.
+pub trait Workload {
+    /// Appends the messages created at `cycle` to `out`.
+    fn messages_at(&mut self, cycle: u64, out: &mut Vec<MessageSpec>);
+}
+
+/// A fixed, pre-scripted message schedule (useful for tests).
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedWorkload {
+    events: Vec<(u64, MessageSpec)>,
+    pos: usize,
+}
+
+impl ScriptedWorkload {
+    /// Creates a workload from `(cycle, message)` events; they are sorted
+    /// by cycle internally.
+    pub fn new(mut events: Vec<(u64, MessageSpec)>) -> Self {
+        events.sort_by_key(|(c, _)| *c);
+        Self { events, pos: 0 }
+    }
+}
+
+impl Workload for ScriptedWorkload {
+    fn messages_at(&mut self, cycle: u64, out: &mut Vec<MessageSpec>) {
+        while self.pos < self.events.len() && self.events[self.pos].0 <= cycle {
+            out.push(self.events[self.pos].1);
+            self.pos += 1;
+        }
+    }
+}
+
+/// Destination bookkeeping of an in-flight packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PacketDest {
+    Unicast(NodeId),
+    Tree(DestSet),
+}
+
+#[derive(Debug, Clone)]
+struct PacketInfo {
+    dest: PacketDest,
+    flits: u32,
+    /// Payload bytes (the last flit may be partially filled).
+    bytes: u32,
+    created: u64,
+    measured: bool,
+    parent: Option<u32>,
+    /// Deliver to the RF multicast engine on arrival (cache → central bank
+    /// carry message).
+    mc_carry: bool,
+    /// Set when the packet detoured around a congested shortcut; it then
+    /// follows XY for the rest of its route (monotone progress, so the
+    /// contention-avoidance detour cannot livelock).
+    mesh_only: bool,
+    ejected: u32,
+    /// Routers the head flit has been granted through (hops + 1 at
+    /// completion).
+    head_grants: u32,
+}
+
+#[derive(Debug, Clone)]
+struct ParentInfo {
+    created: u64,
+    measured: bool,
+    remaining: u32,
+    dests: DestSet,
+    bytes: u32,
+}
+
+/// Progress of an in-flight RF-I reconfiguration (paper §3.2 steps 1–3).
+#[derive(Debug, Clone, PartialEq)]
+enum ReconfigState {
+    /// No reconfiguration pending.
+    Idle,
+    /// New shortcut set selected; waiting for all RF-I channels to drain
+    /// (transmitters stop accepting new packets onto the RF ports).
+    Draining(Vec<Shortcut>),
+    /// Transmitters/receivers retuned and routing tables being rewritten;
+    /// injection stalls until the given cycle (99 cycles for 100 routers
+    /// with one write port each).
+    Updating(u64),
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network {
+    dims: GridDims,
+    config: SimConfig,
+    routing: RoutingKind,
+    /// Shortest-path out-port table (`router * n + dest`), present in
+    /// [`RoutingKind::ShortestPath`] mode.
+    port_table: Option<Vec<u8>>,
+    /// Shortest-path hop distances over mesh+shortcuts (same indexing),
+    /// used to price contention-avoidance detours.
+    sp_dist: Option<Vec<u32>>,
+    reconfig: ReconfigState,
+    reconfigurations: u64,
+    routers: Vec<Router>,
+    packets: Vec<PacketInfo>,
+    parents: Vec<ParentInfo>,
+    multicast: MulticastMode,
+    mc: Option<McConfig>,
+    mc_queues: Vec<VecDeque<u32>>,
+    mc_current: Option<(McTransmission, DeliveryPlan)>,
+    vct_table: Option<VctTable>,
+    stats: RunStats,
+    cycle: u64,
+    measured_outstanding: u64,
+    counting: bool,
+    // scratch / outboxes
+    deliveries: Vec<(usize, u8, u16, Flit, u64)>,
+    credit_returns: Vec<(usize, u8, u16)>,
+    mc_enqueues: Vec<(usize, u32)>,
+    pending_inj: Vec<(usize, u32, u64)>,
+    sa_requests: Vec<Vec<(u8, u16, i8)>>,
+    flit_trace: Vec<observe::FlitEvent>,
+}
+
+mod build;
+mod engine;
+mod inject;
+mod mc_engine;
+mod observe;
+mod reconfig;
+
+pub use observe::{FlitEvent, FlitEventKind};
+
+impl Network {
+
+    /// Grid dimensions of the network.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The routing algorithm in use.
+    pub fn routing(&self) -> RoutingKind {
+        self.routing
+    }
+
+    /// Total packets waiting or streaming at the injection interfaces —
+    /// a quick congestion/saturation diagnostic.
+    pub fn injection_backlog(&self) -> usize {
+        self.routers.iter().map(|r| r.injector.backlog()).sum()
+    }
+}
+
+
+/// Allocates a free output VC in `class` range at `out`, marking ownership.
+fn alloc_out_vc(
+    outputs: &mut [OutputPort],
+    out: usize,
+    class: std::ops::Range<usize>,
+    packet: u32,
+    depth: u32,
+) -> Option<u16> {
+    let op = &mut outputs[out];
+    if !op.exists {
+        return None;
+    }
+    for vc in class {
+        if op.vc_free(vc, depth) {
+            op.vcs[vc].owner = Some(packet);
+            return Some(vc as u16);
+        }
+    }
+    None
+}
+
+/// XY-tree partition of a destination set at router `r`: the non-empty
+/// (output port, destination subset) groups.
+fn partition_tree(dims: GridDims, r: NodeId, set: &DestSet) -> Vec<(u8, DestSet)> {
+    let mut groups: [DestSet; NUM_PORTS] = Default::default();
+    for dest in set.iter() {
+        let p = if dest == r { PORT_LOCAL as u8 } else { xy_port(dims, r, dest) };
+        groups[p as usize].insert(dest);
+    }
+    groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_empty())
+        .map(|(p, g)| (p as u8, *g))
+        .collect()
+}
+
+/// The mesh port at `from` that leads to adjacent router `to`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the routers are not adjacent.
+pub(crate) fn mesh_port(dims: GridDims, from: NodeId, to: NodeId) -> u8 {
+    let f = dims.coord_of(from);
+    let t = dims.coord_of(to);
+    debug_assert_eq!(dims.manhattan(from, to), 1, "not adjacent");
+    if t.y + 1 == f.y {
+        PORT_N as u8
+    } else if t.y == f.y + 1 {
+        PORT_S as u8
+    } else if t.x == f.x + 1 {
+        PORT_E as u8
+    } else {
+        PORT_W as u8
+    }
+}
+
+/// The XY (dimension-order) output port from `from` toward `to`.
+pub(crate) fn xy_port(dims: GridDims, from: NodeId, to: NodeId) -> u8 {
+    let next = rfnoc_topology::routing::xy_next_hop(dims, from, to);
+    mesh_port(dims, from, next)
+}
+
+/// The mesh neighbour of `r` on `port`, if it exists.
+pub(crate) fn mesh_neighbor(dims: GridDims, r: NodeId, port: usize) -> Option<NodeId> {
+    let c = dims.coord_of(r);
+    let (dx, dy): (i32, i32) = match port {
+        PORT_N => (0, -1),
+        PORT_S => (0, 1),
+        PORT_E => (1, 0),
+        PORT_W => (-1, 0),
+        _ => return None,
+    };
+    let nx = c.x as i32 + dx;
+    let ny = c.y as i32 + dy;
+    if nx < 0 || ny < 0 {
+        return None;
+    }
+    let nc = rfnoc_topology::Coord::new(nx as u16, ny as u16);
+    dims.contains(nc).then(|| dims.index_of(nc))
+}
+
+/// The opposite mesh direction (N↔S, E↔W).
+pub(crate) fn opposite_port(port: usize) -> usize {
+    match port {
+        PORT_N => PORT_S,
+        PORT_S => PORT_N,
+        PORT_E => PORT_W,
+        PORT_W => PORT_E,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_port_directions() {
+        let dims = GridDims::new(4, 4);
+        // node 5 = (1,1)
+        assert_eq!(mesh_port(dims, 5, 1), PORT_N as u8);
+        assert_eq!(mesh_port(dims, 5, 9), PORT_S as u8);
+        assert_eq!(mesh_port(dims, 5, 6), PORT_E as u8);
+        assert_eq!(mesh_port(dims, 5, 4), PORT_W as u8);
+    }
+
+    #[test]
+    fn mesh_neighbor_edges() {
+        let dims = GridDims::new(4, 4);
+        assert_eq!(mesh_neighbor(dims, 0, PORT_N), None);
+        assert_eq!(mesh_neighbor(dims, 0, PORT_W), None);
+        assert_eq!(mesh_neighbor(dims, 0, PORT_E), Some(1));
+        assert_eq!(mesh_neighbor(dims, 0, PORT_S), Some(4));
+        assert_eq!(mesh_neighbor(dims, 15, PORT_S), None);
+        assert_eq!(mesh_neighbor(dims, 5, PORT_LOCAL), None);
+    }
+
+    #[test]
+    fn opposite_ports_pair_up() {
+        assert_eq!(opposite_port(PORT_N), PORT_S);
+        assert_eq!(opposite_port(PORT_S), PORT_N);
+        assert_eq!(opposite_port(PORT_E), PORT_W);
+        assert_eq!(opposite_port(PORT_W), PORT_E);
+        assert_eq!(opposite_port(PORT_RF), PORT_RF);
+    }
+
+    #[test]
+    fn partition_tree_groups_by_xy_port() {
+        let dims = GridDims::new(4, 4);
+        // at node 5 = (1,1): dest 5 -> local; dest 7 (3,1) -> east;
+        // dest 4 (0,1) -> west; dest 13 (1,3) -> south.
+        let set = DestSet::from_nodes([5, 7, 4, 13]);
+        let groups = partition_tree(dims, 5, &set);
+        assert_eq!(groups.len(), 4);
+        let port_of = |dest: usize| {
+            groups
+                .iter()
+                .find(|(_, g)| g.contains(dest))
+                .map(|(p, _)| *p as usize)
+                .expect("dest grouped")
+        };
+        assert_eq!(port_of(5), PORT_LOCAL);
+        assert_eq!(port_of(7), PORT_E);
+        assert_eq!(port_of(4), PORT_W);
+        assert_eq!(port_of(13), PORT_S);
+    }
+
+    #[test]
+    fn partition_tree_xy_goes_x_first() {
+        let dims = GridDims::new(4, 4);
+        // dest 15 = (3,3) from node 0 = (0,0): XY routes east first.
+        let groups = partition_tree(dims, 0, &DestSet::from_nodes([15]));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0 as usize, PORT_E);
+    }
+
+    #[test]
+    fn scripted_workload_sorts_events() {
+        let mut w = ScriptedWorkload::new(vec![
+            (5, MessageSpec::unicast(0, 1, crate::packet::MessageClass::Request)),
+            (1, MessageSpec::unicast(1, 2, crate::packet::MessageClass::Request)),
+        ]);
+        let mut out = Vec::new();
+        w.messages_at(1, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].src, 1);
+        w.messages_at(10, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn network_accessors() {
+        let dims = GridDims::new(4, 4);
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.warmup_cycles = 0;
+        let net = Network::new(NetworkSpec::mesh_baseline(dims, cfg));
+        assert_eq!(net.dims(), dims);
+        assert_eq!(net.cycle(), 0);
+        assert_eq!(net.routing(), RoutingKind::Xy);
+        assert_eq!(net.injection_backlog(), 0);
+    }
+}

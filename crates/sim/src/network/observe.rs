@@ -1,0 +1,62 @@
+//! Flit-level tracing for debugging and validation.
+//!
+//! When enabled ([`SimConfig::flit_trace_limit`] > 0) the network records
+//! one event per flit movement — injection, switch-allocation grant, and
+//! ejection — up to the configured cap. This is the equivalent of a
+//! simulator's debug trace: it lets a user follow one packet hop by hop
+//! through the pipeline (and is how several of this crate's own tests
+//! validate pipeline timing).
+
+#[allow(clippy::wildcard_imports)]
+use super::*;
+
+/// What happened to a flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitEventKind {
+    /// Entered the network at the source's local port.
+    Injected,
+    /// Granted switch allocation at a router toward the given output port
+    /// (0–3 mesh, 4 local/ejection, 5 RF).
+    Granted {
+        /// Output port index.
+        out_port: u8,
+    },
+    /// Left the network at the destination's local port.
+    Ejected,
+}
+
+/// One traced flit movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitEvent {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// Packet table index.
+    pub packet: u32,
+    /// Flit index within the packet (0 = head).
+    pub flit: u32,
+    /// Router where the event occurred.
+    pub router: usize,
+    /// Event kind.
+    pub kind: FlitEventKind,
+}
+
+impl Network {
+    /// Records a trace event, respecting the configured cap.
+    pub(super) fn trace_event(&mut self, packet: u32, flit: u32, router: usize, kind: FlitEventKind) {
+        if self.flit_trace.len() < self.config.flit_trace_limit {
+            self.flit_trace.push(FlitEvent {
+                cycle: self.cycle,
+                packet,
+                flit,
+                router,
+                kind,
+            });
+        }
+    }
+
+    /// The recorded flit trace so far (empty unless
+    /// [`SimConfig::flit_trace_limit`] is non-zero).
+    pub fn flit_trace(&self) -> &[FlitEvent] {
+        &self.flit_trace
+    }
+}

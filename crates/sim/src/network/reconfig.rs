@@ -1,0 +1,143 @@
+//! Live RF-I reconfiguration (paper §3.2 steps 1–3): drain the
+//! channels, retune transmitters/receivers, rewrite the routing tables.
+
+#[allow(clippy::wildcard_imports)]
+use super::*;
+
+impl Network {
+
+    /// Requests a live reconfiguration to a new shortcut set (paper §3.2):
+    /// the RF-I ports stop accepting traffic, drain, the transmitters and
+    /// receivers retune, and the routing tables are rewritten (stalling
+    /// injection for [`SimConfig::reconfig_cycles`]). Traffic in the mesh
+    /// keeps flowing throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network uses XY routing (no tables to rewrite), a
+    /// reconfiguration is already in progress, or the new set violates the
+    /// one-in/one-out port constraint.
+    pub fn reconfigure(&mut self, shortcuts: Vec<Shortcut>) {
+        assert!(
+            self.port_table.is_some(),
+            "reconfiguration requires shortest-path (table) routing"
+        );
+        assert_eq!(self.reconfig, ReconfigState::Idle, "reconfiguration already in progress");
+        let n = self.dims.nodes();
+        let mut out_used = vec![false; n];
+        let mut in_used = vec![false; n];
+        for s in &shortcuts {
+            assert!(s.src < n && s.dst < n, "shortcut endpoint out of range");
+            assert!(!out_used[s.src], "router {} has two outbound shortcuts", s.src);
+            assert!(!in_used[s.dst], "router {} has two inbound shortcuts", s.dst);
+            out_used[s.src] = true;
+            in_used[s.dst] = true;
+        }
+        self.reconfig = ReconfigState::Draining(shortcuts);
+    }
+
+    /// Completed reconfigurations so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Whether every RF-I port in the network is idle (no owners, full
+    /// credits, empty buffers and link queues).
+    pub(super) fn rf_idle(&self) -> bool {
+        let depth = self.config.buffer_depth as u32;
+        self.routers.iter().all(|r| {
+            let out_ok = !r.outputs[PORT_RF].exists
+                || r.outputs[PORT_RF]
+                    .vcs
+                    .iter()
+                    .all(|v| v.owner.is_none() && v.credits == depth);
+            let in_ok = !r.inputs[PORT_RF].exists
+                || (r.inputs[PORT_RF].arrivals.is_empty()
+                    && r.inputs[PORT_RF].vcs.iter().all(|v| v.buffer.is_empty()));
+            out_ok && in_ok
+        })
+    }
+
+    /// Retunes the RF ports to `shortcuts` and rebuilds the routing tables.
+    pub(super) fn apply_retuning(&mut self, shortcuts: &[Shortcut]) {
+        let n = self.dims.nodes();
+        let vcs = self.config.total_vcs();
+        let depth = self.config.buffer_depth as u32;
+        // Tear down all RF ports (drained by construction).
+        for r in self.routers.iter_mut() {
+            r.inputs[PORT_RF] = InputPort::default();
+            r.outputs[PORT_RF] = OutputPort::default();
+        }
+        for s in shortcuts {
+            let hops = self.dims.manhattan(s.src, s.dst);
+            let out = &mut self.routers[s.src].outputs[PORT_RF];
+            out.exists = true;
+            out.target = Some((s.dst, PORT_RF as u8));
+            out.capacity = self.config.rf_flits_per_cycle();
+            out.shortcut_hops = hops;
+            out.vcs = vec![Default::default(); vcs];
+            for v in &mut out.vcs {
+                v.credits = depth;
+            }
+            let inp = &mut self.routers[s.dst].inputs[PORT_RF];
+            inp.exists = true;
+            inp.vcs = vec![Default::default(); vcs];
+            inp.upstream = Some((s.src, PORT_RF as u8));
+        }
+        // Rebuild the shortest-path tables over the new topology.
+        let graph = GridGraph::with_shortcuts(self.dims, shortcuts);
+        let dist = graph.distances();
+        let tables = RoutingTables::from_distances(&graph, &dist);
+        let mut pt = vec![PORT_LOCAL as u8; n * n];
+        let mut dm = vec![0u32; n * n];
+        for r in 0..n {
+            for d in 0..n {
+                dm[r * n + d] = dist.get(r, d);
+                if r == d {
+                    continue;
+                }
+                let next = tables.next_hop(r, d);
+                pt[r * n + d] = if self.dims.manhattan(r, next) == 1 {
+                    mesh_port(self.dims, r, next)
+                } else {
+                    PORT_RF as u8
+                };
+            }
+        }
+        self.port_table = Some(pt);
+        self.sp_dist = Some(dm);
+    }
+
+    /// Advances the reconfiguration state machine by one cycle.
+    pub(super) fn step_reconfig(&mut self) {
+        match std::mem::replace(&mut self.reconfig, ReconfigState::Idle) {
+            ReconfigState::Idle => {}
+            ReconfigState::Draining(shortcuts) => {
+                if self.rf_idle() {
+                    self.apply_retuning(&shortcuts);
+                    self.reconfig =
+                        ReconfigState::Updating(self.cycle + self.config.reconfig_cycles);
+                } else {
+                    self.reconfig = ReconfigState::Draining(shortcuts);
+                }
+            }
+            ReconfigState::Updating(until) => {
+                if self.cycle >= until {
+                    self.reconfigurations += 1;
+                } else {
+                    self.reconfig = ReconfigState::Updating(until);
+                }
+            }
+        }
+    }
+
+    /// Whether injection is stalled by a routing-table rewrite.
+    pub(super) fn injection_stalled(&self) -> bool {
+        matches!(self.reconfig, ReconfigState::Updating(_))
+    }
+
+    /// Whether RF output ports may accept new packets.
+    pub(super) fn rf_accepting(&self) -> bool {
+        !matches!(self.reconfig, ReconfigState::Draining(_))
+    }
+}

@@ -1,0 +1,310 @@
+//! Router microarchitecture: virtual channels, input/output ports, and the
+//! per-node injection engine.
+//!
+//! Each router has up to six ports (paper §3.2): the four mesh directions,
+//! a local port to the attached core/cache/memory element, and — on
+//! RF-enabled routers — a sixth port to the RF-I transmitter/receiver.
+
+use crate::flit::Flit;
+use std::collections::VecDeque;
+
+/// Port indices. Every router allocates all six slots; absent ports are
+/// marked non-existent.
+pub(crate) const PORT_N: usize = 0;
+pub(crate) const PORT_S: usize = 1;
+pub(crate) const PORT_E: usize = 2;
+pub(crate) const PORT_W: usize = 3;
+pub(crate) const PORT_LOCAL: usize = 4;
+pub(crate) const PORT_RF: usize = 5;
+pub(crate) const NUM_PORTS: usize = 6;
+
+/// A branch of a multicast (VCT) packet at this router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct McBranch {
+    /// Output port of this branch.
+    pub port: u8,
+    /// Allocated downstream VC, when VA has succeeded.
+    pub out_vc: Option<u16>,
+    /// Packet id carried on this branch (a child packet with the subtree's
+    /// destination subset, or the original packet).
+    pub packet: u32,
+}
+
+/// State of one input virtual channel.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VcState {
+    /// Buffered flits, in order.
+    pub buffer: VecDeque<Flit>,
+    /// Packet currently occupying this VC (claimed head → tail).
+    pub cur_packet: Option<u32>,
+    /// Unicast allocation: output port (valid when `allocated`).
+    pub out_port: u8,
+    /// Unicast allocation: downstream VC (valid when `allocated`).
+    pub out_vc: u16,
+    /// Whether VA has completed for the current unicast packet.
+    pub allocated: bool,
+    /// Multicast branches (empty for unicast packets). When non-empty the
+    /// packet replicates: the front flit is copied to every branch before
+    /// being retired.
+    pub mc_branches: Vec<McBranch>,
+    /// Bitmask over `mc_branches` recording which branches the *front* flit
+    /// has already been copied to this packet-flit.
+    pub mc_front_sent: u32,
+    /// Whether the multicast route (partition) has been computed.
+    pub mc_routed: bool,
+    /// Consecutive cycles the head flit has failed VC allocation (drives
+    /// the shortcut contention-avoidance detour).
+    pub va_blocked: u32,
+}
+
+impl VcState {
+    /// Resets allocation state after the tail flit retires.
+    pub fn release(&mut self) {
+        self.cur_packet = None;
+        self.allocated = false;
+        self.mc_branches.clear();
+        self.mc_front_sent = 0;
+        self.mc_routed = false;
+        self.va_blocked = 0;
+    }
+
+    /// Whether every multicast branch has received the front flit.
+    pub fn mc_all_sent(&self) -> bool {
+        !self.mc_branches.is_empty()
+            && self.mc_front_sent.count_ones() as usize == self.mc_branches.len()
+            && self.mc_branches.iter().all(|b| b.out_vc.is_some())
+    }
+}
+
+/// One input port: its VCs, pending link deliveries, and the upstream
+/// output port to return credits to.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InputPort {
+    /// Whether this port physically exists on this router.
+    pub exists: bool,
+    /// Virtual channel state.
+    pub vcs: Vec<VcState>,
+    /// In-flight flits from the upstream link: `(arrival_cycle, vc, flit)`,
+    /// in arrival order.
+    pub arrivals: VecDeque<(u64, u16, Flit)>,
+    /// Upstream `(router, output port)` to credit on buffer release;
+    /// `None` for the local injection port (credited via the injector).
+    pub upstream: Option<(usize, u8)>,
+    /// Indices of currently claimed VCs (fast scan of active channels).
+    pub occupied: Vec<u16>,
+}
+
+/// Per-VC bookkeeping on an output port.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct OutVc {
+    /// Packet that owns the downstream VC, until its tail is sent.
+    pub owner: Option<u32>,
+    /// Remaining downstream buffer credits.
+    pub credits: u32,
+}
+
+/// One output port: link target, capacity, and downstream VC bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OutputPort {
+    /// Whether this port physically exists on this router.
+    pub exists: bool,
+    /// Downstream `(router, input port)`; `None` for the ejection (local)
+    /// port, which sinks flits.
+    pub target: Option<(usize, u8)>,
+    /// Flits this port can accept per cycle (1 for mesh/local; `16B/width`
+    /// for RF-I shortcut ports).
+    pub capacity: u32,
+    /// Extra link-traversal cycles beyond the standard single cycle
+    /// (non-zero only for shortcuts realised in buffered RC wire, which
+    /// need multiple clock cycles to cross the chip — paper §5.3).
+    pub extra_latency: u64,
+    /// Manhattan length of the shortcut this port drives (0 for mesh and
+    /// local ports); used for wire-shortcut energy accounting.
+    pub shortcut_hops: u32,
+    /// Whether this shortcut is realised in conventional buffered wire
+    /// rather than RF-I (the paper's "Mesh Wire Shortcuts" comparison).
+    pub is_wire: bool,
+    /// Downstream VC states.
+    pub vcs: Vec<OutVc>,
+    /// Round-robin cursor over `(input port, vc)` switch-allocation
+    /// requests.
+    pub rr: usize,
+}
+
+impl OutputPort {
+    /// Whether `vc` is free for a new packet: unowned and fully credited
+    /// (all previously sent flits have left the downstream buffer).
+    pub fn vc_free(&self, vc: usize, full_credits: u32) -> bool {
+        let s = &self.vcs[vc];
+        s.owner.is_none() && (self.target.is_none() || s.credits == full_credits)
+    }
+}
+
+/// A packet waiting to begin injection at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingInjection {
+    /// Packet table index.
+    pub packet: u32,
+    /// Earliest cycle injection may begin (used for VCT setup delays).
+    pub ready_at: u64,
+}
+
+/// Per-flit streaming state of an injection VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct InjectStream {
+    /// Packet being streamed.
+    pub packet: u32,
+    /// Total flits of the packet.
+    pub total_flits: u32,
+    /// Next flit index to send.
+    pub next: u32,
+}
+
+/// The per-node injection engine: a FIFO of pending packets and per-VC
+/// streaming state mirroring an upstream router's output port.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Injector {
+    /// Waiting packets in creation order.
+    pub queue: VecDeque<PendingInjection>,
+    /// Streaming state per local-input VC.
+    pub streams: Vec<Option<InjectStream>>,
+    /// Credits per local-input VC.
+    pub credits: Vec<u32>,
+    /// Round-robin cursor over streaming VCs.
+    pub rr: usize,
+}
+
+impl Injector {
+    /// Creates an injector for `vcs` local-input virtual channels with
+    /// `depth` credits each.
+    pub fn new(vcs: usize, depth: u32) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            streams: vec![None; vcs],
+            credits: vec![depth; vcs],
+            rr: 0,
+        }
+    }
+
+    /// Whether VC `vc` can accept a new packet.
+    pub fn vc_free(&self, vc: usize, full_credits: u32) -> bool {
+        self.streams[vc].is_none() && self.credits[vc] == full_credits
+    }
+
+    /// Total packets waiting or streaming.
+    pub fn backlog(&self) -> usize {
+        self.queue.len() + self.streams.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// A complete router.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Router {
+    /// Input ports (indexed by the `PORT_*` constants).
+    pub inputs: Vec<InputPort>,
+    /// Output ports.
+    pub outputs: Vec<OutputPort>,
+    /// Injection engine feeding the local input port.
+    pub injector: Injector,
+    /// Round-robin start port for VC allocation fairness.
+    pub va_rr: usize,
+}
+
+impl Router {
+    /// Registers a VC as claimed (head flit arrived).
+    pub fn claim_vc(&mut self, port: usize, vc: u16, packet: u32) {
+        let p = &mut self.inputs[port];
+        debug_assert!(p.vcs[vc as usize].cur_packet.is_none(), "VC double-claim");
+        p.vcs[vc as usize].cur_packet = Some(packet);
+        p.occupied.push(vc);
+    }
+
+    /// Releases a VC after its tail flit retires.
+    pub fn release_vc(&mut self, port: usize, vc: u16) {
+        let p = &mut self.inputs[port];
+        p.vcs[vc as usize].release();
+        if let Some(pos) = p.occupied.iter().position(|&v| v == vc) {
+            p.occupied.swap_remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc_release_clears_state() {
+        let mut vc = VcState {
+            cur_packet: Some(7),
+            allocated: true,
+            out_port: 2,
+            out_vc: 3,
+            mc_routed: true,
+            ..Default::default()
+        };
+        vc.mc_branches.push(McBranch { port: 1, out_vc: Some(0), packet: 7 });
+        vc.release();
+        assert!(vc.cur_packet.is_none());
+        assert!(!vc.allocated);
+        assert!(vc.mc_branches.is_empty());
+        assert!(!vc.mc_routed);
+    }
+
+    #[test]
+    fn mc_all_sent_requires_every_branch() {
+        let mut vc = VcState::default();
+        vc.mc_branches.push(McBranch { port: 0, out_vc: Some(1), packet: 0 });
+        vc.mc_branches.push(McBranch { port: 2, out_vc: None, packet: 1 });
+        vc.mc_front_sent = 0b01;
+        assert!(!vc.mc_all_sent());
+        vc.mc_branches[1].out_vc = Some(0);
+        vc.mc_front_sent = 0b11;
+        assert!(vc.mc_all_sent());
+    }
+
+    #[test]
+    fn out_vc_free_checks_credits() {
+        let mut port = OutputPort {
+            exists: true,
+            target: Some((1, 0)),
+            capacity: 1,
+            vcs: vec![OutVc { owner: None, credits: 4 }],
+            ..Default::default()
+        };
+        assert!(port.vc_free(0, 4));
+        port.vcs[0].credits = 3;
+        assert!(!port.vc_free(0, 4), "outstanding flit downstream");
+        port.vcs[0].credits = 4;
+        port.vcs[0].owner = Some(9);
+        assert!(!port.vc_free(0, 4), "owned");
+    }
+
+    #[test]
+    fn injector_claim_and_backlog() {
+        let mut inj = Injector::new(2, 4);
+        assert!(inj.vc_free(0, 4));
+        inj.streams[0] = Some(InjectStream { packet: 0, total_flits: 3, next: 0 });
+        assert!(!inj.vc_free(0, 4));
+        inj.queue.push_back(PendingInjection { packet: 1, ready_at: 0 });
+        assert_eq!(inj.backlog(), 2);
+    }
+
+    #[test]
+    fn claim_release_tracks_occupied() {
+        let mut r = Router::default();
+        r.inputs = vec![InputPort {
+            exists: true,
+            vcs: vec![VcState::default(); 4],
+            arrivals: VecDeque::new(),
+            upstream: None,
+            occupied: Vec::new(),
+        }];
+        r.claim_vc(0, 2, 11);
+        assert_eq!(r.inputs[0].occupied, vec![2]);
+        assert_eq!(r.inputs[0].vcs[2].cur_packet, Some(11));
+        r.release_vc(0, 2);
+        assert!(r.inputs[0].occupied.is_empty());
+        assert!(r.inputs[0].vcs[2].cur_packet.is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulation statistics and run reports.
+
+use rfnoc_power::ActivityCounters;
+
+/// Statistics gathered over one simulation run.
+///
+/// Latencies are measured from message creation (injection request) to the
+/// ejection of the last flit at the destination — including source queuing,
+/// serialization, and contention — for packets created inside the
+/// measurement window. Multicast messages count once, completing when every
+/// destination has received the full message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Messages created during the measurement window.
+    pub injected_messages: u64,
+    /// Measured messages fully delivered before the drain limit.
+    pub completed_messages: u64,
+    /// Sum of per-message latencies (cycles) over completed messages.
+    pub message_latency_sum: u64,
+    /// Individual per-message latencies (cycles) of completed measured
+    /// messages, in completion order — used for percentile/tail analysis.
+    pub message_latencies: Vec<u32>,
+    /// Ejected flit count over measured packets.
+    pub ejected_flits: u64,
+    /// Sum of per-packet hop counts (routers traversed minus one) over
+    /// completed measured packets — for validating route lengths.
+    pub hops_sum: u64,
+    /// Completed measured packets contributing to [`RunStats::hops_sum`].
+    pub hop_packets: u64,
+    /// Sum of per-flit latencies (cycles): ejection time minus the creation
+    /// time of the flit's (root) message.
+    pub flit_latency_sum: u64,
+    /// Histogram of injected messages by source→destination Manhattan
+    /// distance (index = hops; multicasts use the mean distance over their
+    /// destination set, rounded).
+    pub distance_histogram: Vec<u64>,
+    /// Activity counters for the power model, covering all post-warmup
+    /// cycles.
+    pub activity: ActivityCounters,
+    /// Flit grants per output port (`router * 6 + port`; ports are
+    /// N,S,E,W,Local,RF), for utilization analysis.
+    pub port_flits: Vec<u64>,
+    /// Per-(src,dst) message counts (`src * routers + dst`), populated only
+    /// when [`crate::SimConfig::collect_pair_counts`] is set — the paper's
+    /// §3.2.2 hardware event counters. Multicasts count once per
+    /// destination.
+    pub pair_counts: Vec<u32>,
+    /// True when measured packets were still in flight at the drain limit —
+    /// the network is saturated at this load and latency figures are lower
+    /// bounds.
+    pub saturated: bool,
+    /// Cycle at which the run ended.
+    pub end_cycle: u64,
+}
+
+impl RunStats {
+    /// Creates empty statistics for a network of `routers` routers and
+    /// maximum Manhattan distance `max_distance`.
+    pub fn new(routers: usize, max_distance: usize) -> Self {
+        Self {
+            injected_messages: 0,
+            completed_messages: 0,
+            message_latency_sum: 0,
+            message_latencies: Vec::new(),
+            ejected_flits: 0,
+            hops_sum: 0,
+            hop_packets: 0,
+            flit_latency_sum: 0,
+            distance_histogram: vec![0; max_distance + 1],
+            activity: ActivityCounters::new(routers),
+            port_flits: vec![0; routers * 6],
+            pair_counts: Vec::new(),
+            saturated: false,
+            end_cycle: 0,
+        }
+    }
+
+    /// Mean latency per message in cycles.
+    ///
+    /// Returns 0.0 when no message completed.
+    pub fn avg_message_latency(&self) -> f64 {
+        if self.completed_messages == 0 {
+            0.0
+        } else {
+            self.message_latency_sum as f64 / self.completed_messages as f64
+        }
+    }
+
+    /// Mean latency per flit in cycles (the paper's "average network
+    /// latency/flit").
+    ///
+    /// Returns 0.0 when no flit was ejected.
+    pub fn avg_flit_latency(&self) -> f64 {
+        if self.ejected_flits == 0 {
+            0.0
+        } else {
+            self.flit_latency_sum as f64 / self.ejected_flits as f64
+        }
+    }
+
+    /// Utilization of one output port over the counted window: flit
+    /// grants divided by slot capacity (`capacity` flits/cycle).
+    ///
+    /// Returns 0.0 before any cycles are counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn port_utilization(&self, router: usize, port: usize, capacity: u32) -> f64 {
+        assert!(port < 6, "port index out of range");
+        let flits = self.port_flits[router * 6 + port];
+        if self.activity.cycles == 0 {
+            0.0
+        } else {
+            flits as f64 / (self.activity.cycles as f64 * capacity as f64)
+        }
+    }
+
+    /// The most heavily utilized output port: `(router, port, utilization)`
+    /// assuming unit capacity. Returns `None` when nothing moved.
+    pub fn hottest_port(&self) -> Option<(usize, usize, f64)> {
+        let (idx, &flits) =
+            self.port_flits.iter().enumerate().max_by_key(|(_, &f)| f)?;
+        if flits == 0 || self.activity.cycles == 0 {
+            return None;
+        }
+        Some((idx / 6, idx % 6, flits as f64 / self.activity.cycles as f64))
+    }
+
+    /// The `p`-th percentile (0–100) of per-message latency, or 0.0 when
+    /// nothing completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside 0–100.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.message_latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.message_latencies.clone();
+        sorted.sort_unstable();
+        let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)] as f64
+    }
+
+    /// Mean network hops per completed packet (0.0 when none completed).
+    pub fn avg_hops(&self) -> f64 {
+        if self.hop_packets == 0 {
+            0.0
+        } else {
+            self.hops_sum as f64 / self.hop_packets as f64
+        }
+    }
+
+    /// Converts collected pair counts into selection weights
+    /// (`F(x,y)` of §3.2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if pair counts were not collected.
+    pub fn pair_weights(&self) -> rfnoc_topology::PairWeights {
+        assert!(
+            !self.pair_counts.is_empty(),
+            "run with SimConfig::collect_pair_counts to gather event counters"
+        );
+        let n = self.activity.router_bytes.len();
+        rfnoc_topology::PairWeights::from_messages(
+            n,
+            self.pair_counts.iter().enumerate().filter(|(_, &c)| c > 0).map(
+                |(idx, &c)| (idx / n, idx % n, c as f64),
+            ),
+        )
+    }
+
+    /// Fraction of measured messages that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.injected_messages == 0 {
+            1.0
+        } else {
+            self.completed_messages as f64 / self.injected_messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_empty_runs() {
+        let s = RunStats::new(4, 18);
+        assert_eq!(s.avg_message_latency(), 0.0);
+        assert_eq!(s.avg_flit_latency(), 0.0);
+        assert_eq!(s.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn averages_compute() {
+        let mut s = RunStats::new(4, 18);
+        s.injected_messages = 10;
+        s.completed_messages = 8;
+        s.message_latency_sum = 160;
+        s.ejected_flits = 24;
+        s.flit_latency_sum = 480;
+        assert_eq!(s.avg_message_latency(), 20.0);
+        assert_eq!(s.avg_flit_latency(), 20.0);
+        assert_eq!(s.completion_rate(), 0.8);
+    }
+}

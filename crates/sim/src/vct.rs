@@ -1,0 +1,126 @@
+//! Virtual Circuit Tree (VCT) multicast support (paper §3.3/§5.2, after
+//! Jerger, Peh and Lipasti, ISCA 2008).
+//!
+//! VCT builds a routing tree per (source, destination-set) pair; the first
+//! multicast on a new tree pays a setup cost to install tree entries in the
+//! routers, and subsequent multicasts on the same pair reuse them. Trees
+//! are the union of XY paths from the source to each destination; flits are
+//! replicated inside routers at branch points, so common path segments
+//! carry each flit only once (the dynamic-power saving the VCT paper
+//! reports).
+//!
+//! This module provides the tree *table* (hit/miss + capacity management);
+//! in-router replication itself lives in the network engine.
+
+use crate::packet::DestSet;
+use rfnoc_topology::NodeId;
+use std::collections::HashMap;
+
+/// Configuration of the VCT table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VctConfig {
+    /// Total virtual-circuit-tree entries available (network-wide model of
+    /// the per-router tables).
+    pub table_capacity: usize,
+    /// Extra cycles charged at the source when a multicast misses in the
+    /// table and must set its tree up hop by hop.
+    pub setup_latency: u64,
+}
+
+impl Default for VctConfig {
+    fn default() -> Self {
+        Self { table_capacity: 512, setup_latency: 30 }
+    }
+}
+
+/// The virtual circuit tree table with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct VctTable {
+    config: VctConfig,
+    /// (source, destination set) → last-used stamp.
+    entries: HashMap<(NodeId, u128), u64>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl VctTable {
+    /// Creates an empty table.
+    pub fn new(config: VctConfig) -> Self {
+        Self {
+            config,
+            entries: HashMap::with_capacity(config.table_capacity),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up (and touches) the tree for `(src, dests)`. Returns the setup
+    /// latency to charge: 0 on a hit, `setup_latency` on a miss (the tree is
+    /// installed, evicting the least-recently-used entry if full).
+    pub fn access(&mut self, src: NodeId, dests: DestSet) -> u64 {
+        self.stamp += 1;
+        let key = (src, dests.bits());
+        if let Some(used) = self.entries.get_mut(&key) {
+            *used = self.stamp;
+            self.hits += 1;
+            return 0;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.config.table_capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &used)| used) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, self.stamp);
+        self.config.setup_latency
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dests(nodes: &[NodeId]) -> DestSet {
+        DestSet::from_nodes(nodes.iter().copied())
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut t = VctTable::new(VctConfig { table_capacity: 4, setup_latency: 30 });
+        assert_eq!(t.access(1, dests(&[5, 9])), 30);
+        assert_eq!(t.access(1, dests(&[5, 9])), 0);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_dest_sets_are_distinct_trees() {
+        let mut t = VctTable::new(VctConfig::default());
+        assert_eq!(t.access(1, dests(&[5])), 30);
+        assert_eq!(t.access(1, dests(&[6])), 30);
+        assert_eq!(t.access(2, dests(&[5])), 30);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = VctTable::new(VctConfig { table_capacity: 2, setup_latency: 10 });
+        t.access(1, dests(&[5]));
+        t.access(2, dests(&[5]));
+        t.access(1, dests(&[5])); // touch 1 → LRU is 2
+        t.access(3, dests(&[5])); // evicts 2
+        assert_eq!(t.access(1, dests(&[5])), 0, "1 still resident");
+        assert_eq!(t.access(2, dests(&[5])), 10, "2 was evicted");
+    }
+}

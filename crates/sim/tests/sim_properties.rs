@@ -1,0 +1,137 @@
+//! Property-based stress tests of the simulator engine.
+
+use proptest::prelude::*;
+use rfnoc_power::LinkWidth;
+use rfnoc_sim::{
+    DestSet, MessageClass, MessageSpec, MulticastMode, Network, NetworkSpec, ScriptedWorkload,
+    SimConfig, VctConfig,
+};
+use rfnoc_topology::{GridDims, Shortcut};
+
+fn quick_config(width: LinkWidth) -> SimConfig {
+    let mut cfg = SimConfig::paper_baseline().with_link_width(width);
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 3_000;
+    cfg.drain_cycles = 40_000;
+    cfg
+}
+
+/// Builds a legal shortcut set from arbitrary candidate pairs.
+fn legalize(n: usize, candidates: &[(usize, usize)]) -> Vec<Shortcut> {
+    let mut out_used = vec![false; n];
+    let mut in_used = vec![false; n];
+    let mut set = Vec::new();
+    for &(a, b) in candidates {
+        let (a, b) = (a % n, b % n);
+        if a != b && !out_used[a] && !in_used[b] {
+            out_used[a] = true;
+            in_used[b] = true;
+            set.push(Shortcut::new(a, b));
+        }
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Any mix of unicasts and VCT multicasts over any legal shortcut-free
+    /// mesh completes with exact message conservation.
+    #[test]
+    fn mixed_unicast_vct_conserves_messages(
+        unicasts in proptest::collection::vec((0usize..36, 0usize..36), 0..40),
+        multicasts in proptest::collection::vec(
+            (0usize..36, proptest::collection::hash_set(0usize..36, 1..8)),
+            0..10,
+        ),
+    ) {
+        let dims = GridDims::new(6, 6);
+        let mut events = Vec::new();
+        let mut expected = 0u64;
+        for (i, (s, d)) in unicasts.iter().enumerate() {
+            if s != d {
+                events.push((i as u64, MessageSpec::unicast(*s, *d, MessageClass::Data)));
+                expected += 1;
+            }
+        }
+        for (i, (s, dests)) in multicasts.iter().enumerate() {
+            let set = DestSet::from_nodes(dests.iter().copied());
+            events.push((i as u64 * 2, MessageSpec::multicast(*s, set)));
+            expected += 1;
+        }
+        let mut spec = NetworkSpec::mesh_baseline(dims, quick_config(LinkWidth::B16));
+        spec.multicast = MulticastMode::Vct(VctConfig::default());
+        let mut network = Network::new(spec);
+        let stats = network.run(&mut ScriptedWorkload::new(events));
+        prop_assert_eq!(stats.completed_messages, expected);
+        prop_assert!(!stats.saturated);
+    }
+
+    /// Random legal shortcut sets never break delivery at any width, and
+    /// never make any message slower than the worst-case mesh route bound.
+    #[test]
+    fn random_shortcuts_preserve_delivery(
+        candidates in proptest::collection::vec((0usize..36, 0usize..36), 0..8),
+        msgs in proptest::collection::vec((0usize..36, 0usize..36), 1..30),
+        width_idx in 0usize..3,
+    ) {
+        let dims = GridDims::new(6, 6);
+        let width = LinkWidth::all()[width_idx];
+        let shortcuts = legalize(36, &candidates);
+        let spec = if shortcuts.is_empty() {
+            NetworkSpec::mesh_baseline(dims, quick_config(width))
+        } else {
+            NetworkSpec::with_shortcuts(dims, quick_config(width), shortcuts)
+        };
+        let events: Vec<(u64, MessageSpec)> = msgs
+            .iter()
+            .enumerate()
+            .filter(|(_, (s, d))| s != d)
+            .map(|(i, (s, d))| (i as u64, MessageSpec::unicast(*s, *d, MessageClass::Data)))
+            .collect();
+        let expected = events.len() as u64;
+        let mut network = Network::new(spec);
+        let stats = network.run(&mut ScriptedWorkload::new(events));
+        prop_assert_eq!(stats.completed_messages, expected);
+        prop_assert!(!stats.saturated);
+        // Zero-load-ish sanity bound: diameter 10, worst head pipeline
+        // 5*(10+1), 33 flits max, generous queueing slack at this load.
+        prop_assert!(stats.avg_message_latency() < 400.0);
+    }
+
+    /// Determinism holds across every width and shortcut set: identical
+    /// runs give identical statistics.
+    #[test]
+    fn determinism_over_configs(
+        candidates in proptest::collection::vec((0usize..36, 0usize..36), 0..6),
+        width_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let dims = GridDims::new(6, 6);
+        let width = LinkWidth::all()[width_idx];
+        let shortcuts = legalize(36, &candidates);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let events: Vec<(u64, MessageSpec)> = (0..60)
+            .map(|i| {
+                let s = rng.gen_range(0..36);
+                let mut d = rng.gen_range(0..36);
+                if d == s {
+                    d = (d + 1) % 36;
+                }
+                (i / 2, MessageSpec::unicast(s, d, MessageClass::Request))
+            })
+            .collect();
+        let build = || {
+            let spec = if shortcuts.is_empty() {
+                NetworkSpec::mesh_baseline(dims, quick_config(width))
+            } else {
+                NetworkSpec::with_shortcuts(dims, quick_config(width), shortcuts.clone())
+            };
+            Network::new(spec)
+        };
+        let a = build().run(&mut ScriptedWorkload::new(events.clone()));
+        let b = build().run(&mut ScriptedWorkload::new(events));
+        prop_assert_eq!(a, b);
+    }
+}

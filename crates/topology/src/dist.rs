@@ -1,0 +1,218 @@
+//! All-pairs shortest-path distances with incremental edge evaluation.
+
+use crate::graph::{GridGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance value used to mark unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// A dense `V×V` matrix of shortest-path hop distances.
+///
+/// Row index is the source node, column index the destination. Produced by
+/// [`GridGraph::distances`] and consumed by the selection heuristics, which
+/// use the `O(V²)` *would-be* distance update of
+/// [`DistanceMatrix::improvement_if_added`] to evaluate candidate shortcut
+/// edges without recomputing a full APSP per candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest paths over `graph` by BFS from each node.
+    pub fn from_graph(graph: &GridGraph) -> Self {
+        let n = graph.node_count();
+        let mut d = vec![UNREACHABLE; n * n];
+        let mut queue = VecDeque::with_capacity(n);
+        for src in 0..n {
+            let row = &mut d[src * n..(src + 1) * n];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                let du = row[u];
+                for &v in graph.neighbors(u) {
+                    if row[v] == UNREACHABLE {
+                        row[v] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Self { n, d }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path distance from `src` to `dst` in hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, src: NodeId, dst: NodeId) -> u32 {
+        assert!(src < self.n && dst < self.n, "node index out of range");
+        self.d[src * self.n + dst]
+    }
+
+    /// The network diameter: the maximum finite pairwise distance.
+    pub fn diameter(&self) -> u32 {
+        self.d
+            .iter()
+            .copied()
+            .filter(|&v| v != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all finite pairwise distances (the unweighted objective).
+    pub fn total(&self) -> u64 {
+        self.d
+            .iter()
+            .copied()
+            .filter(|&v| v != UNREACHABLE)
+            .map(u64::from)
+            .sum()
+    }
+
+    /// Weighted objective reduction achieved by adding the directed unit edge
+    /// `(i, j)`:
+    ///
+    /// `Σ_{x,y} w(x,y) · max(0, d(x,y) − (d(x,i) + 1 + d(j,y)))`
+    ///
+    /// This is the inner evaluation of the exhaustive greedy heuristic of
+    /// Figure 3a — the cost of the *permutation graph* `G' = G + (i,j)`
+    /// relative to `G` — computed in `O(V²)` instead of a fresh APSP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != V²`.
+    pub fn improvement_if_added(&self, i: NodeId, j: NodeId, weights: &[f64]) -> f64 {
+        let n = self.n;
+        assert_eq!(weights.len(), n * n, "weights must be V*V");
+        let mut gain = 0.0;
+        for x in 0..n {
+            let dxi = self.d[x * n + i];
+            if dxi == UNREACHABLE {
+                continue;
+            }
+            let base = dxi as u64 + 1;
+            for y in 0..n {
+                let dxy = self.d[x * n + y];
+                let djy = self.d[j * n + y];
+                if djy == UNREACHABLE || dxy == UNREACHABLE {
+                    continue;
+                }
+                let via = base + djy as u64;
+                if (via as u32 as u64) < dxy as u64 {
+                    gain += weights[x * n + y] * (dxy as u64 - via) as f64;
+                }
+            }
+        }
+        gain
+    }
+
+    /// Applies the addition of unit edge `(i, j)` in place:
+    /// `d(x,y) ← min(d(x,y), d(x,i) + 1 + d(j,y))` for all pairs.
+    ///
+    /// After [`GridGraph::add_shortcut`] this is equivalent to a full APSP
+    /// recomputation for a single added edge.
+    pub fn apply_edge(&mut self, i: NodeId, j: NodeId) {
+        let n = self.n;
+        // Copy row j and column i to avoid aliasing during the update.
+        let row_j: Vec<u32> = self.d[j * n..(j + 1) * n].to_vec();
+        let col_i: Vec<u32> = (0..n).map(|x| self.d[x * n + i]).collect();
+        for x in 0..n {
+            let dxi = col_i[x];
+            if dxi == UNREACHABLE {
+                continue;
+            }
+            for y in 0..n {
+                let djy = row_j[y];
+                if djy == UNREACHABLE {
+                    continue;
+                }
+                let via = dxi as u64 + 1 + djy as u64;
+                let cur = &mut self.d[x * n + y];
+                if via < *cur as u64 {
+                    *cur = via as u32;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::GridDims;
+    use crate::graph::Shortcut;
+
+    #[test]
+    fn bfs_matches_manhattan_on_pure_mesh() {
+        let dims = GridDims::new(6, 5);
+        let g = GridGraph::mesh(dims);
+        let d = g.distances();
+        for a in 0..dims.nodes() {
+            for b in 0..dims.nodes() {
+                assert_eq!(d.get(a, b), dims.manhattan(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_apply_matches_full_recompute() {
+        let dims = GridDims::new(8, 8);
+        let mut g = GridGraph::mesh(dims);
+        let mut d = g.distances();
+        for &(i, j) in &[(0usize, 63usize), (7, 56), (20, 43), (5, 58)] {
+            g.add_shortcut(Shortcut::new(i, j));
+            d.apply_edge(i, j);
+            assert_eq!(d, g.distances(), "after adding ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn improvement_matches_recomputed_cost_delta() {
+        let dims = GridDims::new(7, 7);
+        let g = GridGraph::mesh(dims);
+        let d = g.distances();
+        let n = dims.nodes();
+        let weights = vec![1.0; n * n];
+        let before = GridGraph::total_cost(&d, &weights);
+        for &(i, j) in &[(0usize, 48usize), (6, 42), (10, 38)] {
+            let predicted = d.improvement_if_added(i, j, &weights);
+            let mut g2 = g.clone();
+            g2.add_shortcut(Shortcut::new(i, j));
+            let after = GridGraph::total_cost(&g2.distances(), &weights);
+            assert!(
+                (before - after - predicted).abs() < 1e-6,
+                "predicted {predicted}, actual {}",
+                before - after
+            );
+        }
+    }
+
+    #[test]
+    fn diameter_of_mesh() {
+        let d = GridGraph::mesh(GridDims::new(10, 10)).distances();
+        assert_eq!(d.diameter(), 18);
+    }
+
+    #[test]
+    fn total_is_symmetric_sum() {
+        let d = GridGraph::mesh(GridDims::new(3, 3)).distances();
+        // 3x3 mesh: known APSP sum.
+        let mut expected = 0u64;
+        let dims = GridDims::new(3, 3);
+        for a in 0..9 {
+            for b in 0..9 {
+                expected += dims.manhattan(a, b) as u64;
+            }
+        }
+        assert_eq!(d.total(), expected);
+    }
+}

@@ -1,0 +1,210 @@
+//! Grid geometry: coordinates and mesh dimensions.
+
+use std::fmt;
+
+/// Dimensions of a rectangular router grid.
+///
+/// The paper's baseline is a 10×10 mesh of 100 routers (§3.1).
+///
+/// # Example
+///
+/// ```
+/// use rfnoc_topology::GridDims;
+/// let dims = GridDims::new(10, 10);
+/// assert_eq!(dims.nodes(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridDims {
+    width: usize,
+    height: usize,
+}
+
+impl GridDims {
+    /// Creates grid dimensions of `width` columns by `height` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
+        Self { width, height }
+    }
+
+    /// The paper's baseline 10×10 grid.
+    pub fn paper_baseline() -> Self {
+        Self::new(10, 10)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of routers in the grid.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Converts a coordinate to its linear node index (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` lies outside the grid.
+    pub fn index_of(&self, coord: Coord) -> usize {
+        assert!(self.contains(coord), "coordinate {coord} outside {self:?}");
+        coord.y as usize * self.width + coord.x as usize
+    }
+
+    /// Converts a linear node index back to its coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.nodes()`.
+    pub fn coord_of(&self, index: usize) -> Coord {
+        assert!(index < self.nodes(), "node index {index} out of range");
+        Coord::new((index % self.width) as u16, (index / self.width) as u16)
+    }
+
+    /// Whether `coord` lies inside the grid.
+    pub fn contains(&self, coord: Coord) -> bool {
+        (coord.x as usize) < self.width && (coord.y as usize) < self.height
+    }
+
+    /// Whether the node index denotes one of the four corner routers.
+    ///
+    /// The paper attaches memory interfaces to the corners and forbids
+    /// shortcuts from starting or ending there (§3.2.1).
+    pub fn is_corner(&self, index: usize) -> bool {
+        let c = self.coord_of(index);
+        let last_x = (self.width - 1) as u16;
+        let last_y = (self.height - 1) as u16;
+        (c.x == 0 || c.x == last_x) && (c.y == 0 || c.y == last_y)
+    }
+
+    /// Iterator over all coordinates in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        let w = self.width;
+        (0..self.nodes()).map(move |i| Coord::new((i % w) as u16, (i / w) as u16))
+    }
+
+    /// Manhattan distance between two node indices.
+    pub fn manhattan(&self, a: usize, b: usize) -> u32 {
+        self.coord_of(a).manhattan(self.coord_of(b))
+    }
+}
+
+impl Default for GridDims {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl fmt::Display for GridDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// A router coordinate on the grid: `x` is the column, `y` the row.
+///
+/// # Example
+///
+/// ```
+/// use rfnoc_topology::Coord;
+/// let a = Coord::new(0, 0);
+/// let b = Coord::new(7, 0);
+/// assert_eq!(a.manhattan(b), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Coord {
+    /// Column index.
+    pub x: u16,
+    /// Row index.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate at column `x`, row `y`.
+    pub fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    pub fn manhattan(&self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(u16, u16)> for Coord {
+    fn from((x, y): (u16, u16)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let dims = GridDims::new(10, 10);
+        for i in 0..dims.nodes() {
+            assert_eq!(dims.index_of(dims.coord_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn corners_identified() {
+        let dims = GridDims::new(10, 10);
+        let corners: Vec<usize> = (0..dims.nodes()).filter(|&i| dims.is_corner(i)).collect();
+        assert_eq!(corners, vec![0, 9, 90, 99]);
+    }
+
+    #[test]
+    fn manhattan_symmetric() {
+        let dims = GridDims::new(10, 10);
+        for a in 0..dims.nodes() {
+            for b in 0..dims.nodes() {
+                assert_eq!(dims.manhattan(a, b), dims.manhattan(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GridDims::new(10, 4).to_string(), "10x4");
+        assert_eq!(Coord::new(7, 0).to_string(), "(7,0)");
+    }
+
+    #[test]
+    fn non_square_grid() {
+        let dims = GridDims::new(3, 5);
+        assert_eq!(dims.nodes(), 15);
+        assert_eq!(dims.coord_of(14), Coord::new(2, 4));
+        assert!(dims.is_corner(12));
+        assert!(!dims.is_corner(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_of_out_of_range_panics() {
+        GridDims::new(2, 2).coord_of(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        GridDims::new(0, 3);
+    }
+}

@@ -1,0 +1,514 @@
+//! Shortcut-selection heuristics (paper Figure 3 and §3.2.1–§3.2.2).
+//!
+//! All heuristics add directed unit-cost edges to a [`GridGraph`] subject to
+//! [`SelectionConstraints`]:
+//!
+//! * [`select_exhaustive_greedy`] — Figure 3a: for every candidate edge,
+//!   build the permutation graph `G' = G + (i,j)` and keep the candidate with
+//!   the best total-cost improvement (naively `O(B·V⁵)`; here `O(B·V⁴)` via
+//!   the incremental evaluation of
+//!   [`DistanceMatrix::improvement_if_added`]).
+//! * [`select_max_cost`] — Figure 3b: repeatedly connect the pair with the
+//!   maximum current cost `w(i,j)·d(i,j)` (`O(B·V³)`), the variant the paper
+//!   adopts ("we have tried both heuristics and found the resulting set of
+//!   shortcuts to perform comparably well").
+//! * [`select_application_specific`] — §3.2.2: the region-based variant that
+//!   alternates router-pair placement with region-pair placement over 3×3
+//!   sub-meshes, allowing multiple shortcuts to serve one hotspot.
+
+use crate::dist::DistanceMatrix;
+use crate::graph::{GridGraph, NodeId, Shortcut};
+use crate::regions::{best_region_pair, Region};
+use crate::weights::PairWeights;
+
+/// Constraints on shortcut placement.
+///
+/// The paper restricts routers to at most 6 ports — hence at most one inbound
+/// and one outbound shortcut per router — and forbids shortcuts at the four
+/// corner (memory-interface) routers (§3.2.1). Only *RF-enabled* routers may
+/// source or sink shortcuts (§3.2, §5.1.1).
+#[derive(Debug, Clone)]
+pub struct SelectionConstraints {
+    /// Number of shortcuts to select (the paper's budget `B = 16`).
+    pub budget: usize,
+    /// Routers eligible to source or sink a shortcut (RF-enabled, non-corner).
+    pub eligible: Vec<bool>,
+    /// Maximum outbound shortcuts per router (paper: 1).
+    pub max_out_per_node: usize,
+    /// Maximum inbound shortcuts per router (paper: 1).
+    pub max_in_per_node: usize,
+}
+
+impl SelectionConstraints {
+    /// Constraints allowing every router, with the paper's per-router port
+    /// caps (one in, one out).
+    pub fn allowing_all(nodes: usize, budget: usize) -> Self {
+        Self {
+            budget,
+            eligible: vec![true; nodes],
+            max_out_per_node: 1,
+            max_in_per_node: 1,
+        }
+    }
+
+    /// Constraints allowing exactly the routers in `enabled`, with the
+    /// paper's per-router port caps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any enabled index is `>= nodes`.
+    pub fn for_enabled(nodes: usize, budget: usize, enabled: &[NodeId]) -> Self {
+        let mut eligible = vec![false; nodes];
+        for &e in enabled {
+            assert!(e < nodes, "enabled router {e} out of range");
+            eligible[e] = true;
+        }
+        Self {
+            budget,
+            eligible,
+            max_out_per_node: 1,
+            max_in_per_node: 1,
+        }
+    }
+
+    /// Marks the four corner routers ineligible (memory interfaces, §3.2.1).
+    #[must_use]
+    pub fn excluding_corners(mut self, graph: &GridGraph) -> Self {
+        for i in 0..graph.node_count() {
+            if graph.dims().is_corner(i) {
+                self.eligible[i] = false;
+            }
+        }
+        self
+    }
+
+    fn validate(&self, nodes: usize) {
+        assert_eq!(self.eligible.len(), nodes, "eligibility vector must cover all nodes");
+        assert!(self.max_out_per_node >= 1 && self.max_in_per_node >= 1);
+    }
+}
+
+/// Bookkeeping of per-node shortcut port usage during selection.
+#[derive(Debug, Clone)]
+struct PortUsage {
+    out_used: Vec<usize>,
+    in_used: Vec<usize>,
+}
+
+impl PortUsage {
+    fn new(nodes: usize) -> Self {
+        Self { out_used: vec![0; nodes], in_used: vec![0; nodes] }
+    }
+
+    fn can_place(&self, c: &SelectionConstraints, i: NodeId, j: NodeId) -> bool {
+        i != j
+            && c.eligible[i]
+            && c.eligible[j]
+            && self.out_used[i] < c.max_out_per_node
+            && self.in_used[j] < c.max_in_per_node
+    }
+
+    fn place(&mut self, i: NodeId, j: NodeId) {
+        self.out_used[i] += 1;
+        self.in_used[j] += 1;
+    }
+}
+
+/// Figure 3a: exhaustive greedy over permutation graphs.
+///
+/// Each round evaluates every feasible candidate edge `(i,j)` by the total
+/// weighted-cost improvement it would give, adds the best strictly-improving
+/// candidate, and repeats until the budget is exhausted or no candidate
+/// improves the objective.
+///
+/// # Panics
+///
+/// Panics if the weights or constraints do not match the graph's node count.
+pub fn select_exhaustive_greedy(
+    graph: &GridGraph,
+    weights: &PairWeights,
+    constraints: &SelectionConstraints,
+) -> Vec<Shortcut> {
+    let n = graph.node_count();
+    constraints.validate(n);
+    assert_eq!(weights.node_count(), n, "weights node count mismatch");
+    let mut g = graph.clone();
+    let mut dist = g.distances();
+    let mut usage = PortUsage::new(n);
+    let mut selected = Vec::with_capacity(constraints.budget);
+    for _ in 0..constraints.budget {
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        for i in 0..n {
+            if !constraints.eligible[i] || usage.out_used[i] >= constraints.max_out_per_node {
+                continue;
+            }
+            for j in 0..n {
+                if !usage.can_place(constraints, i, j) || dist.get(i, j) <= 1 {
+                    continue;
+                }
+                let gain = dist.improvement_if_added(i, j, weights.as_slice());
+                let better = match best {
+                    None => gain > 0.0,
+                    Some((bg, bi, bj)) => {
+                        gain > bg + 1e-9
+                            || ((gain - bg).abs() <= 1e-9 && (i, j) < (bi, bj))
+                    }
+                };
+                if better {
+                    best = Some((gain, i, j));
+                }
+            }
+        }
+        let Some((_, i, j)) = best else { break };
+        g.add_shortcut(Shortcut::new(i, j));
+        dist.apply_edge(i, j);
+        usage.place(i, j);
+        selected.push(Shortcut::new(i, j));
+    }
+    selected
+}
+
+/// Figure 3b: max-cost greedy.
+///
+/// Each round connects the feasible pair `(i,j)` with the maximum current
+/// cost `w(i,j)·d(i,j)` — for uniform weights this reduces the graph
+/// diameter; for frequency weights it accelerates the hottest distant pairs.
+/// Distances are recomputed (incrementally) after each addition.
+///
+/// # Panics
+///
+/// Panics if the weights or constraints do not match the graph's node count.
+pub fn select_max_cost(
+    graph: &GridGraph,
+    weights: &PairWeights,
+    constraints: &SelectionConstraints,
+) -> Vec<Shortcut> {
+    let n = graph.node_count();
+    constraints.validate(n);
+    assert_eq!(weights.node_count(), n, "weights node count mismatch");
+    let mut dist = graph.distances();
+    let mut usage = PortUsage::new(n);
+    let mut selected = Vec::with_capacity(constraints.budget);
+    for _ in 0..constraints.budget {
+        let Some((i, j)) = max_cost_pair(
+            &dist,
+            weights,
+            constraints,
+            &usage,
+            None,
+            None,
+            PairScore::WeightedDistance,
+        ) else {
+            break;
+        };
+        dist.apply_edge(i, j);
+        usage.place(i, j);
+        selected.push(Shortcut::new(i, j));
+    }
+    selected
+}
+
+/// How candidate pairs are scored by [`max_cost_pair`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairScore {
+    /// `w(i,j) · d(i,j)` — requires positive weight.
+    WeightedDistance,
+    /// Plain hop distance `d(i,j)` — the uniform fallback.
+    Distance,
+}
+
+/// Finds the feasible pair maximising the chosen score, optionally with the
+/// source restricted to region `src_region` and the destination to
+/// `dst_region`. Ties break toward the lexicographically smallest pair.
+fn max_cost_pair(
+    dist: &DistanceMatrix,
+    weights: &PairWeights,
+    constraints: &SelectionConstraints,
+    usage: &PortUsage,
+    src_region: Option<&Region>,
+    dst_region: Option<&Region>,
+    score: PairScore,
+) -> Option<(NodeId, NodeId)> {
+    let n = dist.node_count();
+    let mut best: Option<(f64, NodeId, NodeId)> = None;
+    for i in 0..n {
+        if let Some(r) = src_region {
+            if !r.contains_node(i) {
+                continue;
+            }
+        }
+        if !constraints.eligible[i] || usage.out_used[i] >= constraints.max_out_per_node {
+            continue;
+        }
+        for j in 0..n {
+            if let Some(r) = dst_region {
+                if !r.contains_node(j) {
+                    continue;
+                }
+            }
+            if !usage.can_place(constraints, i, j) || dist.get(i, j) <= 1 {
+                continue;
+            }
+            let cost = match score {
+                PairScore::WeightedDistance => weights.get(i, j) * dist.get(i, j) as f64,
+                PairScore::Distance => dist.get(i, j) as f64,
+            };
+            if cost <= 0.0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bc, bi, bj)) => {
+                    cost > bc + 1e-9 || ((cost - bc).abs() <= 1e-9 && (i, j) < (bi, bj))
+                }
+            };
+            if better {
+                best = Some((cost, i, j));
+            }
+        }
+    }
+    best.map(|(_, i, j)| (i, j))
+}
+
+/// §3.2.2: application-specific selection with region-to-region placement.
+///
+/// Alternates between (a) placing the max-`F·W` router-pair shortcut and
+/// (b) picking the pair of non-overlapping 3×3 regions `(I,J)` maximising
+/// `C_Region(I,J) = Σ_{x∈I, y∈J} F(x,y)·W(x,y)` and placing a shortcut
+/// `(i,j)` with `i∈I`, `j∈J`, `i ∉ UsedSrcs`, `j ∉ UsedDests`. This lets
+/// several shortcuts crowd around a communication hotspot even though each
+/// router accepts only one inbound and one outbound shortcut.
+///
+/// # Panics
+///
+/// Panics if the weights or constraints do not match the graph's node count.
+pub fn select_application_specific(
+    graph: &GridGraph,
+    weights: &PairWeights,
+    constraints: &SelectionConstraints,
+) -> Vec<Shortcut> {
+    let n = graph.node_count();
+    constraints.validate(n);
+    assert_eq!(weights.node_count(), n, "weights node count mismatch");
+    let dims = graph.dims();
+    let mut dist = graph.distances();
+    let mut usage = PortUsage::new(n);
+    let mut selected = Vec::with_capacity(constraints.budget);
+    let mut region_turn = false;
+    while selected.len() < constraints.budget {
+        let region_pick = || {
+            let (region_i, region_j) = best_region_pair(dims, &dist, weights)?;
+            // Within the hottest region pair, prefer the hottest remaining
+            // router pair; if the hot routers' ports are already used, still
+            // place a shortcut between the regions (the distance fallback) —
+            // this is what lets shortcuts crowd around a hotspot (§3.2.2).
+            max_cost_pair(
+                &dist,
+                weights,
+                constraints,
+                &usage,
+                Some(&region_i),
+                Some(&region_j),
+                PairScore::WeightedDistance,
+            )
+            .or_else(|| {
+                max_cost_pair(
+                    &dist,
+                    weights,
+                    constraints,
+                    &usage,
+                    Some(&region_i),
+                    Some(&region_j),
+                    PairScore::Distance,
+                )
+            })
+        };
+        let pair_pick = || {
+            max_cost_pair(
+                &dist,
+                weights,
+                constraints,
+                &usage,
+                None,
+                None,
+                PairScore::WeightedDistance,
+            )
+        };
+        let pick = if region_turn {
+            region_pick().or_else(pair_pick)
+        } else {
+            pair_pick().or_else(region_pick)
+        };
+        let Some((i, j)) = pick else { break };
+        dist.apply_edge(i, j);
+        usage.place(i, j);
+        selected.push(Shortcut::new(i, j));
+        region_turn = !region_turn;
+    }
+    selected
+}
+
+/// Verifies that a shortcut set satisfies `constraints` against `graph`.
+///
+/// Returns `Err` with a human-readable reason on the first violation. Useful
+/// as a post-condition check and in property tests.
+pub fn check_constraints(
+    graph: &GridGraph,
+    shortcuts: &[Shortcut],
+    constraints: &SelectionConstraints,
+) -> Result<(), String> {
+    let n = graph.node_count();
+    constraints.validate(n);
+    if shortcuts.len() > constraints.budget {
+        return Err(format!(
+            "{} shortcuts exceed budget {}",
+            shortcuts.len(),
+            constraints.budget
+        ));
+    }
+    let mut usage = PortUsage::new(n);
+    for s in shortcuts {
+        if s.src >= n || s.dst >= n {
+            return Err(format!("shortcut {s} endpoint out of range"));
+        }
+        if !usage.can_place(constraints, s.src, s.dst) {
+            return Err(format!("shortcut {s} violates eligibility or port caps"));
+        }
+        usage.place(s.src, s.dst);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::GridDims;
+
+    fn mesh(n: usize) -> GridGraph {
+        GridGraph::mesh(GridDims::new(n, n))
+    }
+
+    #[test]
+    fn max_cost_respects_budget_and_ports() {
+        let g = mesh(10);
+        let w = PairWeights::uniform(100);
+        let c = SelectionConstraints::allowing_all(100, 16).excluding_corners(&g);
+        let s = select_max_cost(&g, &w, &c);
+        assert_eq!(s.len(), 16);
+        check_constraints(&g, &s, &c).unwrap();
+    }
+
+    #[test]
+    fn max_cost_first_pick_is_diameter_pair() {
+        let g = mesh(10);
+        let w = PairWeights::uniform(100);
+        let c = SelectionConstraints::allowing_all(100, 1).excluding_corners(&g);
+        let s = select_max_cost(&g, &w, &c);
+        assert_eq!(s.len(), 1);
+        // With the four corners excluded the farthest eligible pair is at
+        // distance 16 (corner-to-corner pairs at 18 and corner-adjacent
+        // pairs at 17 all involve a corner).
+        let d = g.distances();
+        assert_eq!(d.get(s[0].src, s[0].dst), 16);
+    }
+
+    #[test]
+    fn exhaustive_greedy_improves_at_least_as_much_per_edge() {
+        let g = mesh(6);
+        let n = g.node_count();
+        let w = PairWeights::uniform(n);
+        let c = SelectionConstraints::allowing_all(n, 4);
+        let ex = select_exhaustive_greedy(&g, &w, &c);
+        let mc = select_max_cost(&g, &w, &c);
+        assert_eq!(ex.len(), 4);
+        assert_eq!(mc.len(), 4);
+        let cost = |set: &[Shortcut]| {
+            let g2 = GridGraph::with_shortcuts(g.dims(), set);
+            GridGraph::total_cost(&g2.distances(), w.as_slice())
+        };
+        // Both are greedy, so neither strictly dominates over multiple
+        // steps; the paper found them "comparably well", which we bound at
+        // a few percent.
+        assert!(cost(&ex) <= cost(&mc) * 1.05, "{} vs {}", cost(&ex), cost(&mc));
+    }
+
+    #[test]
+    fn shortcuts_reduce_total_cost() {
+        let g = mesh(8);
+        let n = g.node_count();
+        let w = PairWeights::uniform(n);
+        let c = SelectionConstraints::allowing_all(n, 8);
+        let before = GridGraph::total_cost(&g.distances(), w.as_slice());
+        for select in [select_max_cost, select_exhaustive_greedy, select_application_specific] {
+            let s = select(&g, &w, &c);
+            let g2 = GridGraph::with_shortcuts(g.dims(), &s);
+            let after = GridGraph::total_cost(&g2.distances(), w.as_slice());
+            assert!(after < before, "selection must reduce the objective");
+        }
+    }
+
+    #[test]
+    fn application_specific_clusters_on_hotspot() {
+        // One hotspot at node 70 = (0,7) on a 10x10 grid; all traffic goes
+        // to/from it from distant routers.
+        let g = mesh(10);
+        let n = g.node_count();
+        let hot = 70;
+        let mut w = PairWeights::zero(n);
+        for other in [9, 19, 29, 8, 18, 28, 39, 49, 59] {
+            w.add(other, hot, 100.0);
+            w.add(hot, other, 100.0);
+        }
+        let c = SelectionConstraints::allowing_all(n, 6).excluding_corners(&g);
+        let s = select_application_specific(&g, &w, &c);
+        assert_eq!(s.len(), 6);
+        let dims = g.dims();
+        // The hot router itself accepts only one inbound and one outbound
+        // shortcut, so region-based selection must crowd further shortcuts
+        // at routers near the hotspot (within its 3×3 region, i.e. ≤4 hops).
+        let near_hot = s
+            .iter()
+            .filter(|sc| dims.manhattan(sc.src, hot).min(dims.manhattan(sc.dst, hot)) <= 4)
+            .count();
+        assert!(near_hot >= 3, "expected clustering near hotspot, got {s:?}");
+    }
+
+    #[test]
+    fn eligibility_is_respected() {
+        let g = mesh(10);
+        let n = g.node_count();
+        let w = PairWeights::uniform(n);
+        let enabled: Vec<usize> = (0..n).filter(|i| i % 2 == 0).collect();
+        let c = SelectionConstraints::for_enabled(n, 16, &enabled).excluding_corners(&g);
+        for select in [select_max_cost, select_application_specific] {
+            let s = select(&g, &w, &c);
+            for sc in &s {
+                assert!(sc.src % 2 == 0 && sc.dst % 2 == 0);
+                assert!(!g.dims().is_corner(sc.src) && !g.dims().is_corner(sc.dst));
+            }
+            check_constraints(&g, &s, &c).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_weights_select_nothing() {
+        let g = mesh(5);
+        let w = PairWeights::zero(25);
+        let c = SelectionConstraints::allowing_all(25, 4);
+        assert!(select_max_cost(&g, &w, &c).is_empty());
+        assert!(select_exhaustive_greedy(&g, &w, &c).is_empty());
+    }
+
+    #[test]
+    fn check_constraints_detects_violations() {
+        let g = mesh(4);
+        let c = SelectionConstraints::allowing_all(16, 2);
+        // duplicate source exceeds max_out_per_node = 1
+        let bad = vec![Shortcut::new(0, 15), Shortcut::new(0, 12)];
+        assert!(check_constraints(&g, &bad, &c).is_err());
+        let over = vec![Shortcut::new(0, 15), Shortcut::new(1, 12), Shortcut::new(2, 13)];
+        assert!(check_constraints(&g, &over, &c).is_err());
+        let ok = vec![Shortcut::new(0, 15), Shortcut::new(1, 12)];
+        assert!(check_constraints(&g, &ok, &c).is_ok());
+    }
+}

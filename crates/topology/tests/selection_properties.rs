@@ -1,0 +1,137 @@
+//! Property-based tests for graph algorithms and shortcut selection.
+
+use proptest::prelude::*;
+use rfnoc_topology::routing::RoutingTables;
+use rfnoc_topology::select::{
+    check_constraints, select_application_specific, select_exhaustive_greedy, select_max_cost,
+    SelectionConstraints,
+};
+use rfnoc_topology::{GridDims, GridGraph, PairWeights, Shortcut};
+
+fn objective(dims: GridDims, set: &[Shortcut], weights: &PairWeights) -> f64 {
+    let g = GridGraph::with_shortcuts(dims, set);
+    GridGraph::total_cost(&g.distances(), weights.as_slice())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For a single edge the exhaustive greedy picks the true optimum, so
+    /// it can never lose to max-cost at budget 1. Over multiple steps both
+    /// are greedy (and can each win — the paper found them "comparably
+    /// well"), so we only require parity within a few percent.
+    #[test]
+    fn exhaustive_competitive_with_max_cost(side in 4usize..7, budget in 1usize..5) {
+        let dims = GridDims::new(side, side);
+        let g = GridGraph::mesh(dims);
+        let n = dims.nodes();
+        let w = PairWeights::uniform(n);
+        let c = SelectionConstraints::allowing_all(n, budget);
+        let ex = select_exhaustive_greedy(&g, &w, &c);
+        let mc = select_max_cost(&g, &w, &c);
+        prop_assert!(check_constraints(&g, &ex, &c).is_ok());
+        prop_assert!(check_constraints(&g, &mc, &c).is_ok());
+        let (obj_ex, obj_mc) = (objective(dims, &ex, &w), objective(dims, &mc, &w));
+        if budget == 1 {
+            prop_assert!(obj_ex <= obj_mc + 1e-6, "budget 1: {obj_ex} vs {obj_mc}");
+        } else {
+            prop_assert!(
+                obj_ex <= obj_mc * 1.05,
+                "comparably well violated: exhaustive {obj_ex} vs max-cost {obj_mc}"
+            );
+        }
+    }
+
+    /// Every heuristic only ever improves (or preserves) the objective as
+    /// its budget grows.
+    #[test]
+    fn objective_monotone_in_budget(budget in 1usize..8) {
+        let dims = GridDims::new(6, 6);
+        let g = GridGraph::mesh(dims);
+        let w = PairWeights::uniform(36);
+        let smaller = select_max_cost(
+            &g, &w, &SelectionConstraints::allowing_all(36, budget));
+        let larger = select_max_cost(
+            &g, &w, &SelectionConstraints::allowing_all(36, budget + 1));
+        prop_assert!(
+            objective(dims, &larger, &w) <= objective(dims, &smaller, &w) + 1e-6
+        );
+    }
+
+    /// Application-specific selection respects constraints for arbitrary
+    /// sparse traffic profiles.
+    #[test]
+    fn app_specific_respects_constraints(
+        pairs in proptest::collection::vec((0usize..64, 0usize..64, 1.0f64..100.0), 1..30),
+        budget in 1usize..10,
+    ) {
+        let dims = GridDims::new(8, 8);
+        let g = GridGraph::mesh(dims);
+        let mut w = PairWeights::zero(64);
+        for (a, b, f) in pairs {
+            if a != b {
+                w.add(a, b, f);
+            }
+        }
+        let c = SelectionConstraints::allowing_all(64, budget).excluding_corners(&g);
+        let picked = select_application_specific(&g, &w, &c);
+        prop_assert!(check_constraints(&g, &picked, &c).is_ok());
+    }
+
+    /// Routing tables over any legal shortcut set deliver every pair in
+    /// exactly the shortest-path hop count, and routes never revisit a
+    /// node.
+    #[test]
+    fn routes_are_simple_paths(
+        edges in proptest::collection::vec((0usize..25, 0usize..25), 0..4),
+    ) {
+        let dims = GridDims::new(5, 5);
+        let mut g = GridGraph::mesh(dims);
+        let mut used_out = [false; 25];
+        let mut used_in = [false; 25];
+        for (a, b) in edges {
+            if a != b && !used_out[a] && !used_in[b] {
+                g.add_shortcut(Shortcut::new(a, b));
+                used_out[a] = true;
+                used_in[b] = true;
+            }
+        }
+        let tables = RoutingTables::shortest_path(&g);
+        let dist = g.distances();
+        for src in 0..25 {
+            for dst in 0..25 {
+                let route = tables.route(src, dst);
+                prop_assert_eq!(route.len() as u32 - 1, dist.get(src, dst));
+                let mut seen = std::collections::HashSet::new();
+                for &node in &route {
+                    prop_assert!(seen.insert(node), "route revisits node {}", node);
+                }
+            }
+        }
+    }
+
+    /// `improvement_if_added` is exact for arbitrary weighted graphs.
+    #[test]
+    fn improvement_prediction_is_exact(
+        i in 0usize..36,
+        j in 0usize..36,
+        pairs in proptest::collection::vec((0usize..36, 0usize..36, 0.5f64..10.0), 0..15),
+    ) {
+        prop_assume!(i != j);
+        let dims = GridDims::new(6, 6);
+        let g = GridGraph::mesh(dims);
+        let mut w = PairWeights::zero(36);
+        for (a, b, f) in pairs {
+            if a != b {
+                w.add(a, b, f);
+            }
+        }
+        let d = g.distances();
+        let predicted = d.improvement_if_added(i, j, w.as_slice());
+        let before = GridGraph::total_cost(&d, w.as_slice());
+        let mut g2 = g.clone();
+        g2.add_shortcut(Shortcut::new(i, j));
+        let after = GridGraph::total_cost(&g2.distances(), w.as_slice());
+        prop_assert!((before - after - predicted).abs() < 1e-6);
+    }
+}

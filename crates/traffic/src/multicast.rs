@@ -1,0 +1,235 @@
+//! Multicast traffic augmentation (paper §5.2).
+//!
+//! "To gauge the impact of multicast, we augment our probabilistic traces
+//! with special multicast messages that originate at a cache in our
+//! topology and are sent to some number of cores. ... we simulate multicast
+//! destination reuse by ensuring that some percentage of these messages are
+//! identical source-to-destinations pairs."
+//!
+//! In the 20% case, all multicast messages use `20% · M` distinct
+//! source-to-destination pairs (high locality); in the 50% case, `50% · M`
+//! (moderate locality).
+
+use crate::placement::Placement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfnoc_sim::{DestSet, MessageSpec, Workload};
+use rfnoc_topology::NodeId;
+
+/// Configuration of the multicast generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastConfig {
+    /// Mean multicast messages per cache bank per cycle.
+    pub rate_per_cache: f64,
+    /// Fraction of distinct source-to-destination pairs (0.2 = high reuse,
+    /// 0.5 = moderate reuse).
+    pub locality: f64,
+    /// Minimum destination-set size (cores).
+    pub min_dests: usize,
+    /// Maximum destination-set size (cores).
+    pub max_dests: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MulticastConfig {
+    /// Defaults model coherence storms: invalidates/fills reach 8–24
+    /// sharer cores, and each cache bank multicasts about once per
+    /// thousand cycles.
+    fn default() -> Self {
+        Self { rate_per_cache: 0.001, locality: 0.2, min_dests: 8, max_dests: 24, seed: 99 }
+    }
+}
+
+/// Generates coherence multicasts (invalidates/fills) from cache banks to
+/// random sets of cores, with configurable destination-set reuse.
+#[derive(Debug, Clone)]
+pub struct MulticastTraffic {
+    placement: Placement,
+    config: MulticastConfig,
+    rng: StdRng,
+    /// Pool of distinct (source, destination set) pairs created so far.
+    pool: Vec<(NodeId, DestSet)>,
+    /// Multicast messages generated so far.
+    count: u64,
+}
+
+impl MulticastTraffic {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination-size range is empty or locality is not in
+    /// `(0, 1]`.
+    pub fn new(placement: Placement, config: MulticastConfig) -> Self {
+        assert!(config.min_dests >= 1 && config.min_dests <= config.max_dests);
+        assert!(config.locality > 0.0 && config.locality <= 1.0);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self { placement, config, rng, pool: Vec::new(), count: 0 }
+    }
+
+    /// Number of distinct pairs used so far.
+    pub fn distinct_pairs(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Multicast messages generated so far.
+    pub fn generated(&self) -> u64 {
+        self.count
+    }
+
+    fn fresh_pair(&mut self) -> (NodeId, DestSet) {
+        let caches = self.placement.caches();
+        let cores = self.placement.cores();
+        let src = caches[self.rng.gen_range(0..caches.len())];
+        let k = self.rng.gen_range(self.config.min_dests..=self.config.max_dests);
+        let mut set = DestSet::empty();
+        while (set.len() as usize) < k.min(cores.len()) {
+            set.insert(cores[self.rng.gen_range(0..cores.len())]);
+        }
+        (src, set)
+    }
+
+    fn next_multicast(&mut self) -> (NodeId, DestSet) {
+        self.count += 1;
+        let distinct_target =
+            ((self.count as f64 * self.config.locality).ceil() as usize).max(1);
+        if self.pool.len() < distinct_target {
+            let pair = self.fresh_pair();
+            self.pool.push(pair);
+            pair
+        } else {
+            self.pool[self.rng.gen_range(0..self.pool.len())]
+        }
+    }
+}
+
+impl Workload for MulticastTraffic {
+    fn messages_at(&mut self, _cycle: u64, out: &mut Vec<MessageSpec>) {
+        let caches = self.placement.caches().len();
+        let expected = self.config.rate_per_cache * caches as f64;
+        let mut budget = expected;
+        while budget > 0.0 {
+            let p = budget.min(1.0);
+            if p >= 1.0 || self.rng.gen_bool(p) {
+                let (src, set) = self.next_multicast();
+                out.push(MessageSpec::multicast(src, set));
+            }
+            budget -= 1.0;
+        }
+    }
+}
+
+/// Merges several workloads into one (e.g. a probabilistic trace plus its
+/// multicast augmentation).
+#[derive(Default)]
+pub struct CombinedWorkload {
+    parts: Vec<Box<dyn Workload>>,
+}
+
+impl std::fmt::Debug for CombinedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CombinedWorkload({} parts)", self.parts.len())
+    }
+}
+
+impl CombinedWorkload {
+    /// An empty combination.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a workload part.
+    #[must_use]
+    pub fn with(mut self, part: Box<dyn Workload>) -> Self {
+        self.parts.push(part);
+        self
+    }
+}
+
+impl Workload for CombinedWorkload {
+    fn messages_at(&mut self, cycle: u64, out: &mut Vec<MessageSpec>) {
+        for part in &mut self.parts {
+            part.messages_at(cycle, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfnoc_sim::Destination;
+
+    fn gen_multicasts(locality: f64, cycles: u64) -> (MulticastTraffic, Vec<MessageSpec>) {
+        let config = MulticastConfig {
+            rate_per_cache: 0.02,
+            locality,
+            ..MulticastConfig::default()
+        };
+        let mut w = MulticastTraffic::new(Placement::paper_10x10(), config);
+        let mut out = Vec::new();
+        for c in 0..cycles {
+            w.messages_at(c, &mut out);
+        }
+        (w, out)
+    }
+
+    #[test]
+    fn sources_are_caches_dests_are_cores() {
+        let p = Placement::paper_10x10();
+        let (_, msgs) = gen_multicasts(0.5, 300);
+        assert!(!msgs.is_empty());
+        for m in &msgs {
+            assert!(p.caches().contains(&m.src));
+            let Destination::Multicast(set) = m.dest else {
+                panic!("expected multicast")
+            };
+            for d in set.iter() {
+                assert!(p.cores().contains(&d), "dest {d} is not a core");
+            }
+        }
+    }
+
+    #[test]
+    fn locality_bounds_distinct_pairs() {
+        let (w20, msgs20) = gen_multicasts(0.2, 1_000);
+        let (w50, _) = gen_multicasts(0.5, 1_000);
+        assert!(msgs20.len() > 100);
+        let frac20 = w20.distinct_pairs() as f64 / w20.generated() as f64;
+        let frac50 = w50.distinct_pairs() as f64 / w50.generated() as f64;
+        assert!((frac20 - 0.2).abs() < 0.03, "20% case: {frac20:.3}");
+        assert!((frac50 - 0.5).abs() < 0.03, "50% case: {frac50:.3}");
+    }
+
+    #[test]
+    fn dest_set_sizes_in_range() {
+        let (_, msgs) = gen_multicasts(0.5, 300);
+        for m in &msgs {
+            let Destination::Multicast(set) = m.dest else { unreachable!() };
+            assert!((8..=24).contains(&(set.len() as usize)));
+        }
+    }
+
+    #[test]
+    fn combined_workload_merges() {
+        let p = Placement::paper_10x10();
+        let mc = MulticastTraffic::new(
+            p.clone(),
+            MulticastConfig { rate_per_cache: 0.05, ..Default::default() },
+        );
+        let uni = crate::patterns::ProbabilisticWorkload::new(
+            p,
+            crate::patterns::TraceKind::Uniform,
+            crate::patterns::TrafficConfig::default(),
+        );
+        let mut combined = CombinedWorkload::new().with(Box::new(uni)).with(Box::new(mc));
+        let mut out = Vec::new();
+        for c in 0..200 {
+            combined.messages_at(c, &mut out);
+        }
+        let unicasts = out.iter().filter(|m| matches!(m.dest, Destination::Unicast(_))).count();
+        let multicasts =
+            out.iter().filter(|m| matches!(m.dest, Destination::Multicast(_))).count();
+        assert!(unicasts > 0 && multicasts > 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Component placement on the mesh (paper §3.1, Figure 2).
+//!
+//! The baseline architecture maps 64 processor cores, 32 cache banks, and
+//! 4 memory ports onto the 100 routers of a 10×10 mesh: memory ports at
+//! the four corners, cache banks in four clusters of eight (one per
+//! quadrant, around the quadrant centre, so each cluster has a central
+//! bank to act as multicast transmitter), and cores on the remaining
+//! routers.
+
+use rfnoc_topology::{Coord, GridDims, NodeId};
+
+/// The kind of element attached to a router's local port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// A processor core.
+    Core,
+    /// A shared-cache bank.
+    Cache,
+    /// A memory controller port.
+    Memory,
+}
+
+/// The component-to-router mapping.
+///
+/// # Example
+///
+/// ```
+/// use rfnoc_traffic::Placement;
+/// let p = Placement::paper_10x10();
+/// assert_eq!(p.cores().len(), 64);
+/// assert_eq!(p.caches().len(), 32);
+/// assert_eq!(p.memories().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    dims: GridDims,
+    kind: Vec<ComponentKind>,
+    cores: Vec<NodeId>,
+    caches: Vec<NodeId>,
+    memories: Vec<NodeId>,
+    /// Cache-cluster id per router (only cache routers have one).
+    cluster_of: Vec<Option<usize>>,
+    /// Central cache bank of each cluster (the multicast transmitter).
+    cluster_centers: Vec<NodeId>,
+}
+
+impl Placement {
+    /// The paper's 10×10 placement: memory at the corners, four cache
+    /// clusters of eight banks around the quadrant centres, cores
+    /// elsewhere.
+    pub fn paper_10x10() -> Self {
+        Self::quadrant_clusters(GridDims::new(10, 10))
+    }
+
+    /// Builds a quadrant-cluster placement on any even-sided grid of at
+    /// least 6×6.
+    ///
+    /// Each quadrant hosts one cache cluster: the 3×3 block around the
+    /// quadrant centre minus its inner-most corner (8 banks), whose middle
+    /// bank is the cluster's central (multicast transmitter) bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 6×6 or has odd dimensions.
+    pub fn quadrant_clusters(dims: GridDims) -> Self {
+        assert!(
+            dims.width() >= 6 && dims.height() >= 6,
+            "grid too small for quadrant clusters"
+        );
+        assert!(
+            dims.width().is_multiple_of(2) && dims.height().is_multiple_of(2),
+            "quadrant placement requires even dimensions"
+        );
+        let n = dims.nodes();
+        let mut kind = vec![ComponentKind::Core; n];
+        let last_x = (dims.width() - 1) as u16;
+        let last_y = (dims.height() - 1) as u16;
+
+        // Memory ports at the four corners.
+        let memories: Vec<NodeId> = [
+            Coord::new(0, 0),
+            Coord::new(last_x, 0),
+            Coord::new(0, last_y),
+            Coord::new(last_x, last_y),
+        ]
+        .into_iter()
+        .map(|c| dims.index_of(c))
+        .collect();
+        for &m in &memories {
+            kind[m] = ComponentKind::Memory;
+        }
+
+        // Cache clusters: quadrant centres. Quadrant (qx, qy) spans
+        // x ∈ [qx·W/2, (qx+1)·W/2), with centre cell (cx, cy).
+        let half_w = dims.width() / 2;
+        let half_h = dims.height() / 2;
+        let mut caches = Vec::new();
+        let mut cluster_of = vec![None; n];
+        let mut cluster_centers = Vec::new();
+        for qy in 0..2u16 {
+            for qx in 0..2u16 {
+                let cluster = (qy * 2 + qx) as usize;
+                let cx = qx as usize * half_w + half_w / 2;
+                let cy = qy as usize * half_h + half_h / 2;
+                // 3×3 block around the centre, minus one cell to leave 8
+                // banks: normally the corner facing the chip centre, but if
+                // the block reaches a grid corner (small grids), that
+                // memory-port corner is the one dropped.
+                let towards_center_x = if qx == 0 { cx + 1 } else { cx - 1 };
+                let towards_center_y = if qy == 0 { cy + 1 } else { cy - 1 };
+                let block_has_grid_corner = (-1i32..=1).any(|dy| {
+                    (-1i32..=1).any(|dx| {
+                        let node = dims.index_of(Coord::new(
+                            (cx as i32 + dx) as u16,
+                            (cy as i32 + dy) as u16,
+                        ));
+                        dims.is_corner(node)
+                    })
+                });
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let x = (cx as i32 + dx) as usize;
+                        let y = (cy as i32 + dy) as usize;
+                        let node = dims.index_of(Coord::new(x as u16, y as u16));
+                        let skip = if block_has_grid_corner {
+                            dims.is_corner(node)
+                        } else {
+                            x == towards_center_x && y == towards_center_y
+                        };
+                        if skip {
+                            continue;
+                        }
+                        assert_eq!(kind[node], ComponentKind::Core, "cluster overlap");
+                        kind[node] = ComponentKind::Cache;
+                        cluster_of[node] = Some(cluster);
+                        caches.push(node);
+                    }
+                }
+                cluster_centers.push(dims.index_of(Coord::new(cx as u16, cy as u16)));
+            }
+        }
+
+        let cores: Vec<NodeId> =
+            (0..n).filter(|&i| kind[i] == ComponentKind::Core).collect();
+        Self { dims, kind, cores, caches, memories, cluster_of, cluster_centers }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The component kind at `router`.
+    pub fn kind(&self, router: NodeId) -> ComponentKind {
+        self.kind[router]
+    }
+
+    /// Routers hosting cores.
+    pub fn cores(&self) -> &[NodeId] {
+        &self.cores
+    }
+
+    /// Routers hosting cache banks.
+    pub fn caches(&self) -> &[NodeId] {
+        &self.caches
+    }
+
+    /// Routers hosting memory ports.
+    pub fn memories(&self) -> &[NodeId] {
+        &self.memories
+    }
+
+    /// Cache-cluster id of `router`, when it hosts a cache bank.
+    pub fn cluster_of(&self, router: NodeId) -> Option<usize> {
+        self.cluster_of[router]
+    }
+
+    /// Per-router cluster map (indexable by router id).
+    pub fn cluster_map(&self) -> &[Option<usize>] {
+        &self.cluster_of
+    }
+
+    /// Central cache bank of each cluster (multicast transmitters, §3.3).
+    pub fn cluster_centers(&self) -> &[NodeId] {
+        &self.cluster_centers
+    }
+
+    /// All component routers (every router hosts something).
+    pub fn all(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.dims.nodes()
+    }
+
+    /// Quadrant group (0–3) of a router, ordered for the dataflow patterns:
+    /// top-left → top-right → bottom-right → bottom-left.
+    pub fn dataflow_group(&self, router: NodeId) -> usize {
+        let c = self.dims.coord_of(router);
+        let right = c.x as usize >= self.dims.width() / 2;
+        let bottom = c.y as usize >= self.dims.height() / 2;
+        match (right, bottom) {
+            (false, false) => 0,
+            (true, false) => 1,
+            (true, true) => 2,
+            (false, true) => 3,
+        }
+    }
+
+    /// The `count` hotspot cache banks, chosen deterministically: one near
+    /// the paper's example hotspot at (7,0) first, then spread across the
+    /// other clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or exceeds the number of clusters.
+    pub fn hotspot_caches(&self, count: usize) -> Vec<NodeId> {
+        assert!(count >= 1 && count <= self.cluster_centers.len());
+        // Anchor points per hotspot count; the first matches the paper's
+        // 1Hotspot example (cache bank near (7,0)).
+        let w = (self.dims.width() - 1) as u16;
+        let h = (self.dims.height() - 1) as u16;
+        let anchors = [
+            Coord::new(w - 2, 0),
+            Coord::new(1, h),
+            Coord::new(w, h - 2),
+            Coord::new(0, 1),
+        ];
+        let mut picked: Vec<NodeId> = Vec::with_capacity(count);
+        for anchor in anchors.iter().take(count) {
+            let best = self
+                .caches
+                .iter()
+                .copied()
+                .filter(|c| !picked.contains(c))
+                .min_by_key(|&c| {
+                    (self.dims.coord_of(c).manhattan(*anchor), c)
+                })
+                .expect("cache list is non-empty");
+            picked.push(best);
+        }
+        picked
+    }
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Self::paper_10x10()
+    }
+}
+
+/// RF-enabled router placement: `count` routers "placed in a staggered
+/// fashion to minimize the distance any given component would need to
+/// travel to reach the RF-I" (§5.1.1).
+///
+/// * 50 on a 10×10 grid → the checkerboard of routers with even `x+y`.
+/// * 25 → routers with even `x` and even `y`.
+///
+/// Other counts take a deterministic prefix/extension of those patterns.
+///
+/// # Panics
+///
+/// Panics if `count` exceeds the number of routers.
+pub fn staggered_rf_routers(dims: GridDims, count: usize) -> Vec<NodeId> {
+    let n = dims.nodes();
+    assert!(count <= n, "cannot enable {count} of {n} routers");
+    // Order routers: checkerboard cells first (by a spread-friendly order),
+    // then double-even cells first within that.
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        let c = dims.coord_of(i);
+        let checker = (c.x + c.y) % 2; // 0 = on the 50-checkerboard
+        let double_even = if c.x.is_multiple_of(2) && c.y.is_multiple_of(2) { 0 } else { 1 };
+        (checker, double_even, c.y, c.x)
+    });
+    let mut picked: Vec<NodeId> = order.into_iter().take(count).collect();
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts() {
+        let p = Placement::paper_10x10();
+        assert_eq!(p.cores().len(), 64);
+        assert_eq!(p.caches().len(), 32);
+        assert_eq!(p.memories().len(), 4);
+        assert_eq!(p.cluster_centers().len(), 4);
+    }
+
+    #[test]
+    fn corners_are_memory() {
+        let p = Placement::paper_10x10();
+        for &m in p.memories() {
+            assert!(p.dims().is_corner(m));
+            assert_eq!(p.kind(m), ComponentKind::Memory);
+        }
+    }
+
+    #[test]
+    fn cluster_centers_are_caches() {
+        let p = Placement::paper_10x10();
+        for (i, &c) in p.cluster_centers().iter().enumerate() {
+            assert_eq!(p.kind(c), ComponentKind::Cache, "centre of cluster {i}");
+            assert_eq!(p.cluster_of(c), Some(i));
+        }
+    }
+
+    #[test]
+    fn clusters_have_eight_banks() {
+        let p = Placement::paper_10x10();
+        for cluster in 0..4 {
+            let count = p
+                .caches()
+                .iter()
+                .filter(|&&c| p.cluster_of(c) == Some(cluster))
+                .count();
+            assert_eq!(count, 8, "cluster {cluster}");
+        }
+    }
+
+    #[test]
+    fn dataflow_groups_partition_grid() {
+        let p = Placement::paper_10x10();
+        let mut counts = [0usize; 4];
+        for r in p.all() {
+            counts[p.dataflow_group(r)] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn hotspot_selection_near_paper_anchor() {
+        let p = Placement::paper_10x10();
+        let one = p.hotspot_caches(1);
+        assert_eq!(one.len(), 1);
+        // near (7,0): must be in the top-right cluster
+        assert_eq!(p.cluster_of(one[0]), Some(1));
+        let four = p.hotspot_caches(4);
+        assert_eq!(four.len(), 4);
+        let clusters: std::collections::HashSet<_> =
+            four.iter().map(|&c| p.cluster_of(c)).collect();
+        assert_eq!(clusters.len(), 4, "4 hotspots spread across clusters");
+    }
+
+    #[test]
+    fn staggered_50_is_checkerboard() {
+        let dims = GridDims::new(10, 10);
+        let rf = staggered_rf_routers(dims, 50);
+        assert_eq!(rf.len(), 50);
+        for &r in &rf {
+            let c = dims.coord_of(r);
+            assert_eq!((c.x + c.y) % 2, 0, "router {r} not on checkerboard");
+        }
+    }
+
+    #[test]
+    fn staggered_25_is_double_even() {
+        let dims = GridDims::new(10, 10);
+        let rf = staggered_rf_routers(dims, 25);
+        assert_eq!(rf.len(), 25);
+        for &r in &rf {
+            let c = dims.coord_of(r);
+            assert_eq!(c.x % 2, 0);
+            assert_eq!(c.y % 2, 0);
+        }
+    }
+
+    #[test]
+    fn every_router_has_a_component() {
+        let p = Placement::paper_10x10();
+        let total = p.cores().len() + p.caches().len() + p.memories().len();
+        assert_eq!(total, 100);
+    }
+}

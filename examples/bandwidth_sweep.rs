@@ -1,0 +1,62 @@
+//! Bandwidth-reduction sweep (the experiment behind Figure 8).
+//!
+//! Sweeps the conventional mesh link width over {16B, 8B, 4B} for the
+//! baseline, static-shortcut, and adaptive-shortcut architectures on one
+//! trace, printing absolute and normalised latency/power plus the power
+//! breakdown per component.
+//!
+//! ```sh
+//! cargo run --release --example bandwidth_sweep [trace]
+//! ```
+
+use rfnoc::{Architecture, Experiment, RunReport, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_traffic::TraceKind;
+
+fn run(arch: Architecture, width: LinkWidth, workload: &WorkloadSpec) -> RunReport {
+    Experiment::new(SystemConfig::new(arch, width), workload.clone()).run()
+}
+
+fn main() {
+    let trace = std::env::args()
+        .nth(1)
+        .map(|name| {
+            TraceKind::all()
+                .into_iter()
+                .find(|t| t.name().eq_ignore_ascii_case(&name))
+                .unwrap_or_else(|| panic!("unknown trace {name}"))
+        })
+        .unwrap_or(TraceKind::Uniform);
+    let workload = WorkloadSpec::Trace(trace);
+    println!("Bandwidth sweep on the {trace} trace\n");
+
+    let baseline16 = run(Architecture::Baseline, LinkWidth::B16, &workload);
+    println!(
+        "{:<40} {:>7} {:>9} {:>7} {:>7}",
+        "design", "lat", "power(W)", "lat_n", "pow_n"
+    );
+    for width in LinkWidth::all() {
+        for arch in [
+            Architecture::Baseline,
+            Architecture::StaticShortcuts,
+            Architecture::AdaptiveShortcuts { access_points: 50 },
+        ] {
+            let report = if arch == Architecture::Baseline && width == LinkWidth::B16 {
+                baseline16.clone()
+            } else {
+                run(arch.clone(), width, &workload)
+            };
+            let (lat_n, pow_n) = report.normalized_to(&baseline16);
+            println!(
+                "{:<40} {:>7.1} {:>9.3} {:>7.2} {:>7.2}{}",
+                format!("{} @{}", report.system, width),
+                report.avg_latency(),
+                report.total_power_w(),
+                lat_n,
+                pow_n,
+                if report.stats.saturated { "  [SATURATED]" } else { "" }
+            );
+            println!("    breakdown: {}", report.power);
+        }
+    }
+}

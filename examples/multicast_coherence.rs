@@ -1,0 +1,51 @@
+//! Multicast coherence acceleration (the experiment behind Figure 9).
+//!
+//! Compares four ways to deliver cache-to-cores coherence multicasts
+//! (invalidates/fills) on a probabilistic trace augmented with multicast
+//! messages at two destination-set reuse levels:
+//!
+//! * **Baseline** — each multicast expanded into per-destination unicasts;
+//! * **VCT** — Virtual Circuit Tree multicast in the conventional mesh;
+//! * **MC** — the RF-I broadcast channel (50 receivers, no shortcuts);
+//! * **MC+SC** — 15 adaptive shortcuts + 35 receivers on the broadcast band.
+//!
+//! ```sh
+//! cargo run --release --example multicast_coherence
+//! ```
+
+use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_traffic::TraceKind;
+
+fn main() {
+    for &locality in &[0.2, 0.5] {
+        println!(
+            "=== destination-set locality {}% (lower = more reuse) ===",
+            (locality * 100.0) as u32
+        );
+        let workload = WorkloadSpec::TraceWithMulticast {
+            base: TraceKind::Uniform,
+            locality,
+            rate_per_cache: 0.001,
+        };
+        let baseline = Experiment::new(
+            SystemConfig::new(Architecture::Baseline, LinkWidth::B16),
+            workload.clone(),
+        )
+        .run();
+        println!("  {baseline}");
+        let arch_points = [
+            Architecture::VctMulticast,
+            Architecture::RfMulticast { access_points: 50 },
+            Architecture::AdaptiveWithMulticast { access_points: 50, shortcut_budget: 15 },
+        ];
+        for arch in arch_points {
+            let report =
+                Experiment::new(SystemConfig::new(arch, LinkWidth::B16), workload.clone()).run();
+            let (lat, pow) = report.normalized_to(&baseline);
+            println!("  {report}");
+            println!("    normalized: {lat:.2}x latency, {pow:.2}x power");
+        }
+        println!();
+    }
+}

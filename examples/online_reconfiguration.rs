@@ -1,0 +1,93 @@
+//! Online reconfiguration: retuning the RF-I while traffic flows.
+//!
+//! Demonstrates the paper's §3.2 runtime path end to end, driving the
+//! simulator directly:
+//!
+//! 1. run a hotspot workload on adaptive shortcuts tuned for it,
+//! 2. profile a *different* workload with the network's own event
+//!    counters (§3.2.2's "event counters in our network"),
+//! 3. call [`rfnoc_sim::Network::reconfigure`] — the RF channels drain,
+//!    the transmitters/receivers retune, the routing tables rewrite over
+//!    99 cycles — all without dropping in-flight traffic,
+//! 4. keep running under the new workload and compare.
+//!
+//! ```sh
+//! cargo run --release --example online_reconfiguration
+//! ```
+
+use rfnoc::{adaptive_shortcuts, Architecture, Experiment, ProfileSource, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_sim::{Network, SimConfig, Workload};
+use rfnoc_traffic::{staggered_rf_routers, Placement, TraceKind, TrafficConfig};
+
+fn main() {
+    let placement = Placement::paper_10x10();
+    let traffic = TrafficConfig::default();
+    let phase_a = WorkloadSpec::Trace(TraceKind::Hotspot1);
+    let phase_b = WorkloadSpec::Trace(TraceKind::Hotspot4);
+
+    // Build the network tuned for phase A (hardware-counter profile).
+    let mut experiment = Experiment::new(
+        SystemConfig::new(
+            Architecture::AdaptiveShortcuts { access_points: 50 },
+            LinkWidth::B16,
+        ),
+        phase_a.clone(),
+    );
+    experiment.profile_source = ProfileSource::EventCounters;
+    let built = experiment.build();
+    println!("phase A shortcuts: {:?}", built.shortcuts.len());
+
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.warmup_cycles = 1_000;
+    cfg.measure_cycles = 40_000;
+    let mut spec = built.network.clone();
+    spec.config = cfg;
+    let mut network = Network::new(spec);
+
+    // Drive phase A manually for 20k cycles.
+    let mut workload_a = phase_a.instantiate(&placement, &traffic);
+    let mut buf = Vec::new();
+    while network.cycle() < 20_000 {
+        buf.clear();
+        workload_a.messages_at(network.cycle(), &mut buf);
+        for m in buf.drain(..) {
+            network.inject_message(m);
+        }
+        network.step();
+    }
+    println!("phase A done at cycle {}", network.cycle());
+
+    // Select the phase-B shortcut set and retune live.
+    let rf50 = staggered_rf_routers(placement.dims(), 50);
+    let profile_b = phase_b.profile(&placement, &traffic, 10_000);
+    let new_set = adaptive_shortcuts(&placement, &rf50, &profile_b, 16);
+    network.reconfigure(new_set);
+    println!("reconfiguration requested (drain → retune → 99-cycle table rewrite)");
+
+    // Phase B traffic, while the reconfiguration completes underneath.
+    let mut workload_b = phase_b.instantiate(&placement, &traffic);
+    while network.cycle() < 40_000 {
+        buf.clear();
+        workload_b.messages_at(network.cycle(), &mut buf);
+        for m in buf.drain(..) {
+            network.inject_message(m);
+        }
+        network.step();
+    }
+    let stats = network.run(&mut NoMore);
+    println!(
+        "completed {} reconfigurations; {} messages delivered, avg latency {:.1} cycles, avg hops {:.2}",
+        network.reconfigurations(),
+        stats.completed_messages,
+        stats.avg_message_latency(),
+        stats.avg_hops(),
+    );
+}
+
+/// A workload that has finished injecting.
+struct NoMore;
+
+impl Workload for NoMore {
+    fn messages_at(&mut self, _cycle: u64, _out: &mut Vec<rfnoc_sim::MessageSpec>) {}
+}

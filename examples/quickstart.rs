@@ -1,0 +1,63 @@
+//! Quickstart: the paper's headline comparison on one trace.
+//!
+//! Runs three design points on the 1Hotspot probabilistic trace:
+//!
+//! 1. the 16B mesh baseline,
+//! 2. static (design-time) RF-I shortcuts on the 16B mesh,
+//! 3. adaptive (application-specific) RF-I shortcuts on a **4B** mesh —
+//!    the paper's headline configuration, which matches baseline latency
+//!    while cutting NoC power by ~65% and silicon area by ~82%.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_traffic::TraceKind;
+
+fn main() {
+    let workload = WorkloadSpec::Trace(TraceKind::Hotspot1);
+
+    println!("Running 16B mesh baseline...");
+    let baseline = Experiment::new(
+        SystemConfig::new(Architecture::Baseline, LinkWidth::B16),
+        workload.clone(),
+    )
+    .run();
+    println!("  {baseline}");
+
+    println!("Running static shortcuts @ 16B...");
+    let static_sc = Experiment::new(
+        SystemConfig::new(Architecture::StaticShortcuts, LinkWidth::B16),
+        workload.clone(),
+    )
+    .run();
+    println!("  {static_sc}");
+
+    println!("Running adaptive shortcuts @ 4B (the headline design)...");
+    let adaptive = Experiment::new(
+        SystemConfig::new(
+            Architecture::AdaptiveShortcuts { access_points: 50 },
+            LinkWidth::B4,
+        ),
+        workload,
+    )
+    .run();
+    println!("  {adaptive}");
+
+    println!();
+    println!("Normalized to the 16B baseline (latency x, power x):");
+    let (l, p) = static_sc.normalized_to(&baseline);
+    println!("  static @16B   : {l:.2}x latency, {p:.2}x power");
+    let (l, p) = adaptive.normalized_to(&baseline);
+    println!("  adaptive @4B  : {l:.2}x latency, {p:.2}x power");
+    println!(
+        "  adaptive @4B area: {:.1} mm2 vs baseline {:.1} mm2 ({:.0}% saving)",
+        adaptive.total_area_mm2(),
+        baseline.total_area_mm2(),
+        (1.0 - adaptive.total_area_mm2() / baseline.total_area_mm2()) * 100.0
+    );
+}

@@ -1,0 +1,11 @@
+//! Workspace-root helper library.
+//!
+//! Exists so the repository root can host the cross-crate integration
+//! tests (`tests/`) and runnable examples (`examples/`); it simply
+//! re-exports the member crates.
+
+pub use rfnoc;
+pub use rfnoc_power;
+pub use rfnoc_sim;
+pub use rfnoc_topology;
+pub use rfnoc_traffic;

@@ -1,0 +1,247 @@
+//! Cross-crate integration tests: every architecture design point, built
+//! and simulated end-to-end through the public `rfnoc` API, with
+//! reduced-size windows so the suite stays fast in debug builds.
+
+use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_sim::SimConfig;
+use rfnoc_traffic::{AppProfile, TraceKind, TrafficConfig};
+
+fn quick_sim() -> SimConfig {
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 4_000;
+    cfg.drain_cycles = 10_000;
+    cfg
+}
+
+fn quick_experiment(arch: Architecture, width: LinkWidth, workload: WorkloadSpec) -> Experiment {
+    let system = SystemConfig::new(arch, width).with_sim(quick_sim());
+    let mut exp = Experiment::new(system, workload);
+    exp.profile_cycles = 4_000;
+    exp
+}
+
+fn run(arch: Architecture, width: LinkWidth, workload: WorkloadSpec) -> rfnoc::RunReport {
+    quick_experiment(arch, width, workload).run()
+}
+
+#[test]
+fn every_architecture_runs_every_width() {
+    let archs = [
+        Architecture::Baseline,
+        Architecture::StaticShortcuts,
+        Architecture::WireShortcuts,
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        Architecture::AdaptiveShortcuts { access_points: 25 },
+        Architecture::VctMulticast,
+        Architecture::RfMulticast { access_points: 50 },
+        Architecture::AdaptiveWithMulticast { access_points: 50, shortcut_budget: 15 },
+    ];
+    let workload = WorkloadSpec::TraceWithMulticast {
+        base: TraceKind::Uniform,
+        locality: 0.5,
+        rate_per_cache: 0.0005,
+    };
+    for arch in archs {
+        for width in LinkWidth::all() {
+            let report = run(arch.clone(), width, workload.clone());
+            assert!(
+                report.stats.completed_messages > 0,
+                "{} @{width}: no messages completed",
+                arch.name()
+            );
+            assert!(
+                report.stats.completion_rate() > 0.95,
+                "{} @{width}: completion rate {:.3}",
+                arch.name(),
+                report.stats.completion_rate()
+            );
+            assert!(report.total_power_w() > 0.0);
+            assert!(report.total_area_mm2() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn static_shortcuts_beat_baseline_latency() {
+    for trace in [TraceKind::Uniform, TraceKind::Hotspot1, TraceKind::BiDf] {
+        let workload = WorkloadSpec::Trace(trace);
+        let base = run(Architecture::Baseline, LinkWidth::B16, workload.clone());
+        let stat = run(Architecture::StaticShortcuts, LinkWidth::B16, workload);
+        let (lat, _) = stat.normalized_to(&base);
+        assert!(
+            lat < 0.95,
+            "{trace}: static shortcuts should cut latency noticeably, got {lat:.3}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_beats_static_on_hotspots() {
+    let workload = WorkloadSpec::Trace(TraceKind::Hotspot2);
+    let base = run(Architecture::Baseline, LinkWidth::B16, workload.clone());
+    let stat = run(Architecture::StaticShortcuts, LinkWidth::B16, workload.clone());
+    let adapt = run(
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        LinkWidth::B16,
+        workload,
+    );
+    let (stat_lat, _) = stat.normalized_to(&base);
+    let (adapt_lat, _) = adapt.normalized_to(&base);
+    assert!(
+        adapt_lat < stat_lat + 0.02,
+        "adaptive ({adapt_lat:.3}) should be at least as good as static ({stat_lat:.3})"
+    );
+}
+
+#[test]
+fn adaptive_25_less_flexible_than_50() {
+    let workload = WorkloadSpec::Trace(TraceKind::Hotspot1);
+    let base = run(Architecture::Baseline, LinkWidth::B16, workload.clone());
+    let a50 = run(
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        LinkWidth::B16,
+        workload.clone(),
+    );
+    let a25 = run(
+        Architecture::AdaptiveShortcuts { access_points: 25 },
+        LinkWidth::B16,
+        workload,
+    );
+    // Both help; 25 access points cost less power than 50.
+    assert!(a50.normalized_to(&base).0 < 1.0);
+    assert!(a25.normalized_to(&base).0 < 1.0);
+    assert!(a25.total_power_w() < a50.total_power_w());
+}
+
+#[test]
+fn headline_adaptive_4b_matches_baseline_at_much_lower_power() {
+    // The paper's central claim (§5.1.2): adaptive RF-I shortcuts on a 4B
+    // mesh match the 16B baseline's latency within a few percent while
+    // cutting power by ~60% and area by ~82%.
+    let workload = WorkloadSpec::Trace(TraceKind::Uniform);
+    let base = run(Architecture::Baseline, LinkWidth::B16, workload.clone());
+    let adaptive = run(
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        LinkWidth::B4,
+        workload,
+    );
+    let (lat, pow) = adaptive.normalized_to(&base);
+    assert!(lat < 1.10, "latency should be comparable, got {lat:.3}x");
+    assert!(pow < 0.48, "power should drop by >52%, got {pow:.3}x");
+    let area_saving = 1.0 - adaptive.total_area_mm2() / base.total_area_mm2();
+    assert!((area_saving - 0.823).abs() < 0.02, "area saving {area_saving:.3}");
+}
+
+#[test]
+fn bandwidth_reduction_power_ladder() {
+    let workload = WorkloadSpec::Trace(TraceKind::Uniform);
+    let p16 = run(Architecture::Baseline, LinkWidth::B16, workload.clone());
+    let p8 = run(Architecture::Baseline, LinkWidth::B8, workload.clone());
+    let p4 = run(Architecture::Baseline, LinkWidth::B4, workload);
+    let s8 = 1.0 - p8.total_power_w() / p16.total_power_w();
+    let s4 = 1.0 - p4.total_power_w() / p16.total_power_w();
+    assert!((s8 - 0.48).abs() < 0.08, "8B saving {s8:.3} (paper 0.48)");
+    assert!((s4 - 0.72).abs() < 0.08, "4B saving {s4:.3} (paper 0.72)");
+    // And latency rises as bandwidth falls.
+    assert!(p8.avg_latency() > p16.avg_latency());
+    assert!(p4.avg_latency() > p8.avg_latency());
+}
+
+#[test]
+fn wire_shortcuts_slower_than_rf_shortcuts() {
+    let workload = WorkloadSpec::Trace(TraceKind::Uniform);
+    let rf = run(Architecture::StaticShortcuts, LinkWidth::B16, workload.clone());
+    let wire = run(Architecture::WireShortcuts, LinkWidth::B16, workload);
+    assert!(
+        wire.avg_latency() > rf.avg_latency(),
+        "wire {:.1} vs RF {:.1}: single-cycle RF-I must win",
+        wire.avg_latency(),
+        rf.avg_latency()
+    );
+    // Wire shortcuts burn repeated-wire energy instead of RF.
+    assert_eq!(wire.power.rf_dynamic_w, 0.0);
+    assert_eq!(wire.power.rf_static_w, 0.0);
+    assert!(wire.power.link_dynamic_w > rf.power.link_dynamic_w);
+}
+
+#[test]
+fn rf_multicast_beats_unicast_expansion() {
+    let workload = WorkloadSpec::TraceWithMulticast {
+        base: TraceKind::Uniform,
+        locality: 0.2,
+        rate_per_cache: 0.001,
+    };
+    let base = run(Architecture::Baseline, LinkWidth::B16, workload.clone());
+    let mc = run(Architecture::RfMulticast { access_points: 50 }, LinkWidth::B16, workload.clone());
+    let mcsc = run(
+        Architecture::AdaptiveWithMulticast { access_points: 50, shortcut_budget: 15 },
+        LinkWidth::B16,
+        workload,
+    );
+    let (mc_lat, _) = mc.normalized_to(&base);
+    let (mcsc_lat, _) = mcsc.normalized_to(&base);
+    assert!(mc_lat < 1.0, "MC should reduce latency, got {mc_lat:.3}");
+    assert!(mcsc_lat < mc_lat, "MC+SC ({mcsc_lat:.3}) should beat MC ({mc_lat:.3})");
+}
+
+#[test]
+fn app_traces_run_end_to_end() {
+    for profile in AppProfile::paper_suite() {
+        let workload = WorkloadSpec::App(profile);
+        let report = run(Architecture::Baseline, LinkWidth::B16, workload);
+        assert!(report.stats.completed_messages > 0);
+        assert!(!report.stats.saturated, "{}: saturated", report.workload);
+    }
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let workload = WorkloadSpec::Trace(TraceKind::HotBiDf);
+    let a = run(Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B8, workload.clone());
+    let b = run(Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B8, workload);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.power, b.power);
+}
+
+#[test]
+fn custom_traffic_config_is_honoured() {
+    let workload = WorkloadSpec::Trace(TraceKind::Uniform);
+    let light = quick_experiment(Architecture::Baseline, LinkWidth::B16, workload.clone())
+        .with_traffic(TrafficConfig { injection_rate: 0.001, ..TrafficConfig::default() })
+        .run();
+    let heavy = quick_experiment(Architecture::Baseline, LinkWidth::B16, workload)
+        .with_traffic(TrafficConfig { injection_rate: 0.008, ..TrafficConfig::default() })
+        .run();
+    assert!(heavy.stats.injected_messages > 4 * light.stats.injected_messages);
+    assert!(heavy.total_power_w() > light.total_power_w());
+}
+
+#[test]
+fn event_counter_profiling_matches_generator_profiling() {
+    // The §3.2.2 hardware-counter path: profiling via the simulated
+    // network's event counters must select shortcuts of comparable quality
+    // to the oracle (generator-side) profile.
+    use rfnoc::ProfileSource;
+    let workload = WorkloadSpec::Trace(TraceKind::Hotspot1);
+    let system = SystemConfig::new(
+        Architecture::AdaptiveShortcuts { access_points: 50 },
+        LinkWidth::B16,
+    )
+    .with_sim(quick_sim());
+    let mut oracle = Experiment::new(system.clone(), workload.clone());
+    oracle.profile_cycles = 4_000;
+    let mut counters = Experiment::new(system, workload.clone());
+    counters.profile_cycles = 4_000;
+    counters.profile_source = ProfileSource::EventCounters;
+
+    let base = run(Architecture::Baseline, LinkWidth::B16, workload);
+    let (oracle_lat, _) = oracle.run().normalized_to(&base);
+    let (counter_lat, _) = counters.run().normalized_to(&base);
+    assert!(counter_lat < 0.95, "counter-profiled adaptive must still win: {counter_lat:.3}");
+    assert!(
+        (counter_lat - oracle_lat).abs() < 0.08,
+        "counter ({counter_lat:.3}) and oracle ({oracle_lat:.3}) profiles should agree"
+    );
+}
