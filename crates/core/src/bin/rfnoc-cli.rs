@@ -1,15 +1,22 @@
 //! `rfnoc-cli` — command-line front end for the RF-I NoC reproduction.
 //!
 //! ```text
-//! rfnoc-cli run <arch> <width> <workload>    simulate one design point
+//! rfnoc-cli run <arch> <width> <workload> [fault flags]
+//!                                            simulate one design point
 //! rfnoc-cli compare <workload>               baseline vs static vs adaptive
 //! rfnoc-cli sweep <arch> <workload>          16B/8B/4B width sweep
 //! rfnoc-cli map <workload>                   adaptive shortcut map
 //! rfnoc-cli info                             architecture & workload names
 //! ```
+//!
+//! Fault flags (run only): `--fault-seed <n>`, `--shortcut-faults <f>`,
+//! `--mesh-faults <f>`, `--glitches <f>`, `--repair-after <cycles>` —
+//! expected event counts for a deterministic random fault plan spread
+//! over the measurement window.
 
-use rfnoc::{Architecture, Experiment, RunReport, SystemConfig, WorkloadSpec};
+use rfnoc::{Architecture, Experiment, FaultSpec, RunReport, SystemConfig, WorkloadSpec};
 use rfnoc_power::LinkWidth;
+use rfnoc_sim::FaultRates;
 use rfnoc_traffic::{AppProfile, Placement, TraceKind};
 use std::process::ExitCode;
 
@@ -78,6 +85,30 @@ fn parse_workload(name: &str) -> Option<WorkloadSpec> {
     None
 }
 
+/// Parses the optional fault flags that may follow `run`'s positionals.
+///
+/// Returns `None` on an unknown flag or malformed value.
+fn parse_fault_flags(args: &[String]) -> Option<FaultSpec> {
+    if args.is_empty() {
+        return Some(FaultSpec::None);
+    }
+    let mut seed = 1u64;
+    let mut rates = FaultRates::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next()?;
+        match flag.as_str() {
+            "--fault-seed" => seed = value.parse().ok()?,
+            "--shortcut-faults" => rates.shortcut_failures = value.parse().ok()?,
+            "--mesh-faults" => rates.mesh_link_failures = value.parse().ok()?,
+            "--glitches" => rates.glitches = value.parse().ok()?,
+            "--repair-after" => rates.repair_after = Some(value.parse().ok()?),
+            _ => return None,
+        }
+    }
+    Some(FaultSpec::Random { seed, rates })
+}
+
 fn report_line(report: &RunReport) {
     println!("{report}");
     println!("  power breakdown: {}", report.power);
@@ -88,6 +119,13 @@ fn report_line(report: &RunReport) {
         report.stats.completion_rate() * 100.0,
         report.stats.completed_messages
     );
+    let s = &report.stats;
+    if s.shortcut_faults + s.mesh_link_faults + s.repairs + s.retransmitted_flits > 0 {
+        println!(
+            "  faults: {} shortcut, {} mesh link, {} repaired, {} flits retransmitted",
+            s.shortcut_faults, s.mesh_link_faults, s.repairs, s.retransmitted_flits
+        );
+    }
 }
 
 fn run_one(arch: Architecture, width: LinkWidth, workload: WorkloadSpec) -> RunReport {
@@ -95,9 +133,13 @@ fn run_one(arch: Architecture, width: LinkWidth, workload: WorkloadSpec) -> RunR
 }
 
 fn cmd_run(args: &[String]) -> Option<ExitCode> {
-    let [arch, width, workload] = args else { return None };
-    let report =
-        run_one(parse_arch(arch)?, parse_width(width)?, parse_workload(workload)?);
+    let [arch, width, workload, fault_args @ ..] = args else { return None };
+    let mut experiment = Experiment::new(
+        SystemConfig::new(parse_arch(arch)?, parse_width(width)?),
+        parse_workload(workload)?,
+    );
+    experiment.faults = parse_fault_flags(fault_args)?;
+    let report = experiment.run();
     report_line(&report);
     Some(ExitCode::SUCCESS)
 }
@@ -174,7 +216,9 @@ fn main() -> ExitCode {
     };
     result.unwrap_or_else(|| {
         eprintln!(
-            "usage:\n  rfnoc-cli run <arch> <16|8|4> <workload>\n  \
+            "usage:\n  rfnoc-cli run <arch> <16|8|4> <workload> \
+             [--fault-seed N] [--shortcut-faults F] [--mesh-faults F] \
+             [--glitches F] [--repair-after C]\n  \
              rfnoc-cli compare <workload>\n  \
              rfnoc-cli sweep <arch> <workload>\n  \
              rfnoc-cli map <workload>\n  \

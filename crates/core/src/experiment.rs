@@ -4,7 +4,7 @@ use crate::arch::{Architecture, SystemConfig};
 use crate::builder::{build_system, BuiltSystem};
 use crate::workload::WorkloadSpec;
 use rfnoc_power::{AreaBreakdown, NocPowerModel, PowerBreakdown};
-use rfnoc_sim::{Network, RunStats};
+use rfnoc_sim::{FaultPlan, FaultRates, Network, RunStats};
 use rfnoc_topology::PairWeights;
 use rfnoc_traffic::{Placement, TrafficConfig};
 use std::fmt;
@@ -25,6 +25,25 @@ pub enum ProfileSource {
     /// "information that can be readily collected by event counters in our
     /// network" path.
     EventCounters,
+}
+
+/// How faults are injected into an experiment's network (none by default).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum FaultSpec {
+    /// No fault injection.
+    #[default]
+    None,
+    /// An explicit, pre-built event schedule.
+    Plan(FaultPlan),
+    /// A deterministic random plan generated against the *built* system's
+    /// shortcut set (so adaptive architectures get faults on the shortcuts
+    /// they actually selected), spread over the measurement window.
+    Random {
+        /// PRNG seed; the same seed and system always yield the same plan.
+        seed: u64,
+        /// Expected event counts.
+        rates: FaultRates,
+    },
 }
 
 /// A complete experiment: a system configuration exercised by a workload.
@@ -55,6 +74,8 @@ pub struct Experiment {
     /// Component placement (defaults to the paper's 10×10 layout; any
     /// even-sided grid ≥6×6 works, enabling mesh-scaling studies).
     pub placement: Placement,
+    /// Fault injection applied to the simulated network.
+    pub faults: FaultSpec,
 }
 
 impl Experiment {
@@ -67,6 +88,7 @@ impl Experiment {
             profile_cycles: DEFAULT_PROFILE_CYCLES,
             profile_source: ProfileSource::Generator,
             placement: Placement::paper_10x10(),
+            faults: FaultSpec::None,
         }
     }
 
@@ -75,6 +97,41 @@ impl Experiment {
     pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
         self.traffic = traffic;
         self
+    }
+
+    /// Injects an explicit fault schedule into the simulated network.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultSpec::Plan(plan);
+        self
+    }
+
+    /// Injects a seed-driven random fault plan, generated against the
+    /// built system's shortcut set over the measurement window.
+    #[must_use]
+    pub fn with_random_faults(mut self, seed: u64, rates: FaultRates) -> Self {
+        self.faults = FaultSpec::Random { seed, rates };
+        self
+    }
+
+    /// Resolves the fault specification into a concrete plan for `built`.
+    fn resolve_faults(&self, built: &BuiltSystem) -> FaultPlan {
+        match &self.faults {
+            FaultSpec::None => FaultPlan::default(),
+            FaultSpec::Plan(plan) => plan.clone(),
+            FaultSpec::Random { seed, rates } => {
+                let sim = &self.system.sim;
+                let start = sim.warmup_cycles;
+                let end = start + sim.measure_cycles.max(1);
+                FaultPlan::random(
+                    *seed,
+                    self.placement.dims(),
+                    &built.shortcuts,
+                    *rates,
+                    start..end,
+                )
+            }
+        }
     }
 
     /// Obtains the adaptive-selection profile via the configured source.
@@ -118,7 +175,8 @@ impl Experiment {
     pub fn run(&self) -> RunReport {
         let placement = self.placement.clone();
         let built = self.build();
-        let mut network = Network::new(built.network.clone());
+        let spec = built.network.clone().with_fault_plan(self.resolve_faults(&built));
+        let mut network = Network::new(spec);
         let mut workload = self.workload.instantiate(&placement, &self.traffic);
         let stats = network.run(workload.as_mut());
         let model = NocPowerModel::paper_32nm();
@@ -192,6 +250,10 @@ impl fmt::Display for RunReport {
             self.total_power_w(),
             self.total_area_mm2(),
             if self.stats.saturated { " [SATURATED]" } else { "" }
-        )
+        )?;
+        if let Some(health) = &self.stats.health {
+            write!(f, " [WATCHDOG: {health}]")?;
+        }
+        Ok(())
     }
 }

@@ -65,7 +65,9 @@ pub use builder::{
     adaptive_shortcuts, build_system, static_shortcuts, BuiltSystem, DEFAULT_MC_EPOCH,
     WIRE_SHORTCUT_CYCLES_PER_HOP,
 };
-pub use experiment::{Experiment, ProfileSource, RunReport, DEFAULT_PROFILE_CYCLES};
+pub use experiment::{
+    Experiment, FaultSpec, ProfileSource, RunReport, DEFAULT_PROFILE_CYCLES,
+};
 pub use phased::{PhasedExperiment, PhasedReport, ReconfigPolicy};
 pub use workload::WorkloadSpec;
 

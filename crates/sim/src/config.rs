@@ -1,5 +1,6 @@
 //! Simulator configuration (paper Figure 5a parameters).
 
+use crate::error::ConfigError;
 use rfnoc_power::LinkWidth;
 
 /// Microarchitectural configuration of the simulated network.
@@ -60,6 +61,18 @@ pub struct SimConfig {
     /// explored the potential of adaptive-routing techniques to avoid
     /// bottlenecks resulting from contention for the shortcuts", §2).
     pub adaptive_shortcut_routing: bool,
+    /// Forward-progress watchdog window: when measured packets are
+    /// outstanding and no switch grant happens anywhere in the network for
+    /// this many cycles, `Network::run` stops early and reports a
+    /// structured `HealthReport` instead of spinning to the drain limit.
+    /// 0 disables the watchdog. Must exceed `reconfig_cycles` (a table
+    /// rewrite legitimately stalls injection that long).
+    pub watchdog_cycles: u64,
+    /// Cycles to recover a flit corrupted in flight by a transient link
+    /// glitch: detection at the receiver plus retransmission from the
+    /// upstream buffer. The glitched flit (and the link behind it) is
+    /// delayed by this much; credits are unaffected.
+    pub link_retry_cycles: u64,
 }
 
 impl SimConfig {
@@ -79,6 +92,8 @@ impl SimConfig {
             flit_trace_limit: 0,
             collect_pair_counts: false,
             adaptive_shortcut_routing: true,
+            watchdog_cycles: 10_000,
+            link_retry_cycles: 6,
         }
     }
 
@@ -101,18 +116,37 @@ impl SimConfig {
         self
     }
 
-    /// Validates internal consistency.
+    /// Validates internal consistency, rejecting degenerate parameters
+    /// (zero VCs, zero buffers, an empty measurement window, or a watchdog
+    /// window a routing-table rewrite would trip).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any parameter is degenerate (zero VCs, zero buffers, or an
-    /// empty measurement window).
-    pub fn validate(&self) {
-        assert!(self.vcs_adaptive + self.vcs_escape > 0, "need at least one VC");
-        assert!(self.vcs_escape > 0, "escape VCs are required for deadlock freedom");
-        assert!(self.buffer_depth > 0, "buffers must hold at least one flit");
-        assert!(self.measure_cycles > 0, "measurement window must be non-empty");
-        assert!(self.local_port_speedup >= 1, "local port needs bandwidth");
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.vcs_adaptive + self.vcs_escape == 0 {
+            return Err(ConfigError::NoVcs);
+        }
+        if self.vcs_escape == 0 {
+            return Err(ConfigError::NoEscapeVcs);
+        }
+        if self.buffer_depth == 0 {
+            return Err(ConfigError::ZeroBufferDepth);
+        }
+        if self.measure_cycles == 0 {
+            return Err(ConfigError::EmptyMeasureWindow);
+        }
+        if self.local_port_speedup < 1 {
+            return Err(ConfigError::NoLocalBandwidth);
+        }
+        let watchdog_minimum = self.reconfig_cycles + 1;
+        if self.watchdog_cycles != 0 && self.watchdog_cycles < watchdog_minimum {
+            return Err(ConfigError::WatchdogTooTight {
+                watchdog: self.watchdog_cycles,
+                minimum: watchdog_minimum,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -136,14 +170,57 @@ mod tests {
 
     #[test]
     fn default_validates() {
-        SimConfig::default().validate();
+        assert_eq!(SimConfig::default().validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "escape VCs")]
     fn zero_escape_vcs_rejected() {
         let mut cfg = SimConfig::paper_baseline();
         cfg.vcs_escape = 0;
-        cfg.validate();
+        assert_eq!(cfg.validate(), Err(ConfigError::NoEscapeVcs));
+    }
+
+    #[test]
+    fn zero_total_vcs_rejected() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.vcs_adaptive = 0;
+        cfg.vcs_escape = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoVcs));
+    }
+
+    #[test]
+    fn zero_buffer_depth_rejected() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.buffer_depth = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroBufferDepth));
+    }
+
+    #[test]
+    fn empty_measure_window_rejected() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.measure_cycles = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptyMeasureWindow));
+    }
+
+    #[test]
+    fn zero_local_speedup_rejected() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.local_port_speedup = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoLocalBandwidth));
+    }
+
+    #[test]
+    fn tight_watchdog_rejected_but_disabled_allowed() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.watchdog_cycles = cfg.reconfig_cycles; // would trip on a rewrite
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::WatchdogTooTight {
+                watchdog: cfg.reconfig_cycles,
+                minimum: cfg.reconfig_cycles + 1,
+            })
+        );
+        cfg.watchdog_cycles = 0;
+        assert_eq!(cfg.validate(), Ok(()));
     }
 }

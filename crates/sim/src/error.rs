@@ -1,0 +1,256 @@
+//! Result-based error layer for the simulator's public API.
+//!
+//! The seed version of this crate panicked on every misuse: invalid
+//! configurations, malformed shortcut sets, reconfiguration while one was
+//! already in flight. A production-scale service embedding the simulator
+//! needs to *reject* bad inputs, not die on them, so the fallible entry
+//! points ([`crate::SimConfig::validate`], [`crate::Network::try_new`],
+//! [`crate::Network::reconfigure`]) return these types. The panicking
+//! constructors remain as thin `expect` wrappers for tests and examples.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected [`crate::SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No virtual channels at all.
+    NoVcs,
+    /// No escape virtual channels — escape VCs are required for deadlock
+    /// freedom (§4).
+    NoEscapeVcs,
+    /// No adaptive virtual channels (`vcs_escape` must be strictly less
+    /// than the total so shortcut-capable VCs exist).
+    NoAdaptiveVcs,
+    /// Flit buffers must hold at least one flit.
+    ZeroBufferDepth,
+    /// The measurement window is empty.
+    EmptyMeasureWindow,
+    /// The local injection/ejection port moves no flits.
+    NoLocalBandwidth,
+    /// The watchdog window is shorter than a routing-table rewrite stall,
+    /// which would flag healthy reconfigurations as hangs.
+    WatchdogTooTight {
+        /// The configured watchdog window.
+        watchdog: u64,
+        /// The minimum meaningful window.
+        minimum: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoVcs => write!(f, "need at least one VC"),
+            Self::NoEscapeVcs => {
+                write!(f, "escape VCs are required for deadlock freedom")
+            }
+            Self::NoAdaptiveVcs => write!(
+                f,
+                "vcs_escape must be less than the total VC count (need at least one adaptive VC)"
+            ),
+            Self::ZeroBufferDepth => write!(f, "buffers must hold at least one flit"),
+            Self::EmptyMeasureWindow => write!(f, "measurement window must be non-empty"),
+            Self::NoLocalBandwidth => write!(f, "local port needs bandwidth"),
+            Self::WatchdogTooTight { watchdog, minimum } => write!(
+                f,
+                "watchdog window of {watchdog} cycles is below the {minimum}-cycle minimum"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A rejected live reconfiguration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The network routes by XY; there are no tables to rewrite.
+    XyRouting,
+    /// A reconfiguration is already draining or updating.
+    InProgress,
+    /// A shortcut endpoint does not name a router.
+    EndpointOutOfRange {
+        /// The offending shortcut's source.
+        src: usize,
+        /// The offending shortcut's destination.
+        dst: usize,
+    },
+    /// A shortcut connects a router to itself.
+    SelfLoop {
+        /// The router with the self-loop.
+        router: usize,
+    },
+    /// Two shortcuts transmit from the same router (one Tx per router).
+    DuplicateSource {
+        /// The over-subscribed router.
+        router: usize,
+    },
+    /// Two shortcuts receive at the same router (one Rx per router).
+    DuplicateDest {
+        /// The over-subscribed router.
+        router: usize,
+    },
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::XyRouting => {
+                write!(f, "reconfiguration requires shortest-path (table) routing")
+            }
+            Self::InProgress => write!(f, "reconfiguration already in progress"),
+            Self::EndpointOutOfRange { src, dst } => {
+                write!(f, "shortcut {src} -> {dst} endpoint out of range")
+            }
+            Self::SelfLoop { router } => {
+                write!(f, "shortcut at router {router} is a self-loop")
+            }
+            Self::DuplicateSource { router } => {
+                write!(f, "router {router} has two outbound shortcuts")
+            }
+            Self::DuplicateDest { router } => {
+                write!(f, "router {router} has two inbound shortcuts")
+            }
+        }
+    }
+}
+
+impl Error for ReconfigError {}
+
+/// A rejected network specification or simulator request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The microarchitectural configuration is degenerate.
+    Config(ConfigError),
+    /// The shortcut set violates the one-in/one-out port constraint.
+    Shortcuts(ReconfigError),
+    /// Shortcuts were supplied to an XY-routed network.
+    ShortcutsOnXy,
+    /// RF multicast mode without an [`crate::McConfig`].
+    MissingMcConfig,
+    /// The fault plan names a resource outside the network.
+    InvalidFault {
+        /// The cycle of the offending event.
+        cycle: u64,
+        /// Why the event is invalid.
+        reason: String,
+    },
+    /// A unicast message whose source equals its destination.
+    SelfUnicast {
+        /// The offending node.
+        node: usize,
+    },
+    /// A multicast message with no destinations.
+    EmptyMulticast,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "{e}"),
+            Self::Shortcuts(e) => write!(f, "{e}"),
+            Self::ShortcutsOnXy => {
+                write!(f, "XY routing cannot use shortcuts; use ShortestPath")
+            }
+            Self::MissingMcConfig => write!(f, "RF multicast requires an McConfig"),
+            Self::InvalidFault { cycle, reason } => {
+                write!(f, "invalid fault event at cycle {cycle}: {reason}")
+            }
+            Self::SelfUnicast { node } => write!(f, "unicast to self at node {node}"),
+            Self::EmptyMulticast => write!(f, "empty multicast destination set"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<ReconfigError> for SimError {
+    fn from(e: ReconfigError) -> Self {
+        Self::Shortcuts(e)
+    }
+}
+
+/// Checks a shortcut set against the one-in/one-out port constraint
+/// (§3.2: each router hosts at most one RF transmitter and one receiver)
+/// over `n` routers, including the self-loop case the seed version
+/// silently accepted.
+pub(crate) fn check_shortcut_set(
+    shortcuts: &[rfnoc_topology::Shortcut],
+    n: usize,
+) -> Result<(), ReconfigError> {
+    let mut out_used = vec![false; n];
+    let mut in_used = vec![false; n];
+    for s in shortcuts {
+        if s.src >= n || s.dst >= n {
+            return Err(ReconfigError::EndpointOutOfRange { src: s.src, dst: s.dst });
+        }
+        if s.src == s.dst {
+            return Err(ReconfigError::SelfLoop { router: s.src });
+        }
+        if out_used[s.src] {
+            return Err(ReconfigError::DuplicateSource { router: s.src });
+        }
+        if in_used[s.dst] {
+            return Err(ReconfigError::DuplicateDest { router: s.dst });
+        }
+        out_used[s.src] = true;
+        in_used[s.dst] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfnoc_topology::Shortcut;
+
+    #[test]
+    fn shortcut_set_accepts_legal_sets() {
+        assert_eq!(
+            check_shortcut_set(&[Shortcut::new(0, 5), Shortcut::new(5, 0)], 16),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn shortcut_set_rejects_self_loops() {
+        assert_eq!(
+            check_shortcut_set(&[Shortcut::new(3, 3)], 16),
+            Err(ReconfigError::SelfLoop { router: 3 })
+        );
+    }
+
+    #[test]
+    fn shortcut_set_rejects_duplicate_ports() {
+        assert_eq!(
+            check_shortcut_set(&[Shortcut::new(0, 5), Shortcut::new(0, 6)], 16),
+            Err(ReconfigError::DuplicateSource { router: 0 })
+        );
+        assert_eq!(
+            check_shortcut_set(&[Shortcut::new(0, 5), Shortcut::new(1, 5)], 16),
+            Err(ReconfigError::DuplicateDest { router: 5 })
+        );
+    }
+
+    #[test]
+    fn shortcut_set_rejects_out_of_range() {
+        assert_eq!(
+            check_shortcut_set(&[Shortcut::new(0, 99)], 16),
+            Err(ReconfigError::EndpointOutOfRange { src: 0, dst: 99 })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ConfigError::NoEscapeVcs.to_string().contains("escape VCs"));
+        assert!(ReconfigError::XyRouting.to_string().contains("shortest-path"));
+        assert!(SimError::ShortcutsOnXy.to_string().contains("XY routing"));
+    }
+}

@@ -1,0 +1,472 @@
+//! Deterministic fault injection for the RF-I overlaid NoC.
+//!
+//! A [`FaultPlan`] is a seed-driven schedule of [`FaultEvent`]s applied
+//! inside [`crate::Network::step`]. Faults follow fail-stop semantics at
+//! packet granularity: a failed port refuses *new* packet allocations while
+//! wormholes already holding the port finish normally, so credit-based flow
+//! control stays consistent. Failed RF-I shortcuts are torn out through the
+//! same drain → retune → table-rewrite state machine as a planned
+//! reconfiguration (paper §3.2), degrading traffic onto the XY mesh; failed
+//! mesh links trigger a detour-table rebuild over the surviving links.
+//! Transient link glitches model flit corruption detected at the receiver
+//! and retransmitted from the upstream buffer: the in-flight flit (and the
+//! link behind it) is delayed by [`crate::SimConfig::link_retry_cycles`],
+//! leaving credits untouched.
+
+use rfnoc_topology::{GridDims, Shortcut};
+
+/// One scheduled fault or repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The RF-I transmitter at router `src` fails. Its shortcut drains and
+    /// is removed from the routing tables; the transmitter stays failed
+    /// (ignored by later retunes) until a [`FaultEvent::ShortcutUp`] at the
+    /// same router.
+    ShortcutDown {
+        /// Router whose RF transmitter fails.
+        src: usize,
+    },
+    /// The whole RF band fails: every active shortcut is torn down at once
+    /// and all transmitters are marked failed.
+    BandDown,
+    /// The RF transmitter at `src` is repaired and retuned to reach `dst`.
+    ShortcutUp {
+        /// Router whose RF transmitter is repaired.
+        src: usize,
+        /// Receiver the repaired transmitter is tuned to.
+        dst: usize,
+    },
+    /// The mesh link between adjacent routers `a` and `b` fails in both
+    /// directions; detour tables route around it.
+    MeshLinkDown {
+        /// One endpoint.
+        a: usize,
+        /// The adjacent endpoint.
+        b: usize,
+    },
+    /// The mesh link between `a` and `b` is repaired.
+    MeshLinkUp {
+        /// One endpoint.
+        a: usize,
+        /// The adjacent endpoint.
+        b: usize,
+    },
+    /// A transient glitch corrupts the flit in flight on the link from `a`
+    /// to `b` (mesh or RF); the flit is dropped at the receiver and
+    /// retransmitted from the sender's buffer after
+    /// [`crate::SimConfig::link_retry_cycles`]. No effect on an idle link.
+    LinkGlitch {
+        /// Sending router.
+        a: usize,
+        /// Receiving router.
+        b: usize,
+    },
+}
+
+impl FaultEvent {
+    /// Whether this event touches only RF-I resources (never the mesh).
+    pub fn rf_only(&self) -> bool {
+        matches!(
+            self,
+            Self::ShortcutDown { .. } | Self::BandDown | Self::ShortcutUp { .. }
+        )
+    }
+}
+
+/// Expected fault counts over a generation window, used by
+/// [`FaultPlan::random`]. Each field is an *expected number of events*
+/// across the window (fractions round to the nearest count).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Expected permanent RF shortcut (transmitter) failures.
+    pub shortcut_failures: f64,
+    /// Expected permanent mesh link failures. Links are sampled so the
+    /// surviving mesh stays connected.
+    pub mesh_link_failures: f64,
+    /// Expected transient link glitches.
+    pub glitches: f64,
+    /// When set, every permanent failure is repaired this many cycles
+    /// after it strikes.
+    pub repair_after: Option<u64>,
+}
+
+impl FaultRates {
+    /// Scales every expected count by `factor` (repair delay unchanged).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            shortcut_failures: self.shortcut_failures * factor,
+            mesh_link_failures: self.mesh_link_failures * factor,
+            glitches: self.glitches * factor,
+            repair_after: self.repair_after,
+        }
+    }
+}
+
+/// A deterministic schedule of fault events, sorted by cycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(u64, FaultEvent)>,
+    pos: usize,
+}
+
+impl FaultPlan {
+    /// A plan from `(cycle, event)` pairs; sorted by cycle internally
+    /// (stable, so same-cycle events keep their given order).
+    pub fn new(mut events: Vec<(u64, FaultEvent)>) -> Self {
+        events.sort_by_key(|(c, _)| *c);
+        Self { events, pos: 0 }
+    }
+
+    /// The scheduled events, in firing order.
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether every event touches only RF-I resources — such a plan can
+    /// never break packet delivery, only degrade it to the mesh.
+    pub fn rf_only(&self) -> bool {
+        self.events.iter().all(|(_, e)| e.rf_only())
+    }
+
+    /// Whether every scheduled event has already fired.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.events.len()
+    }
+
+    /// Appends the events due at or before `cycle` to `out` and advances
+    /// past them.
+    pub fn events_at(&mut self, cycle: u64, out: &mut Vec<FaultEvent>) {
+        while self.pos < self.events.len() && self.events[self.pos].0 <= cycle {
+            out.push(self.events[self.pos].1);
+            self.pos += 1;
+        }
+    }
+
+    /// Generates a deterministic random plan for a `dims` mesh carrying
+    /// `shortcuts`: the same `(seed, rates, window)` always produces the
+    /// same schedule. Shortcut failures strike distinct live transmitters;
+    /// mesh link failures are sampled rejection-style so the surviving mesh
+    /// stays connected (a disconnected mesh would make delivery impossible
+    /// rather than degraded); glitches strike uniformly random directed
+    /// mesh links.
+    pub fn random(
+        seed: u64,
+        dims: GridDims,
+        shortcuts: &[Shortcut],
+        rates: FaultRates,
+        window: std::ops::Range<u64>,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let span = window.end.saturating_sub(window.start).max(1);
+        let mut events: Vec<(u64, FaultEvent)> = Vec::new();
+        let push_with_repair = |t: u64, down: FaultEvent, up: FaultEvent, ev: &mut Vec<(u64, FaultEvent)>| {
+            ev.push((t, down));
+            if let Some(delay) = rates.repair_after {
+                ev.push((t + delay, up));
+            }
+        };
+
+        // Shortcut (transmitter) failures: distinct live shortcuts.
+        let mut alive: Vec<Shortcut> = shortcuts.to_vec();
+        let n_shortcut = round_count(rates.shortcut_failures).min(alive.len());
+        for _ in 0..n_shortcut {
+            let t = window.start + rng.below(span);
+            let idx = rng.below(alive.len() as u64) as usize;
+            let s = alive.swap_remove(idx);
+            push_with_repair(
+                t,
+                FaultEvent::ShortcutDown { src: s.src },
+                FaultEvent::ShortcutUp { src: s.src, dst: s.dst },
+                &mut events,
+            );
+        }
+
+        // Mesh link failures: distinct undirected links, surviving mesh
+        // kept connected (bounded rejection sampling).
+        let all_links = undirected_mesh_links(dims);
+        let n_mesh = round_count(rates.mesh_link_failures).min(all_links.len());
+        let mut failed: Vec<(usize, usize)> = Vec::new();
+        let mut attempts = 0usize;
+        while failed.len() < n_mesh && attempts < n_mesh * 64 + 64 {
+            attempts += 1;
+            let (a, b) = all_links[rng.below(all_links.len() as u64) as usize];
+            if failed.contains(&(a, b)) {
+                continue;
+            }
+            failed.push((a, b));
+            if !mesh_connected(dims, &failed) {
+                failed.pop();
+                continue;
+            }
+            let t = window.start + rng.below(span);
+            push_with_repair(
+                t,
+                FaultEvent::MeshLinkDown { a, b },
+                FaultEvent::MeshLinkUp { a, b },
+                &mut events,
+            );
+        }
+
+        // Transient glitches: uniform over directed mesh links.
+        for _ in 0..round_count(rates.glitches) {
+            let t = window.start + rng.below(span);
+            let (a, b) = all_links[rng.below(all_links.len() as u64) as usize];
+            let (a, b) = if rng.below(2) == 0 { (a, b) } else { (b, a) };
+            events.push((t, FaultEvent::LinkGlitch { a, b }));
+        }
+
+        Self::new(events)
+    }
+}
+
+/// Why a run was flagged unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthDiagnosis {
+    /// No switch grant anywhere in the network for the watchdog window
+    /// while measured packets were outstanding: a true deadlock (or a hang
+    /// on a torn-down resource).
+    Deadlock,
+    /// Grants kept flowing but no measured message completed for an
+    /// extended window: packets are moving without making progress.
+    Livelock,
+    /// The surviving mesh is disconnected — some destinations are
+    /// unreachable, so outstanding traffic can never complete.
+    Partitioned,
+}
+
+impl std::fmt::Display for HealthDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Deadlock => write!(f, "deadlock"),
+            Self::Livelock => write!(f, "livelock"),
+            Self::Partitioned => write!(f, "partitioned"),
+        }
+    }
+}
+
+/// Structured report produced when the watchdog flags a hang instead of
+/// letting [`crate::Network::run`] spin silently to the drain limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// What went wrong.
+    pub diagnosis: HealthDiagnosis,
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Measured messages still outstanding.
+    pub outstanding: u64,
+    /// Cycles since the last switch grant (or injection) anywhere.
+    pub stalled_for: u64,
+    /// Cycles since the last measured message completed (or since the
+    /// network last went busy).
+    pub since_completion: u64,
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at cycle {}: {} messages outstanding, no grant for {} cycles, \
+             no completion for {} cycles",
+            self.diagnosis, self.cycle, self.outstanding, self.stalled_for, self.since_completion
+        )
+    }
+}
+
+fn round_count(expected: f64) -> usize {
+    if expected <= 0.0 { 0 } else { expected.round() as usize }
+}
+
+/// All undirected mesh links of a grid, as `(lower, higher)` node pairs.
+fn undirected_mesh_links(dims: GridDims) -> Vec<(usize, usize)> {
+    let n = dims.nodes();
+    let mut links = Vec::new();
+    for r in 0..n {
+        let c = dims.coord_of(r);
+        if (c.x as usize) + 1 < dims.width() {
+            links.push((r, r + 1));
+        }
+        if (c.y as usize) + 1 < dims.height() {
+            links.push((r, r + dims.width()));
+        }
+    }
+    links
+}
+
+/// Whether the mesh minus `failed` undirected links is connected.
+fn mesh_connected(dims: GridDims, failed: &[(usize, usize)]) -> bool {
+    let n = dims.nodes();
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    seen[0] = true;
+    let live = |a: usize, b: usize| {
+        let key = (a.min(b), a.max(b));
+        !failed.contains(&key)
+    };
+    while let Some(v) = queue.pop_front() {
+        let c = dims.coord_of(v);
+        let mut neighbors = Vec::with_capacity(4);
+        if c.x > 0 {
+            neighbors.push(v - 1);
+        }
+        if (c.x as usize) + 1 < dims.width() {
+            neighbors.push(v + 1);
+        }
+        if c.y > 0 {
+            neighbors.push(v - dims.width());
+        }
+        if (c.y as usize) + 1 < dims.height() {
+            neighbors.push(v + dims.width());
+        }
+        for u in neighbors {
+            if !seen[u] && live(v, u) {
+                seen[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    seen.iter().all(|&s| s)
+}
+
+/// Small deterministic PRNG (splitmix64) for plan generation; keeps this
+/// crate free of external dependencies.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_and_drains_in_order() {
+        let mut plan = FaultPlan::new(vec![
+            (30, FaultEvent::BandDown),
+            (10, FaultEvent::ShortcutDown { src: 2 }),
+            (20, FaultEvent::LinkGlitch { a: 0, b: 1 }),
+        ]);
+        assert_eq!(plan.len(), 3);
+        let mut out = Vec::new();
+        plan.events_at(15, &mut out);
+        assert_eq!(out, vec![FaultEvent::ShortcutDown { src: 2 }]);
+        out.clear();
+        plan.events_at(30, &mut out);
+        assert_eq!(
+            out,
+            vec![FaultEvent::LinkGlitch { a: 0, b: 1 }, FaultEvent::BandDown]
+        );
+        assert!(plan.is_exhausted());
+    }
+
+    #[test]
+    fn rf_only_classification() {
+        assert!(FaultPlan::new(vec![
+            (5, FaultEvent::ShortcutDown { src: 1 }),
+            (9, FaultEvent::BandDown),
+            (12, FaultEvent::ShortcutUp { src: 1, dst: 7 }),
+        ])
+        .rf_only());
+        assert!(!FaultPlan::new(vec![(5, FaultEvent::MeshLinkDown { a: 0, b: 1 })]).rf_only());
+        assert!(!FaultPlan::new(vec![(5, FaultEvent::LinkGlitch { a: 0, b: 1 })]).rf_only());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let dims = GridDims::new(4, 4);
+        let shortcuts = vec![Shortcut::new(0, 15), Shortcut::new(15, 0)];
+        let rates = FaultRates {
+            shortcut_failures: 2.0,
+            mesh_link_failures: 3.0,
+            glitches: 5.0,
+            repair_after: None,
+        };
+        let a = FaultPlan::random(42, dims, &shortcuts, rates, 100..10_000);
+        let b = FaultPlan::random(42, dims, &shortcuts, rates, 100..10_000);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(43, dims, &shortcuts, rates, 100..10_000);
+        assert_ne!(a, c, "different seeds should give different plans");
+        assert_eq!(a.len(), 10);
+        assert!(a.events().iter().all(|(t, _)| *t >= 100 && *t < 10_000));
+    }
+
+    #[test]
+    fn random_mesh_failures_keep_mesh_connected() {
+        let dims = GridDims::new(4, 4);
+        for seed in 0..20 {
+            let rates = FaultRates {
+                mesh_link_failures: 6.0,
+                ..Default::default()
+            };
+            let plan = FaultPlan::random(seed, dims, &[], rates, 0..1000);
+            let failed: Vec<(usize, usize)> = plan
+                .events()
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    FaultEvent::MeshLinkDown { a, b } => Some((*a.min(b), *a.max(b))),
+                    _ => None,
+                })
+                .collect();
+            assert!(mesh_connected(dims, &failed), "seed {seed} partitioned the mesh");
+        }
+    }
+
+    #[test]
+    fn repair_events_follow_failures() {
+        let dims = GridDims::new(4, 4);
+        let shortcuts = vec![Shortcut::new(0, 15)];
+        let rates = FaultRates {
+            shortcut_failures: 1.0,
+            repair_after: Some(500),
+            ..Default::default()
+        };
+        let plan = FaultPlan::random(7, dims, &shortcuts, rates, 0..1000);
+        assert_eq!(plan.len(), 2);
+        let down = plan.events().iter().find(|(_, e)| matches!(e, FaultEvent::ShortcutDown { .. }));
+        let up = plan.events().iter().find(|(_, e)| matches!(e, FaultEvent::ShortcutUp { .. }));
+        let (td, tu) = (down.expect("down").0, up.expect("up").0);
+        assert_eq!(tu, td + 500);
+    }
+
+    #[test]
+    fn health_report_displays() {
+        let report = HealthReport {
+            diagnosis: HealthDiagnosis::Deadlock,
+            cycle: 1234,
+            outstanding: 3,
+            stalled_for: 200,
+            since_completion: 900,
+        };
+        let text = report.to_string();
+        assert!(text.contains("deadlock"));
+        assert!(text.contains("1234"));
+    }
+}

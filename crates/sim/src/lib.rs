@@ -47,6 +47,8 @@
 
 pub mod bands;
 mod config;
+mod error;
+mod fault;
 mod flit;
 mod network;
 mod packet;
@@ -56,6 +58,8 @@ mod stats;
 mod vct;
 
 pub use config::SimConfig;
+pub use error::{ConfigError, ReconfigError, SimError};
+pub use fault::{FaultEvent, FaultPlan, FaultRates, HealthDiagnosis, HealthReport};
 pub use network::{
     FlitEvent, FlitEventKind, MulticastMode, Network, NetworkSpec, RoutingKind,
     ScriptedWorkload, Workload,

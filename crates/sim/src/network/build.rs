@@ -10,27 +10,47 @@ impl Network {
     /// # Panics
     ///
     /// Panics if the specification is inconsistent: invalid config, more
-    /// than one inbound or outbound shortcut per router, shortcuts present
-    /// in XY mode, or a missing/invalid multicast configuration.
+    /// than one inbound or outbound shortcut per router (or a self-loop),
+    /// shortcuts present in XY mode, an invalid fault plan, or a
+    /// missing/invalid multicast configuration. Prefer
+    /// [`Network::try_new`] where a structured error is wanted.
     pub fn new(spec: NetworkSpec) -> Self {
-        spec.config.validate();
+        Self::try_new(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a network from its specification, rejecting inconsistent
+    /// specs instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for a degenerate config, an illegal shortcut
+    /// set (out-of-range endpoint, self-loop, or more than one inbound or
+    /// outbound shortcut per router), shortcuts on an XY-routed network, a
+    /// fault plan naming resources outside the network, or RF multicast
+    /// without an [`McConfig`].
+    pub fn try_new(spec: NetworkSpec) -> Result<Self, SimError> {
+        spec.config.validate()?;
         let dims = spec.dims;
         let n = dims.nodes();
         let vcs = spec.config.total_vcs();
         let depth = spec.config.buffer_depth as u32;
 
-        if spec.routing == RoutingKind::Xy {
-            assert!(
-                spec.shortcuts.is_empty(),
-                "XY routing cannot use shortcuts; use ShortestPath"
-            );
+        if spec.routing == RoutingKind::Xy && !spec.shortcuts.is_empty() {
+            return Err(SimError::ShortcutsOnXy);
+        }
+        check_shortcut_set(&spec.shortcuts, n)?;
+        if !spec.shortcuts.is_empty() && spec.config.vcs_adaptive == 0 {
+            // Escape VCs never ride RF, so a shortcut-bearing network needs
+            // at least one adaptive VC (vcs_escape < total_vcs).
+            return Err(SimError::Config(crate::error::ConfigError::NoAdaptiveVcs));
+        }
+        validate_fault_plan(&spec.faults, dims)?;
+        if matches!(spec.multicast, MulticastMode::Rf) && spec.mc.is_none() {
+            return Err(SimError::MissingMcConfig);
         }
         let mut rf_out: Vec<Option<NodeId>> = vec![None; n];
         let mut rf_in: Vec<Option<NodeId>> = vec![None; n];
         for s in &spec.shortcuts {
-            assert!(s.src < n && s.dst < n, "shortcut endpoint out of range");
-            assert!(rf_out[s.src].is_none(), "router {} has two outbound shortcuts", s.src);
-            assert!(rf_in[s.dst].is_none(), "router {} has two inbound shortcuts", s.dst);
             rf_out[s.src] = Some(s.dst);
             rf_in[s.dst] = Some(s.src);
         }
@@ -128,7 +148,7 @@ impl Network {
 
         let (mc_queues, vct_table) = match &spec.multicast {
             MulticastMode::Rf => {
-                let mc = spec.mc.as_ref().expect("RF multicast requires an McConfig");
+                let mc = spec.mc.as_ref().expect("checked above");
                 mc.validate(n);
                 (vec![VecDeque::new(); mc.transmitters.len()], None)
             }
@@ -141,7 +161,7 @@ impl Network {
         if spec.config.collect_pair_counts {
             stats.pair_counts = vec![0; n * n];
         }
-        Self {
+        Ok(Self {
             dims,
             routing: spec.routing,
             port_table,
@@ -166,7 +186,51 @@ impl Network {
             flit_trace: Vec::new(),
             reconfig: ReconfigState::Idle,
             reconfigurations: 0,
+            active_shortcuts: spec.shortcuts,
+            pending_target: None,
+            failed_rf_tx: vec![false; n],
+            link_failed: vec![false; n * 4],
+            mesh_link_failures: 0,
+            escape_table: None,
+            faults: spec.faults,
+            last_progress: 0,
+            last_completion: 0,
             config: spec.config,
+        })
+    }
+}
+
+/// Checks every scheduled fault event against the network's topology.
+fn validate_fault_plan(plan: &FaultPlan, dims: GridDims) -> Result<(), SimError> {
+    let n = dims.nodes();
+    let invalid = |cycle: u64, reason: String| SimError::InvalidFault { cycle, reason };
+    for &(cycle, event) in plan.events() {
+        match event {
+            FaultEvent::ShortcutDown { src } => {
+                if src >= n {
+                    return Err(invalid(cycle, format!("router {src} out of range")));
+                }
+            }
+            FaultEvent::BandDown => {}
+            FaultEvent::ShortcutUp { src, dst } => {
+                if src >= n || dst >= n {
+                    return Err(invalid(cycle, format!("shortcut {src} -> {dst} out of range")));
+                }
+                if src == dst {
+                    return Err(invalid(cycle, format!("shortcut at router {src} is a self-loop")));
+                }
+            }
+            FaultEvent::MeshLinkDown { a, b } | FaultEvent::MeshLinkUp { a, b } => {
+                if a >= n || b >= n || dims.manhattan(a, b) != 1 {
+                    return Err(invalid(cycle, format!("no mesh link between {a} and {b}")));
+                }
+            }
+            FaultEvent::LinkGlitch { a, b } => {
+                if a >= n || b >= n || a == b {
+                    return Err(invalid(cycle, format!("no link from {a} to {b}")));
+                }
+            }
         }
     }
+    Ok(())
 }

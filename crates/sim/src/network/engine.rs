@@ -9,9 +9,18 @@ impl Network {
     /// Runs the workload for the configured warmup + measurement window,
     /// then drains measured packets (up to the drain limit), and returns
     /// the collected statistics.
+    ///
+    /// While measured packets are outstanding a forward-progress watchdog
+    /// ([`SimConfig::watchdog_cycles`]) monitors the run: if no switch
+    /// grant happens anywhere for a full watchdog window (deadlock), or no
+    /// measured message completes for four windows despite grants
+    /// (livelock), the run stops early with a structured
+    /// [`crate::HealthReport`] in [`RunStats::health`] instead of spinning
+    /// silently to the drain limit.
     pub fn run(&mut self, workload: &mut dyn Workload) -> RunStats {
         let horizon = self.config.warmup_cycles + self.config.measure_cycles;
         let limit = horizon + self.config.drain_cycles;
+        let watchdog = self.config.watchdog_cycles;
         let mut buf = Vec::new();
         while self.cycle < horizon || (self.measured_outstanding > 0 && self.cycle < limit) {
             buf.clear();
@@ -20,10 +29,20 @@ impl Network {
                 self.inject_message(spec);
             }
             self.step();
+            if watchdog > 0 && self.measured_outstanding > 0 {
+                let stalled = self.cycle.saturating_sub(self.last_progress);
+                let starved = self.cycle.saturating_sub(self.last_completion);
+                if stalled >= watchdog || starved >= watchdog.saturating_mul(4) {
+                    self.stats.health =
+                        Some(self.health_report(stalled, starved, stalled >= watchdog));
+                    break;
+                }
+            }
         }
         self.stats.saturated = self.measured_outstanding > 0;
         self.stats.end_cycle = self.cycle;
-        self.stats.activity.cycles = (self.cycle - self.config.warmup_cycles).max(1);
+        self.stats.activity.cycles =
+            self.cycle.saturating_sub(self.config.warmup_cycles).max(1);
         self.stats.clone()
     }
 
@@ -37,6 +56,7 @@ impl Network {
             self.stats.message_latency_sum += latency;
             self.stats.message_latencies.push(latency.min(u32::MAX as u64) as u32);
             self.measured_outstanding -= 1;
+            self.last_completion = at;
         }
     }
 
@@ -76,6 +96,7 @@ impl Network {
                 self.stats.message_latency_sum += latency;
                 self.stats.message_latencies.push(latency.min(u32::MAX as u64) as u32);
                 self.measured_outstanding -= 1;
+                self.last_completion = at;
             }
         }
     }
@@ -87,14 +108,17 @@ impl Network {
         }
         match &self.port_table {
             Some(pt) => pt[router * self.dims.nodes() + dest],
-            None => xy_port(self.dims, router, dest),
+            None => self.escape_port(router, dest),
         }
     }
 
-    /// The escape (XY over mesh) output port toward `dest`.
+    /// The escape (mesh-only) output port toward `dest`: plain XY on an
+    /// intact mesh, the mesh-only detour table when links have failed.
     pub(super) fn escape_port(&self, router: NodeId, dest: NodeId) -> u8 {
         if router == dest {
             PORT_LOCAL as u8
+        } else if let Some(table) = &self.escape_table {
+            table[router * self.dims.nodes() + dest]
         } else {
             xy_port(self.dims, router, dest)
         }
@@ -103,6 +127,7 @@ impl Network {
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         self.counting = self.cycle >= self.config.warmup_cycles;
+        self.step_faults();
         self.step_reconfig();
         self.apply_pending_injections();
         self.step_mc_engine();
@@ -450,6 +475,8 @@ impl Network {
         if !is_ejection && self.routers[r].outputs[out].vcs[out_vc as usize].credits == 0 {
             return false;
         }
+        // Every grant is forward progress for the watchdog.
+        self.last_progress = now;
         let (packet_flits, packet_bytes) = {
             let p = &self.packets[sent_packet as usize];
             (p.flits, p.bytes)

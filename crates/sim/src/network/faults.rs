@@ -1,0 +1,266 @@
+//! Fault application and graceful degradation: scheduled fault events,
+//! detour-table rebuilds over the surviving topology, and the watchdog's
+//! health diagnosis.
+
+#[allow(clippy::wildcard_imports)]
+use super::*;
+use crate::fault::HealthDiagnosis;
+
+impl Network {
+
+    /// Applies every fault event due this cycle.
+    pub(super) fn step_faults(&mut self) {
+        if self.faults.is_exhausted() {
+            return;
+        }
+        let mut events = Vec::new();
+        self.faults.events_at(self.cycle, &mut events);
+        for event in events {
+            self.apply_fault(event);
+        }
+    }
+
+    /// The shortcut set the network is currently trying to realise: the
+    /// in-flight retune target if one exists, otherwise what is installed.
+    fn rf_intent(&self) -> Vec<Shortcut> {
+        if let Some(target) = &self.pending_target {
+            return target.clone();
+        }
+        match &self.reconfig {
+            ReconfigState::Draining(target) => target.clone(),
+            _ => self.active_shortcuts.clone(),
+        }
+    }
+
+    /// Routes a new retune target through the drain/retune/rewrite state
+    /// machine, merging with whatever is already in flight. Failed
+    /// transmitters are filtered at apply time, so the target may still
+    /// name them.
+    fn request_retune(&mut self, target: Vec<Shortcut>) {
+        if self.port_table.is_none() {
+            return;
+        }
+        match &mut self.reconfig {
+            ReconfigState::Idle => self.reconfig = ReconfigState::Draining(target),
+            ReconfigState::Draining(current) => *current = target,
+            ReconfigState::Updating(_) => self.pending_target = Some(target),
+        }
+    }
+
+    fn apply_fault(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::ShortcutDown { src } => self.fail_shortcut(src),
+            FaultEvent::BandDown => {
+                let sources: Vec<usize> =
+                    self.active_shortcuts.iter().map(|s| s.src).collect();
+                for src in sources {
+                    self.fail_shortcut(src);
+                }
+            }
+            FaultEvent::ShortcutUp { src, dst } => self.repair_shortcut(src, dst),
+            FaultEvent::MeshLinkDown { a, b } => self.fail_mesh_link(a, b),
+            FaultEvent::MeshLinkUp { a, b } => self.repair_mesh_link(a, b),
+            FaultEvent::LinkGlitch { a, b } => self.glitch_link(a, b),
+        }
+    }
+
+    /// Fail-stop failure of the RF transmitter at `src`: the port refuses
+    /// new packets immediately, in-flight wormholes drain, and the
+    /// surviving shortcut set is re-routed through the normal
+    /// drain/retune/rewrite machinery so traffic degrades onto the mesh.
+    fn fail_shortcut(&mut self, src: usize) {
+        if self.failed_rf_tx[src] {
+            return;
+        }
+        self.failed_rf_tx[src] = true;
+        self.stats.shortcut_faults += 1;
+        if self.routers[src].outputs[PORT_RF].exists {
+            self.routers[src].outputs[PORT_RF].failed = true;
+            self.request_retune(self.rf_intent());
+        }
+    }
+
+    /// Repairs the RF transmitter at `src` and retunes it toward `dst`,
+    /// unless that would violate the one-in/one-out port constraint
+    /// against the current intent (the repair is then recorded but the
+    /// shortcut stays out of service).
+    fn repair_shortcut(&mut self, src: usize, dst: usize) {
+        self.failed_rf_tx[src] = false;
+        self.stats.repairs += 1;
+        let mut intent = self.rf_intent();
+        intent.retain(|s| s.src != src);
+        intent.push(Shortcut::new(src, dst));
+        if check_shortcut_set(&intent, self.dims.nodes()).is_ok() {
+            self.request_retune(intent);
+        }
+    }
+
+    fn fail_mesh_link(&mut self, a: usize, b: usize) {
+        let port_ab = mesh_port(self.dims, a, b) as usize;
+        let port_ba = mesh_port(self.dims, b, a) as usize;
+        if self.link_failed[a * 4 + port_ab] {
+            return;
+        }
+        self.link_failed[a * 4 + port_ab] = true;
+        self.link_failed[b * 4 + port_ba] = true;
+        self.routers[a].outputs[port_ab].failed = true;
+        self.routers[b].outputs[port_ba].failed = true;
+        self.mesh_link_failures += 1;
+        self.stats.mesh_link_faults += 1;
+        self.refresh_detour_state();
+    }
+
+    fn repair_mesh_link(&mut self, a: usize, b: usize) {
+        let port_ab = mesh_port(self.dims, a, b) as usize;
+        let port_ba = mesh_port(self.dims, b, a) as usize;
+        if !self.link_failed[a * 4 + port_ab] {
+            return;
+        }
+        self.link_failed[a * 4 + port_ab] = false;
+        self.link_failed[b * 4 + port_ba] = false;
+        self.routers[a].outputs[port_ab].failed = false;
+        self.routers[b].outputs[port_ba].failed = false;
+        self.mesh_link_failures -= 1;
+        self.stats.repairs += 1;
+        self.refresh_detour_state();
+    }
+
+    /// A transient glitch corrupts the flit in flight from `a` to `b`: the
+    /// receiver drops it and the sender retransmits from its buffer, so
+    /// the flit (and the link behind it) is simply delayed by
+    /// [`SimConfig::link_retry_cycles`]. Credits are untouched — the
+    /// upstream buffer slot is only freed when the retransmitted flit
+    /// finally lands. No effect on an idle link.
+    fn glitch_link(&mut self, a: usize, b: usize) {
+        let port = if self.dims.manhattan(a, b) == 1 {
+            mesh_port(self.dims, b, a) as usize
+        } else if self.routers[b].inputs[PORT_RF]
+            .upstream
+            .is_some_and(|(src, _)| src == a)
+        {
+            PORT_RF
+        } else {
+            return;
+        };
+        let retry = self.config.link_retry_cycles;
+        if let Some((at, _, flit)) = self.routers[b].inputs[port].arrivals.front_mut() {
+            *at += retry;
+            flit.eligible += retry;
+            self.stats.retransmitted_flits += 1;
+        }
+    }
+
+    /// Recomputes the detour tables after a mesh link failure or repair.
+    /// With an intact mesh the escape table is dropped entirely, restoring
+    /// the exact XY escape behaviour of the fault-free simulator.
+    fn refresh_detour_state(&mut self) {
+        if self.mesh_link_failures == 0 {
+            self.escape_table = None;
+        } else {
+            self.escape_table = Some(self.detour_tables(&[]).0);
+        }
+        if self.port_table.is_some() {
+            self.rebuild_unicast_tables();
+        }
+    }
+
+    /// Per-destination reverse BFS over the surviving mesh links plus the
+    /// given (directed) shortcuts. Returns the out-port table and the hop
+    /// distances (`router * n + dest`). Unreachable pairs fall back to the
+    /// XY port at their Manhattan distance: such a packet blocks at a
+    /// failed link, where the watchdog will flag the partition rather than
+    /// let it misroute.
+    pub(super) fn detour_tables(&self, shortcuts: &[Shortcut]) -> (Vec<u8>, Vec<u32>) {
+        let n = self.dims.nodes();
+        let mut pt = vec![PORT_LOCAL as u8; n * n];
+        let mut dm = vec![0u32; n * n];
+        for r in 0..n {
+            for d in 0..n {
+                if r != d {
+                    pt[r * n + d] = xy_port(self.dims, r, d);
+                    dm[r * n + d] = self.dims.manhattan(r, d);
+                }
+            }
+        }
+        let mut rf_srcs_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for s in shortcuts {
+            rf_srcs_of[s.dst].push(s.src);
+        }
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for d in 0..n {
+            dist.fill(u32::MAX);
+            queue.clear();
+            dist[d] = 0;
+            queue.push_back(d);
+            while let Some(v) = queue.pop_front() {
+                // Incoming surviving mesh links u -> v.
+                for port in [PORT_N, PORT_S, PORT_E, PORT_W] {
+                    let Some(u) = mesh_neighbor(self.dims, v, port) else { continue };
+                    let out_at_u = mesh_port(self.dims, u, v) as usize;
+                    if self.link_failed[u * 4 + out_at_u] || dist[u] != u32::MAX {
+                        continue;
+                    }
+                    dist[u] = dist[v] + 1;
+                    pt[u * n + d] = out_at_u as u8;
+                    dm[u * n + d] = dist[u];
+                    queue.push_back(u);
+                }
+                // Incoming shortcut edges u -> v.
+                for &u in &rf_srcs_of[v] {
+                    if dist[u] == u32::MAX {
+                        dist[u] = dist[v] + 1;
+                        pt[u * n + d] = PORT_RF as u8;
+                        dm[u * n + d] = dist[u];
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        (pt, dm)
+    }
+
+    /// Whether the surviving mesh still connects every router.
+    fn surviving_mesh_connected(&self) -> bool {
+        let n = self.dims.nodes();
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        while let Some(v) = queue.pop_front() {
+            for port in [PORT_N, PORT_S, PORT_E, PORT_W] {
+                let Some(u) = mesh_neighbor(self.dims, v, port) else { continue };
+                if seen[u] || self.link_failed[v * 4 + port] {
+                    continue;
+                }
+                seen[u] = true;
+                queue.push_back(u);
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    /// Builds the watchdog's structured report: `no_grants` distinguishes
+    /// a full stall (deadlock) from motion without completion (livelock);
+    /// a disconnected surviving mesh overrides both.
+    pub(super) fn health_report(
+        &self,
+        stalled_for: u64,
+        since_completion: u64,
+        no_grants: bool,
+    ) -> HealthReport {
+        let diagnosis = if !self.surviving_mesh_connected() {
+            HealthDiagnosis::Partitioned
+        } else if no_grants {
+            HealthDiagnosis::Deadlock
+        } else {
+            HealthDiagnosis::Livelock
+        };
+        HealthReport {
+            diagnosis,
+            cycle: self.cycle,
+            outstanding: self.measured_outstanding,
+            stalled_for,
+            since_completion,
+        }
+    }
+}

@@ -17,6 +17,16 @@ impl Network {
         (self.packets.len() - 1) as u32
     }
 
+    /// Resets the watchdog baselines when the network transitions from
+    /// idle to busy, so a long quiet gap before a lone message is not
+    /// mistaken for a stall.
+    fn mark_busy(&mut self, now: u64) {
+        if self.measured_outstanding == 0 {
+            self.last_progress = now;
+            self.last_completion = now;
+        }
+    }
+
     pub(super) fn flits_for(&self, bytes: u32) -> u32 {
         self.config.link_width.flits_for(bytes)
     }
@@ -25,8 +35,31 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics on a unicast message whose source equals its destination.
+    /// Panics on a unicast message whose source equals its destination, or
+    /// an empty multicast set. Prefer [`Network::try_inject_message`]
+    /// where a structured error is wanted.
     pub fn inject_message(&mut self, spec: MessageSpec) {
+        self.try_inject_message(spec).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Creates the packets for one injected message, rejecting malformed
+    /// messages instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SelfUnicast`] for a unicast whose source equals
+    /// its destination and [`SimError::EmptyMulticast`] for a multicast
+    /// with no destinations.
+    pub fn try_inject_message(&mut self, spec: MessageSpec) -> Result<(), SimError> {
+        match spec.dest {
+            Destination::Unicast(dst) if dst == spec.src => {
+                return Err(SimError::SelfUnicast { node: spec.src });
+            }
+            Destination::Multicast(set) if set.is_empty() => {
+                return Err(SimError::EmptyMulticast);
+            }
+            _ => {}
+        }
         let now = self.cycle;
         let measured = self.in_window();
         if measured {
@@ -61,7 +94,6 @@ impl Network {
         }
         match spec.dest {
             Destination::Unicast(dst) => {
-                assert_ne!(spec.src, dst, "unicast to self");
                 let bytes = spec.bytes();
                 let flits = self.flits_for(bytes);
                 let pkt = self.new_packet(PacketInfo {
@@ -77,15 +109,16 @@ impl Network {
                     head_grants: 0,
                 });
                 if measured {
+                    self.mark_busy(now);
                     self.measured_outstanding += 1;
                 }
                 self.pending_inj.push((spec.src, pkt, now));
             }
             Destination::Multicast(set) => {
-                assert!(!set.is_empty(), "empty multicast destination set");
                 self.inject_multicast(spec.src, set, spec.bytes(), measured);
             }
         }
+        Ok(())
     }
 
     pub(super) fn inject_multicast(&mut self, src: NodeId, set: DestSet, bytes: u32, measured: bool) {
@@ -107,6 +140,7 @@ impl Network {
         });
         let parent = (self.parents.len() - 1) as u32;
         if measured {
+            self.mark_busy(now);
             self.measured_outstanding += 1;
         }
         if self_dest {
@@ -207,12 +241,9 @@ impl Network {
         let escape = self.config.vcs_escape;
         let total = self.config.total_vcs();
         // Claim VCs for waiting packets (adaptive class preferred).
-        loop {
-            let Some(&PendingInjection { packet, ready_at }) =
-                self.routers[r].injector.queue.front()
-            else {
-                break;
-            };
+        while let Some(&PendingInjection { packet, ready_at }) =
+            self.routers[r].injector.queue.front()
+        {
             if ready_at > now {
                 break;
             }

@@ -1,6 +1,8 @@
 //! The network: routers, links, RF-I overlay, and the cycle-level engine.
 
 use crate::config::SimConfig;
+use crate::error::{check_shortcut_set, ReconfigError, SimError};
+use crate::fault::{FaultEvent, FaultPlan, HealthReport};
 use crate::flit::Flit;
 use crate::packet::{DestSet, Destination, MessageSpec};
 use crate::rfmc::{plan_delivery, DeliveryPlan, McConfig, McTransmission};
@@ -61,6 +63,9 @@ pub struct NetworkSpec {
     /// 2 mm hop at the 2 GHz network clock (repeated RC wire crosses a
     /// 400 mm² die in ≈4 ns vs 0.3 ns for RF-I, §2).
     pub wire_shortcut_cycles_per_hop: Option<f64>,
+    /// Deterministic fault schedule applied during the run (empty for a
+    /// fault-free simulation).
+    pub faults: FaultPlan,
 }
 
 impl NetworkSpec {
@@ -74,6 +79,7 @@ impl NetworkSpec {
             multicast: MulticastMode::AsUnicasts,
             mc: None,
             wire_shortcut_cycles_per_hop: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -88,7 +94,15 @@ impl NetworkSpec {
             multicast: MulticastMode::AsUnicasts,
             mc: None,
             wire_shortcut_cycles_per_hop: None,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Returns this specification with a fault schedule attached.
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -189,6 +203,32 @@ pub struct Network {
     sp_dist: Option<Vec<u32>>,
     reconfig: ReconfigState,
     reconfigurations: u64,
+    /// Shortcut set currently installed on the RF ports (tracks retunes
+    /// and fault teardowns).
+    active_shortcuts: Vec<Shortcut>,
+    /// Retune target deferred because a table rewrite was in flight when a
+    /// fault struck; applied as a fresh drain once the rewrite completes.
+    pending_target: Option<Vec<Shortcut>>,
+    /// Per-router RF transmitter failure flags: a failed transmitter is
+    /// skipped by every retune until repaired.
+    failed_rf_tx: Vec<bool>,
+    /// Directed mesh link failure flags (`router * 4 + port`, mesh ports
+    /// only). `MeshLinkDown` fails both directions together.
+    link_failed: Vec<bool>,
+    /// Count of failed *undirected* mesh links (fast zero check).
+    mesh_link_failures: usize,
+    /// Detour routing table for escape traffic (`router * n + dest`),
+    /// built over the surviving mesh links only; `None` while the mesh is
+    /// intact (escape traffic then follows plain XY, exactly as the
+    /// fault-free simulator did).
+    escape_table: Option<Vec<u8>>,
+    /// Fault schedule being applied.
+    faults: FaultPlan,
+    /// Last cycle any switch grant happened (or the network went busy) —
+    /// the watchdog's forward-progress signal.
+    last_progress: u64,
+    /// Last cycle a measured message completed (or the network went busy).
+    last_completion: u64,
     routers: Vec<Router>,
     packets: Vec<PacketInfo>,
     parents: Vec<ParentInfo>,
@@ -212,6 +252,7 @@ pub struct Network {
 
 mod build;
 mod engine;
+mod faults;
 mod inject;
 mod mc_engine;
 mod observe;
@@ -240,6 +281,23 @@ impl Network {
     /// a quick congestion/saturation diagnostic.
     pub fn injection_backlog(&self) -> usize {
         self.routers.iter().map(|r| r.injector.backlog()).sum()
+    }
+
+    /// The shortcut set currently installed on the RF ports (shrinks when
+    /// shortcuts fail, changes on retune).
+    pub fn active_shortcuts(&self) -> &[Shortcut] {
+        &self.active_shortcuts
+    }
+
+    /// Failed undirected mesh links right now.
+    pub fn mesh_link_failures(&self) -> usize {
+        self.mesh_link_failures
+    }
+
+    /// The watchdog's health report, when the last `run` was flagged
+    /// unhealthy.
+    pub fn health(&self) -> Option<&HealthReport> {
+        self.stats.health.as_ref()
     }
 }
 

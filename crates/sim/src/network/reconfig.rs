@@ -1,5 +1,8 @@
 //! Live RF-I reconfiguration (paper §3.2 steps 1–3): drain the
 //! channels, retune transmitters/receivers, rewrite the routing tables.
+//! Fault-driven shortcut teardowns reuse the same drain → retune →
+//! rewrite machinery, so graceful degradation and planned retuning share
+//! one code path.
 
 #[allow(clippy::wildcard_imports)]
 use super::*;
@@ -10,33 +13,29 @@ impl Network {
     /// the RF-I ports stop accepting traffic, drain, the transmitters and
     /// receivers retune, and the routing tables are rewritten (stalling
     /// injection for [`SimConfig::reconfig_cycles`]). Traffic in the mesh
-    /// keeps flowing throughout.
+    /// keeps flowing throughout. Shortcuts whose transmitter has failed
+    /// (and not been repaired) are skipped at retune time.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the network uses XY routing (no tables to rewrite), a
-    /// reconfiguration is already in progress, or the new set violates the
-    /// one-in/one-out port constraint.
-    pub fn reconfigure(&mut self, shortcuts: Vec<Shortcut>) {
-        assert!(
-            self.port_table.is_some(),
-            "reconfiguration requires shortest-path (table) routing"
-        );
-        assert_eq!(self.reconfig, ReconfigState::Idle, "reconfiguration already in progress");
-        let n = self.dims.nodes();
-        let mut out_used = vec![false; n];
-        let mut in_used = vec![false; n];
-        for s in &shortcuts {
-            assert!(s.src < n && s.dst < n, "shortcut endpoint out of range");
-            assert!(!out_used[s.src], "router {} has two outbound shortcuts", s.src);
-            assert!(!in_used[s.dst], "router {} has two inbound shortcuts", s.dst);
-            out_used[s.src] = true;
-            in_used[s.dst] = true;
+    /// Returns a [`ReconfigError`] if the network uses XY routing (no
+    /// tables to rewrite), a reconfiguration is already in progress, or
+    /// the new set violates the one-in/one-out port constraint (including
+    /// self-loop shortcuts, which the constraint implies).
+    pub fn reconfigure(&mut self, shortcuts: Vec<Shortcut>) -> Result<(), ReconfigError> {
+        if self.port_table.is_none() {
+            return Err(ReconfigError::XyRouting);
         }
+        if self.reconfig != ReconfigState::Idle || self.pending_target.is_some() {
+            return Err(ReconfigError::InProgress);
+        }
+        check_shortcut_set(&shortcuts, self.dims.nodes())?;
         self.reconfig = ReconfigState::Draining(shortcuts);
+        Ok(())
     }
 
-    /// Completed reconfigurations so far.
+    /// Completed reconfigurations so far (planned retunes and fault-driven
+    /// degradations both count).
     pub fn reconfigurations(&self) -> u64 {
         self.reconfigurations
     }
@@ -58,17 +57,22 @@ impl Network {
         })
     }
 
-    /// Retunes the RF ports to `shortcuts` and rebuilds the routing tables.
+    /// Retunes the RF ports to `shortcuts` (minus failed transmitters) and
+    /// rebuilds the routing tables.
     pub(super) fn apply_retuning(&mut self, shortcuts: &[Shortcut]) {
-        let n = self.dims.nodes();
         let vcs = self.config.total_vcs();
         let depth = self.config.buffer_depth as u32;
+        let installed: Vec<Shortcut> = shortcuts
+            .iter()
+            .filter(|s| !self.failed_rf_tx[s.src])
+            .copied()
+            .collect();
         // Tear down all RF ports (drained by construction).
         for r in self.routers.iter_mut() {
             r.inputs[PORT_RF] = InputPort::default();
             r.outputs[PORT_RF] = OutputPort::default();
         }
-        for s in shortcuts {
+        for s in &installed {
             let hops = self.dims.manhattan(s.src, s.dst);
             let out = &mut self.routers[s.src].outputs[PORT_RF];
             out.exists = true;
@@ -84,8 +88,26 @@ impl Network {
             inp.vcs = vec![Default::default(); vcs];
             inp.upstream = Some((s.src, PORT_RF as u8));
         }
-        // Rebuild the shortest-path tables over the new topology.
-        let graph = GridGraph::with_shortcuts(self.dims, shortcuts);
+        self.active_shortcuts = installed;
+        self.rebuild_unicast_tables();
+    }
+
+    /// Rebuilds the shortest-path tables over the current topology: the
+    /// surviving mesh plus the active shortcuts. While the mesh is intact
+    /// this uses the same [`GridGraph`] machinery as construction (so a
+    /// fault-free retune behaves exactly as it always did); with failed
+    /// mesh links it switches to a per-destination BFS over the surviving
+    /// links.
+    pub(super) fn rebuild_unicast_tables(&mut self) {
+        let n = self.dims.nodes();
+        if self.mesh_link_failures > 0 {
+            let shortcuts = self.active_shortcuts.clone();
+            let (pt, dm) = self.detour_tables(&shortcuts);
+            self.port_table = Some(pt);
+            self.sp_dist = Some(dm);
+            return;
+        }
+        let graph = GridGraph::with_shortcuts(self.dims, &self.active_shortcuts);
         let dist = graph.distances();
         let tables = RoutingTables::from_distances(&graph, &dist);
         let mut pt = vec![PORT_LOCAL as u8; n * n];
@@ -124,6 +146,11 @@ impl Network {
             ReconfigState::Updating(until) => {
                 if self.cycle >= until {
                     self.reconfigurations += 1;
+                    // A fault that struck mid-rewrite queued a fresh target;
+                    // start draining toward it now.
+                    if let Some(target) = self.pending_target.take() {
+                        self.reconfig = ReconfigState::Draining(target);
+                    }
                 } else {
                     self.reconfig = ReconfigState::Updating(until);
                 }

@@ -124,6 +124,10 @@ pub(crate) struct OutputPort {
     /// Whether this shortcut is realised in conventional buffered wire
     /// rather than RF-I (the paper's "Mesh Wire Shortcuts" comparison).
     pub is_wire: bool,
+    /// Fail-stop fault flag: a failed port refuses *new* packet
+    /// allocations while wormholes already holding a VC drain normally
+    /// (credits keep flowing), so teardown is credit-safe.
+    pub failed: bool,
     /// Downstream VC states.
     pub vcs: Vec<OutVc>,
     /// Round-robin cursor over `(input port, vc)` switch-allocation
@@ -132,9 +136,13 @@ pub(crate) struct OutputPort {
 }
 
 impl OutputPort {
-    /// Whether `vc` is free for a new packet: unowned and fully credited
-    /// (all previously sent flits have left the downstream buffer).
+    /// Whether `vc` is free for a new packet: port healthy, VC unowned and
+    /// fully credited (all previously sent flits have left the downstream
+    /// buffer).
     pub fn vc_free(&self, vc: usize, full_credits: u32) -> bool {
+        if self.failed {
+            return false;
+        }
         let s = &self.vcs[vc];
         s.owner.is_none() && (self.target.is_none() || s.credits == full_credits)
     }
@@ -278,6 +286,9 @@ mod tests {
         port.vcs[0].credits = 4;
         port.vcs[0].owner = Some(9);
         assert!(!port.vc_free(0, 4), "owned");
+        port.vcs[0].owner = None;
+        port.failed = true;
+        assert!(!port.vc_free(0, 4), "failed ports refuse new packets");
     }
 
     #[test]
@@ -292,14 +303,16 @@ mod tests {
 
     #[test]
     fn claim_release_tracks_occupied() {
-        let mut r = Router::default();
-        r.inputs = vec![InputPort {
-            exists: true,
-            vcs: vec![VcState::default(); 4],
-            arrivals: VecDeque::new(),
-            upstream: None,
-            occupied: Vec::new(),
-        }];
+        let mut r = Router {
+            inputs: vec![InputPort {
+                exists: true,
+                vcs: vec![VcState::default(); 4],
+                arrivals: VecDeque::new(),
+                upstream: None,
+                occupied: Vec::new(),
+            }],
+            ..Router::default()
+        };
         r.claim_vc(0, 2, 11);
         assert_eq!(r.inputs[0].occupied, vec![2]);
         assert_eq!(r.inputs[0].vcs[2].cur_packet, Some(11));

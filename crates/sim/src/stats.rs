@@ -1,5 +1,6 @@
 //! Simulation statistics and run reports.
 
+use crate::fault::HealthReport;
 use rfnoc_power::ActivityCounters;
 
 /// Statistics gathered over one simulation run.
@@ -51,6 +52,18 @@ pub struct RunStats {
     pub saturated: bool,
     /// Cycle at which the run ended.
     pub end_cycle: u64,
+    /// RF shortcut (transmitter) failures applied during the run.
+    pub shortcut_faults: u64,
+    /// Mesh link failures applied during the run.
+    pub mesh_link_faults: u64,
+    /// Repair events (shortcut or mesh link) applied during the run.
+    pub repairs: u64,
+    /// Flits delayed by transient link glitches (dropped at the receiver
+    /// and retransmitted from the upstream buffer).
+    pub retransmitted_flits: u64,
+    /// Set when the forward-progress watchdog stopped the run early with a
+    /// deadlock/livelock/partition diagnosis.
+    pub health: Option<HealthReport>,
 }
 
 impl RunStats {
@@ -72,7 +85,17 @@ impl RunStats {
             pair_counts: Vec::new(),
             saturated: false,
             end_cycle: 0,
+            shortcut_faults: 0,
+            mesh_link_faults: 0,
+            repairs: 0,
+            retransmitted_flits: 0,
+            health: None,
         }
+    }
+
+    /// Whether the run ended healthy (the watchdog did not fire).
+    pub fn is_healthy(&self) -> bool {
+        self.health.is_none()
     }
 
     /// Mean latency per message in cycles.

@@ -3,7 +3,7 @@
 use rfnoc_power::LinkWidth;
 use rfnoc_sim::{
     DestSet, McConfig, MessageClass, MessageSpec, MulticastMode, Network, NetworkSpec,
-    RoutingKind, ScriptedWorkload, SimConfig, VctConfig, Workload,
+    ReconfigError, RoutingKind, ScriptedWorkload, SimConfig, SimError, VctConfig, Workload,
 };
 use rfnoc_topology::{GridDims, Shortcut};
 
@@ -747,7 +747,7 @@ fn live_reconfiguration_retunes_shortcuts_mid_run() {
     let rf_bytes_phase1 = {
         // peek at counters through a fresh run? use reconfigurations API +
         // later assertions instead; here just retune.
-        network.reconfigure(vec![Shortcut::new(90, 9)]);
+        network.reconfigure(vec![Shortcut::new(90, 9)]).expect("legal retune accepted");
         0
     };
     let _ = rf_bytes_phase1;
@@ -791,11 +791,53 @@ fn live_reconfiguration_retunes_shortcuts_mid_run() {
 }
 
 #[test]
-#[should_panic(expected = "requires shortest-path")]
 fn reconfigure_rejected_on_xy_network() {
     let dims = GridDims::new(4, 4);
     let mut network = Network::new(NetworkSpec::mesh_baseline(dims, quick_config()));
-    network.reconfigure(vec![Shortcut::new(0, 15)]);
+    let err = network.reconfigure(vec![Shortcut::new(0, 15)]);
+    assert_eq!(err, Err(ReconfigError::XyRouting));
+    assert!(err.unwrap_err().to_string().contains("requires shortest-path"));
+}
+
+#[test]
+fn reconfigure_rejects_self_loops_and_double_booked_ports() {
+    let dims = GridDims::new(4, 4);
+    let spec = NetworkSpec::with_shortcuts(dims, quick_config(), vec![Shortcut::new(0, 15)]);
+    let mut network = Network::new(spec);
+    assert_eq!(
+        network.reconfigure(vec![Shortcut::new(7, 7)]),
+        Err(ReconfigError::SelfLoop { router: 7 }),
+        "the seed accepted self-loop shortcuts silently; they must be rejected"
+    );
+    assert_eq!(
+        network.reconfigure(vec![Shortcut::new(1, 5), Shortcut::new(1, 9)]),
+        Err(ReconfigError::DuplicateSource { router: 1 })
+    );
+    assert_eq!(
+        network.reconfigure(vec![Shortcut::new(1, 5), Shortcut::new(9, 5)]),
+        Err(ReconfigError::DuplicateDest { router: 5 })
+    );
+    assert_eq!(
+        network.reconfigure(vec![Shortcut::new(0, 99)]),
+        Err(ReconfigError::EndpointOutOfRange { src: 0, dst: 99 })
+    );
+    // A rejected request leaves the network reconfigurable.
+    network.reconfigure(vec![Shortcut::new(3, 12)]).expect("legal set accepted");
+    assert_eq!(
+        network.reconfigure(vec![Shortcut::new(0, 15)]),
+        Err(ReconfigError::InProgress)
+    );
+}
+
+#[test]
+fn self_loop_shortcut_rejected_at_build() {
+    let dims = GridDims::new(4, 4);
+    let spec =
+        NetworkSpec::with_shortcuts(dims, quick_config(), vec![Shortcut::new(5, 5)]);
+    match Network::try_new(spec) {
+        Err(SimError::Shortcuts(ReconfigError::SelfLoop { router: 5 })) => {}
+        other => panic!("expected self-loop rejection, got {other:?}"),
+    }
 }
 
 #[test]

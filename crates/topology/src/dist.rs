@@ -125,13 +125,11 @@ impl DistanceMatrix {
         // Copy row j and column i to avoid aliasing during the update.
         let row_j: Vec<u32> = self.d[j * n..(j + 1) * n].to_vec();
         let col_i: Vec<u32> = (0..n).map(|x| self.d[x * n + i]).collect();
-        for x in 0..n {
-            let dxi = col_i[x];
+        for (x, &dxi) in col_i.iter().enumerate() {
             if dxi == UNREACHABLE {
                 continue;
             }
-            for y in 0..n {
-                let djy = row_j[y];
+            for (y, &djy) in row_j.iter().enumerate() {
                 if djy == UNREACHABLE {
                     continue;
                 }

@@ -62,13 +62,13 @@ impl GridGraph {
     pub fn mesh(dims: GridDims) -> Self {
         let n = dims.nodes();
         let mut adjacency = vec![Vec::with_capacity(5); n];
-        for i in 0..n {
+        for (i, neighbors) in adjacency.iter_mut().enumerate() {
             let c = dims.coord_of(i);
             let mut push = |x: i32, y: i32| {
                 if x >= 0 && y >= 0 {
                     let c2 = Coord::new(x as u16, y as u16);
                     if dims.contains(c2) {
-                        adjacency[i].push(dims.index_of(c2));
+                        neighbors.push(dims.index_of(c2));
                     }
                 }
             };

@@ -163,20 +163,20 @@ impl AppWorkload {
             .filter(|&r| placement.kind(r) != ComponentKind::Memory)
             .collect();
         let mut buckets = vec![vec![Vec::new(); MAX_DIST + 1]; n];
-        for src in 0..n {
+        for (src, by_dist) in buckets.iter_mut().enumerate() {
             for &e in &endpoints {
                 if e != src {
                     let d = dims.manhattan(src, e) as usize;
-                    buckets[src][d.min(MAX_DIST)].push(e);
+                    by_dist[d.min(MAX_DIST)].push(e);
                 }
             }
         }
         let mut cumulative = Vec::with_capacity(n);
-        for src in 0..n {
+        for by_dist in &buckets {
             let mut acc = 0.0;
             let mut cum = Vec::new();
             for (d, w) in profile.distance_weights.iter().enumerate() {
-                if *w > 0.0 && !buckets[src][d].is_empty() {
+                if *w > 0.0 && !by_dist[d].is_empty() {
                     acc += w;
                     cum.push((acc, d));
                 }

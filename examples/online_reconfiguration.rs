@@ -62,7 +62,7 @@ fn main() {
     let rf50 = staggered_rf_routers(placement.dims(), 50);
     let profile_b = phase_b.profile(&placement, &traffic, 10_000);
     let new_set = adaptive_shortcuts(&placement, &rf50, &profile_b, 16);
-    network.reconfigure(new_set);
+    network.reconfigure(new_set).expect("legal shortcut set on a table-routed network");
     println!("reconfiguration requested (drain → retune → 99-cycle table rewrite)");
 
     // Phase B traffic, while the reconfiguration completes underneath.
