@@ -1,0 +1,196 @@
+//! Structured result artifacts: machine-readable JSON (with provenance)
+//! and CSV written alongside the printed tables.
+//!
+//! Every plan-based bench binary writes `results/json/<name>.json`
+//! describing the plan, per-point summaries (latency, tail percentiles,
+//! power, area, normalisation, wall time), and run provenance (git
+//! describe, timestamp, thread count) — so regenerated figures carry
+//! their own methodology. JSON is hand-rolled; the container has no
+//! serde and the schema is flat.
+
+use crate::runner::PlanResults;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Escapes a string for a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as JSON: finite values with 4 decimals, else `null`
+/// (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git is unavailable — the provenance stamp of every artifact.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Renders the full JSON artifact for one named plan's results.
+pub fn render_json(name: &str, results: &PlanResults) -> String {
+    let unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_str(name));
+    let _ = writeln!(out, "  \"git\": {},", json_str(&git_describe()));
+    let _ = writeln!(out, "  \"generated_unix\": {unix},");
+    let _ = writeln!(out, "  \"jobs\": {},", results.jobs);
+    let _ = writeln!(out, "  \"points_total\": {},", results.results.len());
+    let _ = writeln!(out, "  \"unique_experiments\": {},", results.unique_runs);
+    let _ = writeln!(
+        out,
+        "  \"wall_ms\": {},",
+        json_f64(results.total_wall.as_secs_f64() * 1e3)
+    );
+    let _ = writeln!(
+        out,
+        "  \"points_wall_ms\": {},",
+        json_f64(results.points_wall.as_secs_f64() * 1e3)
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let stats = &r.report.stats;
+        let (p50, p95, p99) = stats.latency_tail();
+        let labels = &r.point.labels;
+        out.push_str("    {");
+        let _ = write!(out, "\"id\": {}, ", json_str(&r.point.id));
+        let _ = write!(out, "\"design\": {}, ", json_str(&labels.design));
+        let _ = write!(out, "\"workload\": {}, ", json_str(&labels.workload));
+        let _ = write!(out, "\"sim\": {}, ", json_str(&labels.sim));
+        let _ = write!(out, "\"traffic\": {}, ", json_str(&labels.traffic));
+        let _ = write!(out, "\"placement\": {}, ", json_str(&labels.placement));
+        let _ = write!(out, "\"fault\": {}, ", json_str(&labels.fault));
+        match &r.point.baseline_id {
+            Some(b) => {
+                let _ = write!(out, "\"baseline_id\": {}, ", json_str(b));
+            }
+            None => out.push_str("\"baseline_id\": null, "),
+        }
+        let _ = write!(out, "\"wall_ms\": {}, ", json_f64(r.wall.as_secs_f64() * 1e3));
+        let _ = write!(out, "\"avg_latency_cycles\": {}, ", json_f64(r.report.avg_latency()));
+        let _ = write!(
+            out,
+            "\"avg_flit_latency_cycles\": {}, ",
+            json_f64(r.report.avg_flit_latency())
+        );
+        let _ = write!(out, "\"p50_latency_cycles\": {}, ", json_f64(p50));
+        let _ = write!(out, "\"p95_latency_cycles\": {}, ", json_f64(p95));
+        let _ = write!(out, "\"p99_latency_cycles\": {}, ", json_f64(p99));
+        let _ = write!(out, "\"avg_hops\": {}, ", json_f64(stats.avg_hops()));
+        let _ = write!(out, "\"injected_messages\": {}, ", stats.injected_messages);
+        let _ = write!(out, "\"completed_messages\": {}, ", stats.completed_messages);
+        let _ = write!(out, "\"completion_rate\": {}, ", json_f64(stats.completion_rate()));
+        let _ = write!(out, "\"power_w\": {}, ", json_f64(r.report.total_power_w()));
+        let _ = write!(out, "\"area_mm2\": {}, ", json_f64(r.report.total_area_mm2()));
+        let _ = write!(out, "\"saturated\": {}, ", stats.saturated);
+        match &stats.health {
+            Some(h) => {
+                let _ = write!(out, "\"health\": {}, ", json_str(&h.diagnosis.to_string()));
+            }
+            None => out.push_str("\"health\": null, "),
+        }
+        let _ = write!(out, "\"shortcut_faults\": {}, ", stats.shortcut_faults);
+        let _ = write!(out, "\"mesh_link_faults\": {}, ", stats.mesh_link_faults);
+        match r.normalized {
+            Some((lat, pow)) => {
+                let _ = write!(
+                    out,
+                    "\"normalized_latency\": {}, \"normalized_power\": {}",
+                    json_f64(lat),
+                    json_f64(pow)
+                );
+            }
+            None => {
+                out.push_str("\"normalized_latency\": null, \"normalized_power\": null");
+            }
+        }
+        out.push('}');
+        out.push_str(if i + 1 < results.results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the JSON artifact to `results/json/<name>.json`, logging (not
+/// propagating) I/O failures; returns the path on success.
+pub fn write_json(name: &str, results: &PlanResults) -> Option<PathBuf> {
+    let path = PathBuf::from(format!("results/json/{name}.json"));
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("artifact: cannot create {}: {e}", dir.display());
+            return None;
+        }
+    }
+    match std::fs::write(&path, render_json(name, results)) {
+        Ok(()) => {
+            eprintln!("artifact: wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("artifact: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Writes a CSV next to the printed table, logging (not propagating)
+/// failures — the shared replacement for each binary's hand-rolled
+/// `write_csv(...).unwrap_or_else(eprintln!)`.
+pub fn write_csv_logged(path: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if let Err(e) = crate::write_csv(path, headers, rows) {
+        eprintln!("csv: cannot write {path}: {e}");
+    } else {
+        eprintln!("csv: wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5000");
+    }
+
+    #[test]
+    fn git_describe_never_empty() {
+        assert!(!git_describe().is_empty());
+    }
+}

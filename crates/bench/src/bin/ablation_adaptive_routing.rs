@@ -1,63 +1,8 @@
-//! Ablation: adaptive routing around congested shortcuts (the HPCA-2008
-//! contention-avoidance technique).
+//! Ablation: shortcut contention-avoidance (mesh detour) routing.
 //!
-//! With only 16 shortcut channels, popular shortcuts become bottlenecks.
-//! The 2008 paper "explored the potential of adaptive-routing techniques
-//! to avoid bottlenecks resulting from contention for the shortcuts".
-//! Here: the same adaptive-shortcut design with the detour enabled vs
-//! disabled, across offered loads on the hotspot trace.
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin ablation_adaptive_routing
-//! ```
-
-use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
-use rfnoc_bench::print_table;
-use rfnoc_power::LinkWidth;
-use rfnoc_sim::SimConfig;
-use rfnoc_traffic::{TraceKind, TrafficConfig};
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Ablation: shortcut contention-avoidance routing (1Hotspot, 4B mesh)");
-    let mut rows = Vec::new();
-    for &rate in &[0.004, 0.008, 0.012, 0.016] {
-        let traffic = TrafficConfig { injection_rate: rate, ..TrafficConfig::default() };
-        let run = |detour: bool| {
-            let mut sim = SimConfig::paper_baseline();
-            sim.warmup_cycles = 2_000;
-            sim.measure_cycles = 25_000;
-            sim.adaptive_shortcut_routing = detour;
-            let system = SystemConfig::new(
-                Architecture::AdaptiveShortcuts { access_points: 50 },
-                LinkWidth::B4,
-            )
-            .with_sim(sim);
-            Experiment::new(system, WorkloadSpec::Trace(TraceKind::Hotspot1))
-                .with_traffic(traffic.clone())
-                .run()
-        };
-        let with = run(true);
-        let without = run(false);
-        let fmt = |r: &rfnoc::RunReport| {
-            format!(
-                "{:.1}{}",
-                r.avg_latency(),
-                if r.stats.saturated { "*" } else { "" }
-            )
-        };
-        rows.push(vec![
-            format!("{rate}"),
-            fmt(&with),
-            fmt(&without),
-            format!(
-                "{:+.1}%",
-                (without.avg_latency() / with.avg_latency() - 1.0) * 100.0
-            ),
-        ]);
-    }
-    print_table(
-        "Average latency with/without the mesh detour (* = saturated)",
-        &["rate (msg/node/cyc)", "detour on", "detour off", "detour benefit"],
-        &rows,
-    );
+    rfnoc_bench::suite::main_for("ablation_adaptive_routing");
 }

@@ -1,47 +1,8 @@
-//! Ablation: escape virtual-channel provisioning.
+//! Ablation: escape VC count under elevated hotspot load.
 //!
-//! The paper reserves eight virtual channels that only use conventional
-//! mesh links to break deadlocks (§4). This harness sweeps the escape VC
-//! count (with the adaptive VC count fixed) on the shortcut-augmented
-//! network to show the cost/benefit: too few escape VCs throttle the
-//! fallback path under congestion; the paper's eight are comfortably
-//! enough.
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin ablation_escape_vcs
-//! ```
-
-use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
-use rfnoc_bench::print_table;
-use rfnoc_power::LinkWidth;
-use rfnoc_sim::SimConfig;
-use rfnoc_traffic::{TraceKind, TrafficConfig};
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Ablation: escape VC count (adaptive shortcuts @16B, 4 adaptive VCs)");
-    let mut rows = Vec::new();
-    for escape in [1usize, 2, 4, 8, 12] {
-        let mut sim = SimConfig::paper_baseline();
-        sim.vcs_escape = escape;
-        sim.warmup_cycles = 2_000;
-        sim.measure_cycles = 30_000;
-        let system =
-            SystemConfig::new(Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B16)
-                .with_sim(sim);
-        let report = Experiment::new(system, WorkloadSpec::Trace(TraceKind::Hotspot1))
-            .with_traffic(TrafficConfig { injection_rate: 0.01, ..TrafficConfig::default() })
-            .run();
-        rows.push(vec![
-            escape.to_string(),
-            format!("{:.1}", report.avg_latency()),
-            format!("{:.3}", report.stats.completion_rate()),
-            if report.stats.saturated { "yes".into() } else { "no".into() },
-        ]);
-    }
-    print_table(
-        "1Hotspot at elevated load (0.01 msg/node/cycle)",
-        &["escape VCs", "latency (cyc)", "completion rate", "saturated"],
-        &rows,
-    );
-    println!("\nThe paper's choice of 8 escape VCs sits on the flat part of the curve.");
+    rfnoc_bench::suite::main_for("ablation_escape_vcs");
 }

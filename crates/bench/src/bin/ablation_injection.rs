@@ -1,54 +1,8 @@
-//! Ablation: latency vs offered load for the three unicast architectures.
+//! Ablation: average latency vs offered load (saturation behaviour).
 //!
-//! Sweeps the per-component injection rate on the Uniform trace and
-//! reports the latency of the 16B baseline, static shortcuts @16B, and
-//! adaptive shortcuts @4B — showing where each design saturates and how
-//! the RF-I overlay extends the 4B mesh's usable load range.
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin ablation_injection
-//! ```
-
-use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
-use rfnoc_bench::print_table;
-use rfnoc_power::LinkWidth;
-use rfnoc_sim::SimConfig;
-use rfnoc_traffic::{TraceKind, TrafficConfig};
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Ablation: latency vs offered load (Uniform trace)");
-    let mut rows = Vec::new();
-    for &rate in &[0.002, 0.004, 0.008, 0.012, 0.016, 0.020] {
-        let traffic = TrafficConfig { injection_rate: rate, ..TrafficConfig::default() };
-        let mut sim = SimConfig::paper_baseline();
-        sim.warmup_cycles = 2_000;
-        sim.measure_cycles = 25_000;
-        let run = |arch: Architecture, width: LinkWidth| {
-            let system = SystemConfig::new(arch, width).with_sim(sim.clone());
-            let report = Experiment::new(system, WorkloadSpec::Trace(TraceKind::Uniform))
-                .with_traffic(traffic.clone())
-                .run();
-            format!(
-                "{:.1}{}",
-                report.avg_latency(),
-                if report.stats.saturated { "*" } else { "" }
-            )
-        };
-        rows.push(vec![
-            format!("{rate}"),
-            run(Architecture::Baseline, LinkWidth::B16),
-            run(Architecture::Baseline, LinkWidth::B4),
-            run(Architecture::StaticShortcuts, LinkWidth::B16),
-            run(Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B4),
-        ]);
-    }
-    print_table(
-        "Average message latency in cycles (* = saturated)",
-        &["rate (msg/node/cyc)", "base 16B", "base 4B", "static 16B", "adaptive 4B"],
-        &rows,
-    );
-    println!(
-        "\nExpectation: the 4B baseline saturates earliest; adaptive RF-I\n\
-         pushes the 4B mesh's saturation point back toward the 16B baseline's."
-    );
+    rfnoc_bench::suite::main_for("ablation_injection");
 }

@@ -1,78 +1,8 @@
-//! Ablation: does the RF-I advantage grow with mesh size?
+//! Ablation: RF-I benefit as the mesh scales from 8x8 to 14x14.
 //!
-//! The paper's motivation (§1) is scaling: "As CMPs scale to tens or
-//! hundreds of cores ... power in particular is a concern". With a *fixed*
-//! 256B aggregate RF-I budget (16 shortcuts), cross-chip distances grow
-//! with the mesh while shortcut latency stays one cycle — so the latency
-//! reduction from the overlay should widen as the mesh grows.
-//!
-//! Sweeps square meshes from 8×8 to 14×14 with the quadrant-cluster
-//! placement scaled accordingly (half the routers RF-enabled, budget fixed
-//! at 16 shortcuts).
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin ablation_mesh_scaling
-//! ```
-
-use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
-use rfnoc_bench::print_table;
-use rfnoc_power::LinkWidth;
-use rfnoc_sim::SimConfig;
-use rfnoc_traffic::{Placement, TraceKind, TrafficConfig};
-use rfnoc_topology::GridDims;
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Ablation: RF-I benefit vs mesh size (fixed 256B RF budget)");
-    let mut rows = Vec::new();
-    for side in [8usize, 10, 12, 14] {
-        let dims = GridDims::new(side, side);
-        let placement = Placement::quadrant_clusters(dims);
-        let nodes = dims.nodes();
-        // Keep total offered load roughly constant as the mesh grows.
-        let traffic = TrafficConfig {
-            injection_rate: 0.008 * 100.0 / nodes as f64,
-            ..TrafficConfig::default()
-        };
-        let mut sim = SimConfig::paper_baseline();
-        sim.warmup_cycles = 2_000;
-        sim.measure_cycles = 25_000;
-        let run = |arch: Architecture| {
-            let system = SystemConfig::new(arch, LinkWidth::B16).with_sim(sim.clone());
-            let mut exp = Experiment::new(system, WorkloadSpec::Trace(TraceKind::Uniform));
-            exp.placement = placement.clone();
-            exp.traffic = traffic.clone();
-            exp.profile_cycles = 8_000;
-            exp.run()
-        };
-        eprintln!("running {side}x{side} ...");
-        let base = run(Architecture::Baseline);
-        let static_sc = run(Architecture::StaticShortcuts);
-        let adaptive = run(Architecture::AdaptiveShortcuts { access_points: nodes / 2 });
-        rows.push(vec![
-            format!("{side}x{side} ({nodes} routers)"),
-            format!("{:.1}", base.avg_latency()),
-            format!("{:.2}", static_sc.avg_latency() / base.avg_latency()),
-            format!("{:.2}", adaptive.avg_latency() / base.avg_latency()),
-            format!("{:.2}", base.stats.avg_hops()),
-            format!("{:.2}", adaptive.stats.avg_hops()),
-        ]);
-    }
-    print_table(
-        "Uniform trace, 16B links, 16 shortcuts",
-        &[
-            "mesh",
-            "base lat (cyc)",
-            "static lat (norm)",
-            "adaptive lat (norm)",
-            "base hops",
-            "adaptive hops",
-        ],
-        &rows,
-    );
-    println!(
-        "\nExpectation: the normalised latency of the RF-I designs falls as\n\
-         the mesh grows — single-cycle shortcuts replace ever-longer\n\
-         multi-hop paths, which is the scaling argument of the paper's\n\
-         introduction."
-    );
+    rfnoc_bench::suite::main_for("ablation_mesh_scaling");
 }

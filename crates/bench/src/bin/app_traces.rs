@@ -1,58 +1,8 @@
-//! Application traces (§4.2 / §5.1.2): the five applications (SPECjbb2005
-//! and four PARSEC benchmarks, reproduced here as synthetic profiles — see
-//! DESIGN.md substitutions) on the 16B baseline vs adaptive RF-I shortcuts
-//! on a 4B mesh.
+//! Application traces: adaptive RF-I on a 4B mesh vs the 16B baseline.
 //!
-//! Paper expectation: "For our real application traces, on average we save
-//! 67% power including the overhead incurred for RF-I for our adaptive
-//! architecture on a 4B mesh; while maintaining network latency on average
-//! that is comparable to the baseline at a 16B mesh."
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin app_traces
-//! ```
-
-use rfnoc::{Architecture, WorkloadSpec};
-use rfnoc_bench::{geomean, print_table, run_logged};
-use rfnoc_power::LinkWidth;
-use rfnoc_traffic::AppProfile;
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Application traces: adaptive RF-I @4B vs 16B baseline");
-    let mut rows = Vec::new();
-    let mut lats = Vec::new();
-    let mut pows = Vec::new();
-    for profile in AppProfile::paper_suite() {
-        let name = profile.name;
-        let workload = WorkloadSpec::App(profile);
-        let baseline = run_logged(Architecture::Baseline, LinkWidth::B16, workload.clone());
-        let adaptive = run_logged(
-            Architecture::AdaptiveShortcuts { access_points: 50 },
-            LinkWidth::B4,
-            workload,
-        );
-        let (lat, pow) = adaptive.normalized_to(&baseline);
-        lats.push(lat);
-        pows.push(pow);
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.1}", baseline.avg_latency()),
-            format!("{:.1}", adaptive.avg_latency()),
-            format!("{lat:.2}"),
-            format!("{:.0}%", (1.0 - pow) * 100.0),
-        ]);
-    }
-    rows.push(vec![
-        "**average**".to_string(),
-        String::new(),
-        String::new(),
-        format!("{:.2}", geomean(&lats)),
-        format!("{:.0}%", (1.0 - geomean(&pows)) * 100.0),
-    ]);
-    print_table(
-        "Adaptive @4B normalised to 16B baseline",
-        &["app", "base lat (cyc)", "adaptive lat (cyc)", "norm. latency", "power saving"],
-        &rows,
-    );
-    println!("\nPaper: ~67% average power saving at comparable latency.");
+    rfnoc_bench::suite::main_for("app_traces");
 }

@@ -1,114 +1,8 @@
 //! Fault-injection sweep: graceful degradation under RF and mesh faults.
 //!
-//! Runs the static- and adaptive-shortcut designs under increasing fault
-//! rates (seed-driven random [`rfnoc_sim::FaultPlan`]s: permanent RF
-//! transmitter failures, permanent mesh link failures, transient link
-//! glitches) and reports the latency/throughput degradation relative to
-//! the fault-free run of the same design. Emits a JSON array on stdout
-//! for plotting; progress goes to stderr.
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin fault_sweep > fault_sweep.json
-//! ```
-
-use rfnoc::{Architecture, Experiment, RunReport, SystemConfig, WorkloadSpec};
-use rfnoc_power::LinkWidth;
-use rfnoc_sim::{FaultRates, SimConfig};
-use rfnoc_traffic::TraceKind;
-
-const WARMUP: u64 = 2_000;
-const MEASURE: u64 = 30_000;
-const SEED: u64 = 0xF00D;
-
-/// Baseline expected event counts at fault factor 1.0.
-fn base_rates() -> FaultRates {
-    FaultRates {
-        shortcut_failures: 2.0,
-        mesh_link_failures: 1.0,
-        glitches: 8.0,
-        repair_after: None,
-    }
-}
-
-fn sweep_sim() -> SimConfig {
-    let mut sim = SimConfig::paper_baseline();
-    sim.warmup_cycles = WARMUP;
-    sim.measure_cycles = MEASURE;
-    sim
-}
-
-fn run_point(arch: Architecture, factor: f64) -> RunReport {
-    let system = SystemConfig::new(arch, LinkWidth::B16).with_sim(sweep_sim());
-    let mut experiment =
-        Experiment::new(system, WorkloadSpec::Trace(TraceKind::Hotspot1));
-    if factor > 0.0 {
-        experiment = experiment.with_random_faults(SEED, base_rates().scaled(factor));
-    }
-    experiment.run()
-}
-
-/// One JSON object per design point; hand-rolled to keep the harness
-/// dependency-free.
-fn json_row(arch: &str, factor: f64, report: &RunReport, clean: &RunReport) -> String {
-    let s = &report.stats;
-    let throughput = s.completed_messages as f64 / MEASURE as f64;
-    let clean_throughput = clean.stats.completed_messages as f64 / MEASURE as f64;
-    let latency_x = if clean.avg_latency() > 0.0 {
-        report.avg_latency() / clean.avg_latency()
-    } else {
-        1.0
-    };
-    let throughput_x =
-        if clean_throughput > 0.0 { throughput / clean_throughput } else { 1.0 };
-    let health = match &s.health {
-        Some(h) => format!("\"{}\"", h.diagnosis),
-        None => "null".into(),
-    };
-    format!(
-        concat!(
-            "{{\"arch\": \"{}\", \"fault_factor\": {:.1}, ",
-            "\"shortcut_faults\": {}, \"mesh_link_faults\": {}, ",
-            "\"retransmitted_flits\": {}, ",
-            "\"avg_latency_cycles\": {:.2}, \"latency_vs_clean\": {:.3}, ",
-            "\"throughput_msgs_per_cycle\": {:.5}, \"throughput_vs_clean\": {:.3}, ",
-            "\"completion_rate\": {:.4}, \"saturated\": {}, \"health\": {}}}"
-        ),
-        arch,
-        factor,
-        s.shortcut_faults,
-        s.mesh_link_faults,
-        s.retransmitted_flits,
-        report.avg_latency(),
-        latency_x,
-        throughput,
-        throughput_x,
-        s.completion_rate(),
-        s.saturated,
-        health,
-    )
-}
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    let designs: [(&str, Architecture); 2] = [
-        ("static", Architecture::StaticShortcuts),
-        ("adaptive", Architecture::AdaptiveShortcuts { access_points: 50 }),
-    ];
-    let factors = [0.0, 1.0, 2.0, 4.0];
-    let mut rows = Vec::new();
-    for (name, arch) in designs {
-        eprintln!("fault_sweep: {name} clean run ...");
-        let clean = run_point(arch.clone(), 0.0);
-        for factor in factors {
-            eprintln!("fault_sweep: {name} @ fault factor {factor:.1} ...");
-            let report =
-                if factor == 0.0 { clean.clone() } else { run_point(arch.clone(), factor) };
-            rows.push(json_row(name, factor, &report, &clean));
-        }
-    }
-    println!("[");
-    for (i, row) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        println!("  {row}{sep}");
-    }
-    println!("]");
+    rfnoc_bench::suite::main_for("fault_sweep");
 }

@@ -1,120 +1,8 @@
-//! Figure 10: overall results comparison — power vs performance scatter
-//! for (a) unicast architectures and (b) multicast architectures, each
-//! evaluated at 16B/8B/4B mesh links and averaged over the probabilistic
-//! traces; normalised to the 16B baseline mesh.
+//! Figure 10: overall power vs performance comparison across architectures.
 //!
-//! Paper headline: the most cost-effective unicast design is the 4B mesh
-//! with adaptive RF-I shortcuts (comparable latency, −65% power, −82%
-//! area); the best multicast design combines a 4B mesh, 15 adaptive
-//! shortcuts, and RF multicast (+15% performance, −69% power).
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin fig10_unified [--quick]
-//! ```
-//!
-//! `--quick` restricts the sweep to three representative traces.
-
-use rfnoc::{Architecture, WorkloadSpec};
-use rfnoc_bench::{geomean, multicast_workload, print_table, run_logged};
-use rfnoc_power::LinkWidth;
-use rfnoc_traffic::TraceKind;
-
-fn traces(quick: bool) -> Vec<TraceKind> {
-    if quick {
-        vec![TraceKind::Uniform, TraceKind::BiDf, TraceKind::Hotspot1]
-    } else {
-        TraceKind::all().to_vec()
-    }
-}
-
-fn sweep(
-    title: &str,
-    archs: &[(&str, Architecture)],
-    workload_for: &dyn Fn(TraceKind) -> WorkloadSpec,
-    quick: bool,
-) {
-    // Baselines once per trace, reused across every design point.
-    let baselines: Vec<_> = traces(quick)
-        .into_iter()
-        .map(|trace| run_logged(Architecture::Baseline, LinkWidth::B16, workload_for(trace)))
-        .collect();
-    let mut rows = Vec::new();
-    for (name, arch) in archs {
-        for width in LinkWidth::all() {
-            let mut lats = Vec::new();
-            let mut pows = Vec::new();
-            for (trace, baseline) in traces(quick).into_iter().zip(&baselines) {
-                let workload = workload_for(trace);
-                let report = if *arch == Architecture::Baseline && width == LinkWidth::B16 {
-                    baseline.clone()
-                } else {
-                    run_logged(arch.clone(), width, workload)
-                };
-                let (lat, pow) = report.normalized_to(baseline);
-                lats.push(lat);
-                pows.push(pow);
-            }
-            // Figure 10 plots normalised *performance* (1/latency) on the
-            // x-axis and normalised power on the y-axis.
-            let latency = geomean(&lats);
-            rows.push(vec![
-                format!("{name} @{width}"),
-                format!("{:.2}", 1.0 / latency),
-                format!("{:.2}", geomean(&pows)),
-                format!("{latency:.2}"),
-            ]);
-        }
-    }
-    let headers = ["design", "norm. performance", "norm. power", "norm. latency"];
-    print_table(title, &headers, &rows);
-    let slug: String = title
-        .chars()
-        .take_while(|c| *c != ':')
-        .filter(|c| c.is_ascii_alphanumeric())
-        .collect();
-    if let Err(e) =
-        rfnoc_bench::write_csv(&format!("results/csv/{}.csv", slug.to_lowercase()), &headers, &rows)
-    {
-        eprintln!("csv write failed: {e}");
-    }
-}
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    println!("# Figure 10: overall power vs performance comparison");
-
-    sweep(
-        "Figure 10a: unicast architectures",
-        &[
-            ("Mesh Baseline", Architecture::Baseline),
-            ("Mesh Wire Shortcuts", Architecture::WireShortcuts),
-            ("Mesh Static Shortcuts", Architecture::StaticShortcuts),
-            ("Mesh Adaptive Shortcuts", Architecture::AdaptiveShortcuts { access_points: 50 }),
-        ],
-        &WorkloadSpec::Trace,
-        quick,
-    );
-
-    sweep(
-        "Figure 10b: multicast architectures (traces + coherence multicasts)",
-        &[
-            ("Mesh Baseline", Architecture::Baseline),
-            ("RF Multicast", Architecture::RfMulticast { access_points: 50 }),
-            (
-                "Adaptive Shortcuts",
-                Architecture::AdaptiveShortcuts { access_points: 50 },
-            ),
-            (
-                "Adaptive + RF Multicast",
-                Architecture::AdaptiveWithMulticast { access_points: 50, shortcut_budget: 15 },
-            ),
-        ],
-        &|trace| multicast_workload(trace, 0.2),
-        quick,
-    );
-
-    println!(
-        "\nPaper headline: adaptive RF-I on a 4B mesh ≈ baseline performance at \
-         ~35% power; adaptive + RF multicast on 4B ≈ +15% performance at ~31% power."
-    );
+    rfnoc_bench::suite::main_for("fig10");
 }

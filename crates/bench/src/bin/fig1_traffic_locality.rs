@@ -1,52 +1,8 @@
-//! Figure 1: traffic locality in the baseline mesh, for x264 and
-//! bodytrack — number of messages by source→destination Manhattan
-//! distance, plus the median line the paper draws.
+//! Figure 1: traffic distribution by Manhattan distance on the baseline mesh.
 //!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin fig1_traffic_locality
-//! ```
-
-use rfnoc::{Architecture, WorkloadSpec};
-use rfnoc_bench::{print_table, run_logged};
-use rfnoc_power::LinkWidth;
-use rfnoc_traffic::AppProfile;
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Figure 1: traffic by Manhattan distance (baseline 16B mesh)");
-    for profile in [AppProfile::x264(), AppProfile::bodytrack()] {
-        let name = profile.name;
-        let report = run_logged(
-            Architecture::Baseline,
-            LinkWidth::B16,
-            WorkloadSpec::App(profile),
-        );
-        let hist = &report.stats.distance_histogram;
-        let relevant = &hist[1..=14.min(hist.len() - 1)];
-        let mut sorted: Vec<u64> = relevant.to_vec();
-        sorted.sort_unstable();
-        let median = sorted[sorted.len() / 2];
-        let max = relevant.iter().copied().max().unwrap_or(1).max(1);
-        let rows: Vec<Vec<String>> = relevant
-            .iter()
-            .enumerate()
-            .map(|(i, &count)| {
-                let bar_len = (count * 40 / max) as usize;
-                vec![
-                    format!("{}", i + 1),
-                    count.to_string(),
-                    format!("{}{}", "#".repeat(bar_len), if count > 0 && bar_len == 0 { "." } else { "" }),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!("{name} traffic by manhattan distance (median = {median} msgs)"),
-            &["hops", "messages", "profile"],
-            &rows,
-        );
-    }
-    println!(
-        "\nPaper shape check: bodytrack sends a much greater proportion of \
-         single-hop traffic and almost none at 14 hops; x264 peaks at \
-         mid-range distances with a long tail."
-    );
+    rfnoc_bench::suite::main_for("fig1");
 }

@@ -1,53 +1,8 @@
-//! Figure 7: tradeoff between the number of RF-enabled routers and
-//! performance — static shortcuts vs adaptive with 50 vs 25 access points,
-//! on all seven probabilistic traces, normalised to the no-RF baseline
-//! (all at 16B mesh links).
+//! Figure 7: number of RF-enabled routers vs performance and power.
 //!
-//! Paper expectations: static ≈ −20% latency / +11% power on average;
-//! adaptive-50 ≈ −32% / +24%; adaptive-25 ≈ −28% / +15%.
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin fig7_rf_router_count
-//! ```
-
-use rfnoc::{Architecture, WorkloadSpec};
-use rfnoc_bench::{geomean, print_table, run_logged};
-use rfnoc_power::LinkWidth;
-use rfnoc_traffic::TraceKind;
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Figure 7: number of RF-enabled routers vs performance (16B mesh)");
-    let archs = [
-        ("Static Shortcuts", Architecture::StaticShortcuts),
-        ("Adaptive - 50 RF-Enabled", Architecture::AdaptiveShortcuts { access_points: 50 }),
-        ("Adaptive - 25 RF-Enabled", Architecture::AdaptiveShortcuts { access_points: 25 }),
-    ];
-    let mut rows = Vec::new();
-    let mut norms: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); archs.len()];
-    for trace in TraceKind::all() {
-        let workload = WorkloadSpec::Trace(trace);
-        let baseline = run_logged(Architecture::Baseline, LinkWidth::B16, workload.clone());
-        let mut row = vec![trace.name().to_string()];
-        for (i, (_, arch)) in archs.iter().enumerate() {
-            let report = run_logged(arch.clone(), LinkWidth::B16, workload.clone());
-            let (lat, pow) = report.normalized_to(&baseline);
-            norms[i].0.push(lat);
-            norms[i].1.push(pow);
-            row.push(format!("{lat:.2} / {pow:.2}"));
-        }
-        rows.push(row);
-    }
-    let mut avg_row = vec!["**average**".to_string()];
-    for (lats, pows) in &norms {
-        avg_row.push(format!("{:.2} / {:.2}", geomean(lats), geomean(pows)));
-    }
-    rows.push(avg_row);
-    let headers = ["trace", "Static", "Adaptive-50", "Adaptive-25"];
-    print_table("Normalised (latency / power) vs 16B baseline", &headers, &rows);
-    if let Err(e) = rfnoc_bench::write_csv("results/csv/fig7.csv", &headers, &rows) {
-        eprintln!("csv write failed: {e}");
-    }
-    println!(
-        "\nPaper averages: Static 0.80 / 1.11, Adaptive-50 0.68 / 1.24, Adaptive-25 0.72 / 1.15"
-    );
+    rfnoc_bench::suite::main_for("fig7");
 }

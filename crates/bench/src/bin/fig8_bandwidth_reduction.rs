@@ -1,72 +1,8 @@
-//! Figure 8: impact of mesh bandwidth reduction — baseline, static, and
-//! adaptive shortcut architectures at 16B/8B/4B links on all seven
-//! probabilistic traces, normalised to the 16B baseline.
+//! Figure 8: shrinking mesh bandwidth under the RF-I overlay.
 //!
-//! Paper expectations (averages): 8B baseline −48% power / +4% latency;
-//! 4B baseline −72% power / +27% latency; static @4B −67% power / +11%
-//! latency; **adaptive @4B ≈ −62% power at −1% latency** (hotspot traces
-//! gain up to 13%).
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin fig8_bandwidth_reduction
-//! ```
-
-use rfnoc::{Architecture, WorkloadSpec};
-use rfnoc_bench::{geomean, print_table, run_logged};
-use rfnoc_power::LinkWidth;
-use rfnoc_traffic::TraceKind;
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Figure 8: mesh bandwidth reduction (normalised to 16B baseline)");
-    let configs: Vec<(String, Architecture, LinkWidth)> = LinkWidth::all()
-        .into_iter()
-        .flat_map(|w| {
-            [
-                (format!("Baseline {w}"), Architecture::Baseline, w),
-                (format!("Static {w}"), Architecture::StaticShortcuts, w),
-                (
-                    format!("Adaptive {w}"),
-                    Architecture::AdaptiveShortcuts { access_points: 50 },
-                    w,
-                ),
-            ]
-        })
-        .collect();
-
-    let mut norms: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); configs.len()];
-    let mut rows = Vec::new();
-    for trace in TraceKind::all() {
-        let workload = WorkloadSpec::Trace(trace);
-        let baseline = run_logged(Architecture::Baseline, LinkWidth::B16, workload.clone());
-        let mut row = vec![trace.name().to_string()];
-        for (i, (_, arch, width)) in configs.iter().enumerate() {
-            let report = if *arch == Architecture::Baseline && *width == LinkWidth::B16 {
-                baseline.clone()
-            } else {
-                run_logged(arch.clone(), *width, workload.clone())
-            };
-            let (lat, pow) = report.normalized_to(&baseline);
-            norms[i].0.push(lat);
-            norms[i].1.push(pow);
-            row.push(format!("{lat:.2}/{pow:.2}"));
-        }
-        rows.push(row);
-    }
-    let mut avg = vec!["**average**".to_string()];
-    for (lats, pows) in &norms {
-        avg.push(format!("{:.2}/{:.2}", geomean(lats), geomean(pows)));
-    }
-    rows.push(avg);
-
-    let headers: Vec<String> =
-        std::iter::once("trace".to_string()).chain(configs.iter().map(|c| c.0.clone())).collect();
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("Normalised latency/power", &header_refs, &rows);
-    if let Err(e) = rfnoc_bench::write_csv("results/csv/fig8.csv", &header_refs, &rows) {
-        eprintln!("csv write failed: {e}");
-    }
-
-    println!("\nPaper anchors (averages over the probabilistic traces):");
-    println!("  Baseline 8B: 1.04 / 0.52      Baseline 4B: 1.27 / 0.28");
-    println!("  Static   4B: 1.11 / 0.33      Adaptive 4B: 0.99 / 0.38");
+    rfnoc_bench::suite::main_for("fig8");
 }

@@ -1,67 +1,8 @@
-//! Figure 9: multicast power and performance — VCT, RF multicast (MC),
-//! and RF multicast + 15 adaptive shortcuts (MC+SC), at 20% and 50%
-//! destination-set locality, on the seven probabilistic traces augmented
-//! with coherence multicasts; normalised to the 16B baseline mesh (which
-//! expands multicasts into unicasts).
+//! Figure 9: RF multicast power and performance.
 //!
-//! Paper expectations (averages): VCT ≈ −3% latency at high locality but
-//! worse at moderate locality; MC ≈ −14% latency / +11% power; MC+SC ≈
-//! −37% latency / +25% power. (This reproduction's power model credits
-//! the broadcast's retransmission savings, so its MC power lands *below*
-//! baseline — see EXPERIMENTS.md.)
-//!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin fig9_multicast
-//! ```
-
-use rfnoc::Architecture;
-use rfnoc_bench::{geomean, multicast_workload, print_table, run_logged};
-use rfnoc_power::LinkWidth;
-use rfnoc_traffic::TraceKind;
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    println!("# Figure 9: multicast power and performance (16B mesh)");
-    let archs = [
-        ("VCT", Architecture::VctMulticast),
-        ("MC", Architecture::RfMulticast { access_points: 50 }),
-        (
-            "MC+SC",
-            Architecture::AdaptiveWithMulticast { access_points: 50, shortcut_budget: 15 },
-        ),
-    ];
-    for &locality in &[0.2, 0.5] {
-        let tag = (locality * 100.0) as u32;
-        let mut rows = Vec::new();
-        let mut norms: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); archs.len()];
-        for trace in TraceKind::all() {
-            let workload = multicast_workload(trace, locality);
-            let baseline = run_logged(Architecture::Baseline, LinkWidth::B16, workload.clone());
-            let mut row = vec![trace.name().to_string()];
-            for (i, (_, arch)) in archs.iter().enumerate() {
-                let report = run_logged(arch.clone(), LinkWidth::B16, workload.clone());
-                let (lat, pow) = report.normalized_to(&baseline);
-                norms[i].0.push(lat);
-                norms[i].1.push(pow);
-                row.push(format!("{lat:.2}/{pow:.2}"));
-            }
-            rows.push(row);
-        }
-        let mut avg = vec!["**average**".to_string()];
-        for (lats, pows) in &norms {
-            avg.push(format!("{:.2}/{:.2}", geomean(lats), geomean(pows)));
-        }
-        rows.push(avg);
-        let headers = ["trace", "VCT", "MC", "MC+SC"];
-        print_table(
-            &format!("Locality {tag}% — normalised latency/power vs 16B baseline"),
-            &headers,
-            &rows,
-        );
-        if let Err(e) =
-            rfnoc_bench::write_csv(&format!("results/csv/fig9_loc{tag}.csv"), &headers, &rows)
-        {
-            eprintln!("csv write failed: {e}");
-        }
-    }
-    println!("\nPaper averages: VCT-20 ≈ 0.97/1.0, MC ≈ 0.86/1.11, MC+SC ≈ 0.63/1.25");
+    rfnoc_bench::suite::main_for("fig9");
 }

@@ -1,60 +1,8 @@
-//! Load-tuning probe (not a paper figure): sweeps injection rate and
-//! hotspot intensity to find the operating point where the paper's
-//! latency separations (baseline vs static vs adaptive, 16B vs 4B) are
-//! visible without saturating.
+//! Load-tuning probe: injection rate and hotspot intensity (not in run_all by default).
 //!
-//! ```sh
-//! cargo run --release -p rfnoc-bench --bin tune_load
-//! ```
-
-use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
-use rfnoc_power::LinkWidth;
-use rfnoc_traffic::{TraceKind, TrafficConfig};
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
 
 fn main() {
-    for &(rate, hot_frac, hot_mult) in &[
-        (0.004, 0.25, 4.0),
-        (0.006, 0.30, 4.0),
-        (0.008, 0.30, 4.0),
-        (0.008, 0.35, 5.0),
-        (0.010, 0.30, 4.0),
-    ] {
-        let traffic = TrafficConfig {
-            injection_rate: rate,
-            hot_fraction: hot_frac,
-            hot_multiplier: hot_mult,
-            ..TrafficConfig::default()
-        };
-        println!("=== rate {rate}, hot_frac {hot_frac}, hot_mult {hot_mult} ===");
-        for trace in [TraceKind::Uniform, TraceKind::Hotspot1] {
-            let workload = WorkloadSpec::Trace(trace);
-            let run = |arch: Architecture, width: LinkWidth| {
-                Experiment::new(SystemConfig::new(arch, width), workload.clone())
-                    .with_traffic(traffic.clone())
-                    .run()
-            };
-            let base16 = run(Architecture::Baseline, LinkWidth::B16);
-            let static16 = run(Architecture::StaticShortcuts, LinkWidth::B16);
-            let adapt16 =
-                run(Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B16);
-            let base4 = run(Architecture::Baseline, LinkWidth::B4);
-            let adapt4 =
-                run(Architecture::AdaptiveShortcuts { access_points: 50 }, LinkWidth::B4);
-            let n = |r: &rfnoc::RunReport| {
-                format!(
-                    "{:.2}{}",
-                    r.avg_latency() / base16.avg_latency(),
-                    if r.stats.saturated { "*" } else { "" }
-                )
-            };
-            println!(
-                "  {trace:<10} base16 {:.1}cyc | static16 {} adapt16 {} base4 {} adapt4 {}",
-                base16.avg_latency(),
-                n(&static16),
-                n(&adapt16),
-                n(&base4),
-                n(&adapt4),
-            );
-        }
-    }
+    rfnoc_bench::suite::main_for("tune_load");
 }

@@ -1,12 +1,20 @@
 //! Shared helpers for the paper-reproduction benchmark harness.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see `DESIGN.md`'s experiment index); this library holds the common
-//! experiment-running and table-printing plumbing.
+//! (see `DESIGN.md`'s experiment index). Most are thin wrappers over the
+//! sweep harness: [`plan`] declares cross-product sweeps, [`runner`]
+//! executes them across worker threads, [`artifact`] writes structured
+//! JSON/CSV results, and [`suite`] registers every figure's plan builder
+//! and table formatter. This root module holds the remaining common
+//! plumbing (tables, CSV, geometric means).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod plan;
+pub mod runner;
+pub mod suite;
 pub mod svg;
 
 use rfnoc::{Architecture, Experiment, RunReport, SystemConfig, WorkloadSpec};
@@ -40,12 +48,13 @@ pub fn fmt_norm(pair: (f64, f64)) -> String {
 }
 
 /// Geometric-mean helper for averaging normalised results across traces
-/// (ratios should be averaged geometrically).
-pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return f64::NAN;
+/// (ratios should be averaged geometrically). Returns `None` on an empty
+/// slice or any non-positive value, where the mean is undefined.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
     }
-    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+    Some((values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp())
 }
 
 /// Prints a Markdown-style table.
@@ -64,9 +73,10 @@ mod tests {
 
     #[test]
     fn geomean_basics() {
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[0.5, 0.5]) - 0.5).abs() < 1e-12);
-        assert!(geomean(&[]).is_nan());
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[0.5, 0.5]).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
     }
 
     #[test]

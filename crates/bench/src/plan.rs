@@ -1,0 +1,541 @@
+//! Declarative sweep plans: cross-product experiment specifications that
+//! expand into flat, stably-identified lists of runnable points.
+//!
+//! Every paper figure is some cross-product of design points (architecture
+//! × link width) with workloads, simulator variants, traffic loads,
+//! placements, and fault schedules, normalised against a designated
+//! baseline. [`SweepSpec`] declares that product once; [`SweepSpec::expand`]
+//! flattens it into a [`Plan`] of [`RunPoint`]s with stable IDs and
+//! automatic baseline pairing, which the parallel [`crate::runner`]
+//! executes and the table formatters and [`crate::artifact`] writers
+//! consume.
+
+use rfnoc::{Architecture, Experiment, FaultSpec, SystemConfig, WorkloadSpec};
+use rfnoc_power::LinkWidth;
+use rfnoc_sim::SimConfig;
+use rfnoc_traffic::{Placement, TrafficConfig};
+
+/// A labelled architecture + link-width design point (one table column /
+/// scatter point of a figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    /// Column/series label, also the ID segment for this design.
+    pub label: String,
+    /// The architecture to build.
+    pub arch: Architecture,
+    /// Conventional mesh link width.
+    pub width: LinkWidth,
+}
+
+impl Design {
+    /// A labelled design point.
+    pub fn new(label: impl Into<String>, arch: Architecture, width: LinkWidth) -> Self {
+        Self { label: label.into(), arch, width }
+    }
+
+    /// The cross product of architectures and widths, labelled
+    /// `"{name} @{width}"` — the shape of Figures 8 and 10.
+    pub fn cross(archs: &[(&str, Architecture)], widths: &[LinkWidth]) -> Vec<Design> {
+        archs
+            .iter()
+            .flat_map(|(name, arch)| {
+                widths
+                    .iter()
+                    .map(move |w| Design::new(format!("{name} @{w}"), arch.clone(), *w))
+            })
+            .collect()
+    }
+}
+
+/// A labelled value along one sweep dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Labeled<T> {
+    /// Display label, also the ID segment for this value.
+    pub label: String,
+    /// The dimension value.
+    pub value: T,
+}
+
+/// Shorthand constructor for [`Labeled`] dimension values.
+pub fn labeled<T>(label: impl Into<String>, value: T) -> Labeled<T> {
+    Labeled { label: label.into(), value }
+}
+
+/// Designates the baseline run each point is normalised against: the plan
+/// point whose labels match the point's own, with the pinned dimensions
+/// substituted. Pin only `design` and every point pairs with that design
+/// under its own workload/traffic/… (Figures 7–10); pin only `fault` and
+/// every design pairs with its own fault-free run (the fault sweep).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineSel {
+    /// Pin the design label.
+    pub design: Option<String>,
+    /// Pin the workload label.
+    pub workload: Option<String>,
+    /// Pin the simulator-variant label.
+    pub sim: Option<String>,
+    /// Pin the traffic label.
+    pub traffic: Option<String>,
+    /// Pin the placement label.
+    pub placement: Option<String>,
+    /// Pin the fault label.
+    pub fault: Option<String>,
+}
+
+impl BaselineSel {
+    /// Baseline = the named design, per workload/sim/traffic/placement/
+    /// fault combination.
+    pub fn design(label: impl Into<String>) -> Self {
+        Self { design: Some(label.into()), ..Self::default() }
+    }
+
+    /// Baseline = the named fault schedule (usually the fault-free one),
+    /// per design/workload/… combination.
+    pub fn fault(label: impl Into<String>) -> Self {
+        Self { fault: Some(label.into()), ..Self::default() }
+    }
+
+    /// Baseline = the named simulator variant, per design/workload/…
+    /// combination.
+    pub fn sim(label: impl Into<String>) -> Self {
+        Self { sim: Some(label.into()), ..Self::default() }
+    }
+}
+
+/// A declarative cross-product sweep: one spec per figure (or figure
+/// panel). `expand()` produces the runnable [`Plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Plan name; prefixes every point ID (`"fig7"` → `"fig7/..."`).
+    pub name: String,
+    /// Design points (architecture × width columns).
+    pub designs: Vec<Design>,
+    /// Workloads (table rows).
+    pub workloads: Vec<Labeled<WorkloadSpec>>,
+    /// Simulator variants (defaults to one paper-baseline entry).
+    pub sims: Vec<Labeled<SimConfig>>,
+    /// Traffic-generator variants (defaults to one default-config entry).
+    pub traffics: Vec<Labeled<TrafficConfig>>,
+    /// Placements (defaults to the paper 10×10).
+    pub placements: Vec<Labeled<Placement>>,
+    /// Fault schedules (defaults to fault-free).
+    pub faults: Vec<Labeled<FaultSpec>>,
+    /// Override for [`Experiment::profile_cycles`] on every point.
+    pub profile_cycles: Option<u64>,
+    /// Baseline designation for automatic `normalized_to` pairing.
+    pub baseline: Option<BaselineSel>,
+}
+
+impl SweepSpec {
+    /// An empty spec with single default entries on the sim / traffic /
+    /// placement / fault dimensions.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            designs: Vec::new(),
+            workloads: Vec::new(),
+            sims: vec![labeled("default", SimConfig::paper_baseline())],
+            traffics: vec![labeled("default", TrafficConfig::default())],
+            placements: vec![labeled("10x10", Placement::paper_10x10())],
+            faults: vec![labeled("none", FaultSpec::None)],
+            profile_cycles: None,
+            baseline: None,
+        }
+    }
+
+    /// Sets the design points.
+    #[must_use]
+    pub fn designs(mut self, designs: Vec<Design>) -> Self {
+        self.designs = designs;
+        self
+    }
+
+    /// Sets the workloads.
+    #[must_use]
+    pub fn workloads(mut self, workloads: Vec<Labeled<WorkloadSpec>>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Replaces the simulator-variant dimension.
+    #[must_use]
+    pub fn sims(mut self, sims: Vec<Labeled<SimConfig>>) -> Self {
+        self.sims = sims;
+        self
+    }
+
+    /// Replaces the traffic dimension.
+    #[must_use]
+    pub fn traffics(mut self, traffics: Vec<Labeled<TrafficConfig>>) -> Self {
+        self.traffics = traffics;
+        self
+    }
+
+    /// Replaces the placement dimension.
+    #[must_use]
+    pub fn placements(mut self, placements: Vec<Labeled<Placement>>) -> Self {
+        self.placements = placements;
+        self
+    }
+
+    /// Replaces the fault dimension.
+    #[must_use]
+    pub fn faults(mut self, faults: Vec<Labeled<FaultSpec>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the adaptive-profiling cycle count on every point.
+    #[must_use]
+    pub fn profile_cycles(mut self, cycles: u64) -> Self {
+        self.profile_cycles = Some(cycles);
+        self
+    }
+
+    /// Sets the baseline designation.
+    #[must_use]
+    pub fn baseline(mut self, baseline: BaselineSel) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+
+    /// Expands the cross product into a flat plan.
+    ///
+    /// Point order is deterministic: placements → sims → traffics → faults
+    /// → workloads → designs, innermost last, so per-workload groups stay
+    /// contiguous as in the hand-rolled loops this layer replaced. IDs are
+    /// `name/segments…` where a dimension contributes a segment only when
+    /// the spec sweeps it (more than one entry), keeping IDs stable when
+    /// unrelated single-valued dimensions are present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`BaselineSel`] pins a label that no plan point
+    /// carries (the baseline must be part of the sweep), or when the
+    /// expansion would produce duplicate IDs (duplicate dimension labels).
+    pub fn expand(&self) -> Plan {
+        let mut points = Vec::new();
+        for placement in &self.placements {
+            for sim in &self.sims {
+                for traffic in &self.traffics {
+                    for fault in &self.faults {
+                        for workload in &self.workloads {
+                            for design in &self.designs {
+                                points.push(self.point(
+                                    design, workload, sim, traffic, placement, fault,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let plan = Plan { points };
+        plan.assert_unique_ids();
+        if self.baseline.is_some() {
+            plan.assert_baselines_resolve();
+        }
+        plan
+    }
+
+    fn point(
+        &self,
+        design: &Design,
+        workload: &Labeled<WorkloadSpec>,
+        sim: &Labeled<SimConfig>,
+        traffic: &Labeled<TrafficConfig>,
+        placement: &Labeled<Placement>,
+        fault: &Labeled<FaultSpec>,
+    ) -> RunPoint {
+        let labels = PointLabels {
+            design: design.label.clone(),
+            workload: workload.label.clone(),
+            sim: sim.label.clone(),
+            traffic: traffic.label.clone(),
+            placement: placement.label.clone(),
+            fault: fault.label.clone(),
+        };
+        let system = SystemConfig::new(design.arch.clone(), design.width)
+            .with_sim(sim.value.clone());
+        let mut experiment = Experiment::new(system, workload.value.clone());
+        experiment.traffic = traffic.value.clone();
+        experiment.placement = placement.value.clone();
+        experiment.faults = fault.value.clone();
+        if let Some(cycles) = self.profile_cycles {
+            experiment.profile_cycles = cycles;
+        }
+        let baseline_labels = self.baseline.as_ref().map(|b| labels.pinned(b));
+        let is_baseline = baseline_labels.as_ref() == Some(&labels);
+        let baseline_id = baseline_labels
+            .filter(|b| *b != labels)
+            .map(|b| self.id_for(&b));
+        RunPoint { id: self.id_for(&labels), labels, experiment, baseline_id, is_baseline }
+    }
+
+    /// The stable ID for a label combination under this spec.
+    fn id_for(&self, labels: &PointLabels) -> String {
+        let mut id = slug(&self.name);
+        let mut push = |swept: bool, label: &str| {
+            if swept {
+                id.push('/');
+                id.push_str(&slug(label));
+            }
+        };
+        push(self.designs.len() > 1, &labels.design);
+        push(self.workloads.len() > 1, &labels.workload);
+        push(self.sims.len() > 1, &labels.sim);
+        push(self.traffics.len() > 1, &labels.traffic);
+        push(self.placements.len() > 1, &labels.placement);
+        push(self.faults.len() > 1, &labels.fault);
+        id
+    }
+}
+
+/// Lowercases and collapses non-alphanumerics to single dashes:
+/// `"Adaptive - 50 RF-Enabled @16B"` → `"adaptive-50-rf-enabled-16b"`.
+/// `/` is kept so spec names can namespace (`"mesh_scaling/8x8"`).
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut dash = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || c == '/' {
+            if dash && !out.is_empty() && !out.ends_with('/') {
+                out.push('-');
+            }
+            dash = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            dash = true;
+        }
+    }
+    out
+}
+
+/// The labels of one point along every sweep dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointLabels {
+    /// Design (architecture × width) label.
+    pub design: String,
+    /// Workload label.
+    pub workload: String,
+    /// Simulator-variant label.
+    pub sim: String,
+    /// Traffic label.
+    pub traffic: String,
+    /// Placement label.
+    pub placement: String,
+    /// Fault-schedule label.
+    pub fault: String,
+}
+
+impl PointLabels {
+    /// These labels with the baseline's pinned dimensions substituted.
+    fn pinned(&self, baseline: &BaselineSel) -> PointLabels {
+        PointLabels {
+            design: baseline.design.clone().unwrap_or_else(|| self.design.clone()),
+            workload: baseline.workload.clone().unwrap_or_else(|| self.workload.clone()),
+            sim: baseline.sim.clone().unwrap_or_else(|| self.sim.clone()),
+            traffic: baseline.traffic.clone().unwrap_or_else(|| self.traffic.clone()),
+            placement: baseline.placement.clone().unwrap_or_else(|| self.placement.clone()),
+            fault: baseline.fault.clone().unwrap_or_else(|| self.fault.clone()),
+        }
+    }
+}
+
+/// One fully-resolved runnable point of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPoint {
+    /// Stable identifier (`"fig7/adaptive-50-rf-enabled/uniform"`).
+    pub id: String,
+    /// The labels this point carries along every dimension.
+    pub labels: PointLabels,
+    /// The experiment to run.
+    pub experiment: Experiment,
+    /// ID of the plan point this one is normalised against, when the spec
+    /// designated a baseline and this point is not it.
+    pub baseline_id: Option<String>,
+    /// Whether this point *is* a baseline for itself (its pinned labels
+    /// are its own).
+    pub is_baseline: bool,
+}
+
+/// A flat, ordered list of runnable points — the unit the parallel runner
+/// executes and artifacts describe.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Plan {
+    /// The points, in deterministic expansion order.
+    pub points: Vec<RunPoint>,
+}
+
+impl Plan {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Concatenates plans (e.g. every figure of the paper suite) into one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two plans contain the same point ID — give sub-plans
+    /// distinct spec names.
+    pub fn merge(plans: impl IntoIterator<Item = Plan>) -> Plan {
+        let merged =
+            Plan { points: plans.into_iter().flat_map(|p| p.points).collect() };
+        merged.assert_unique_ids();
+        merged
+    }
+
+    /// Index of the point with the given ID.
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.points.iter().position(|p| p.id == id)
+    }
+
+    fn assert_unique_ids(&self) {
+        let mut ids: Vec<&str> = self.points.iter().map(|p| p.id.as_str()).collect();
+        ids.sort_unstable();
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            panic!("duplicate plan point id {:?} — dimension labels must be unique", w[0]);
+        }
+    }
+
+    fn assert_baselines_resolve(&self) {
+        for point in &self.points {
+            if let Some(baseline_id) = &point.baseline_id {
+                assert!(
+                    self.index_of(baseline_id).is_some(),
+                    "point {:?} pairs with baseline {:?}, which is not in the plan — \
+                     include the baseline design/fault/… in the sweep",
+                    point.id,
+                    baseline_id
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfnoc_traffic::TraceKind;
+
+    fn trace(kind: TraceKind) -> Labeled<WorkloadSpec> {
+        labeled(kind.name(), WorkloadSpec::Trace(kind))
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new("t")
+            .designs(vec![
+                Design::new("Base", Architecture::Baseline, LinkWidth::B16),
+                Design::new("Static", Architecture::StaticShortcuts, LinkWidth::B16),
+            ])
+            .workloads(vec![trace(TraceKind::Uniform), trace(TraceKind::Hotspot1)])
+    }
+
+    #[test]
+    fn expansion_is_a_full_cross_product() {
+        let plan = spec().expand();
+        assert_eq!(plan.len(), 4);
+        let ids: Vec<&str> = plan.points.iter().map(|p| p.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            ["t/base/uniform", "t/static/uniform", "t/base/1hotspot", "t/static/1hotspot"]
+        );
+    }
+
+    #[test]
+    fn singleton_dimensions_do_not_lengthen_ids() {
+        // sims/traffics/placements/faults are all single-entry defaults.
+        let plan = spec().expand();
+        assert!(plan.points.iter().all(|p| p.id.matches('/').count() == 2), "{plan:?}");
+    }
+
+    #[test]
+    fn baseline_pairing_by_design() {
+        let plan = spec().baseline(BaselineSel::design("Base")).expand();
+        let static_uniform = &plan.points[plan.index_of("t/static/uniform").unwrap()];
+        assert_eq!(static_uniform.baseline_id.as_deref(), Some("t/base/uniform"));
+        assert!(!static_uniform.is_baseline);
+        let base_uniform = &plan.points[plan.index_of("t/base/uniform").unwrap()];
+        assert!(base_uniform.is_baseline);
+        assert_eq!(base_uniform.baseline_id, None);
+    }
+
+    #[test]
+    fn baseline_pairing_by_fault() {
+        let plan = spec()
+            .faults(vec![
+                labeled("none", FaultSpec::None),
+                labeled(
+                    "f1",
+                    FaultSpec::Random {
+                        seed: 1,
+                        rates: rfnoc_sim::FaultRates {
+                            shortcut_failures: 1.0,
+                            mesh_link_failures: 0.0,
+                            glitches: 0.0,
+                            repair_after: None,
+                        },
+                    },
+                ),
+            ])
+            .baseline(BaselineSel::fault("none"))
+            .expand();
+        assert_eq!(plan.len(), 8);
+        let faulted = &plan.points[plan.index_of("t/static/uniform/f1").unwrap()];
+        // Pairs with its own design's fault-free run, not a fixed design.
+        assert_eq!(faulted.baseline_id.as_deref(), Some("t/static/uniform/none"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the plan")]
+    fn dangling_baseline_panics() {
+        let _ = spec().baseline(BaselineSel::design("NoSuchDesign")).expand();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate plan point id")]
+    fn duplicate_labels_panic() {
+        let _ = SweepSpec::new("t")
+            .designs(vec![
+                Design::new("Same", Architecture::Baseline, LinkWidth::B16),
+                Design::new("Same", Architecture::StaticShortcuts, LinkWidth::B16),
+            ])
+            .workloads(vec![trace(TraceKind::Uniform)])
+            .expand();
+    }
+
+    #[test]
+    fn merge_concatenates_and_checks_ids() {
+        let a = spec().expand();
+        let mut b = spec();
+        b.name = "u".into();
+        let merged = Plan::merge([a.clone(), b.expand()]);
+        assert_eq!(merged.len(), 8);
+        assert_eq!(merged.index_of("t/base/uniform"), Some(0));
+        assert_eq!(merged.index_of("u/base/uniform"), Some(4));
+        assert!(Plan::merge([a]).index_of("t/static/1hotspot").is_some());
+    }
+
+    #[test]
+    fn design_cross_labels() {
+        let designs = Design::cross(
+            &[("Base", Architecture::Baseline)],
+            &[LinkWidth::B16, LinkWidth::B4],
+        );
+        assert_eq!(designs.len(), 2);
+        assert_eq!(designs[0].label, format!("Base @{}", LinkWidth::B16));
+    }
+
+    #[test]
+    fn slugs_are_stable() {
+        assert_eq!(slug("Adaptive - 50 RF-Enabled @16B"), "adaptive-50-rf-enabled-16b");
+        assert_eq!(slug("mesh_scaling/8x8"), "mesh-scaling/8x8");
+        assert_eq!(slug("1Hotspot+MC20"), "1hotspot-mc20");
+    }
+}

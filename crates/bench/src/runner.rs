@@ -1,0 +1,245 @@
+//! Parallel plan execution: a work-stealing runner over scoped threads.
+//!
+//! The runner executes every [`RunPoint`] of a [`Plan`] across `--jobs`
+//! worker threads (scoped `std::thread` — no dependencies), deduplicating
+//! identical experiments (merged suite plans repeat baselines across
+//! figures), scheduling the most expensive points first, and reporting
+//! per-point timing and live progress on stderr. Results come back in plan
+//! order regardless of execution interleaving, and each point's simulation
+//! is bit-identical to a serial run — parallelism never touches simulator
+//! state, only which thread runs which self-contained experiment.
+
+use crate::plan::{Plan, RunPoint};
+use rfnoc::RunReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Runner knobs, usually parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads (`--jobs N`; defaults to the available parallelism).
+    pub jobs: usize,
+    /// Suppress per-point progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self { jobs: default_jobs(), quiet: false }
+    }
+}
+
+/// The machine's available parallelism (1 when unknown).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+impl RunnerConfig {
+    /// Parses `--jobs N` (or `-j N`, or `--jobs=N`) out of the process
+    /// arguments; every other argument is ignored.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if arg == "--jobs" || arg == "-j" {
+                if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    cfg.jobs = n;
+                    i += 1;
+                }
+            } else if let Some(v) = arg.strip_prefix("--jobs=") {
+                if let Ok(n) = v.parse() {
+                    cfg.jobs = n;
+                }
+            } else if arg == "--quiet" {
+                cfg.quiet = true;
+            }
+            i += 1;
+        }
+        cfg.jobs = cfg.jobs.max(1);
+        cfg
+    }
+}
+
+/// One executed point: the point, its report, and how long it took.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The plan point this result belongs to.
+    pub point: RunPoint,
+    /// The experiment's report.
+    pub report: RunReport,
+    /// Wall-clock time of the (deduplicated) experiment run.
+    pub wall: Duration,
+    /// `(latency, power)` normalised to the point's designated baseline,
+    /// when the plan paired one.
+    pub normalized: Option<(f64, f64)>,
+}
+
+/// All results of a plan, in plan order.
+#[derive(Debug, Clone)]
+pub struct PlanResults {
+    /// Per-point results, index-aligned with the plan's points.
+    pub results: Vec<PointResult>,
+    /// Wall-clock time of the whole run.
+    pub total_wall: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Experiments actually executed after deduplication.
+    pub unique_runs: usize,
+    /// Sum of per-experiment wall times — the serial cost the parallel
+    /// run replaced (deduplicated runs counted once).
+    pub points_wall: Duration,
+}
+
+impl PlanResults {
+    /// The result for a point ID.
+    pub fn get(&self, id: &str) -> Option<&PointResult> {
+        self.results.iter().find(|r| r.point.id == id)
+    }
+
+    /// The result for a point ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ID is not in the plan — a bug in the caller's
+    /// formatter, so fail loudly with the ID.
+    pub fn expect(&self, id: &str) -> &PointResult {
+        self.get(id).unwrap_or_else(|| panic!("no result for plan point {id:?}"))
+    }
+
+    /// Iterates the results in plan order.
+    pub fn iter(&self) -> impl Iterator<Item = &PointResult> {
+        self.results.iter()
+    }
+
+    /// The subset of results belonging to `plan` (by point ID), in that
+    /// plan's order — splits a merged suite run back into per-figure
+    /// result sets.
+    pub fn subset(&self, plan: &Plan) -> PlanResults {
+        let results: Vec<PointResult> = plan
+            .points
+            .iter()
+            .map(|p| self.expect(&p.id).clone())
+            .collect();
+        PlanResults {
+            results,
+            total_wall: self.total_wall,
+            jobs: self.jobs,
+            unique_runs: self.unique_runs,
+            points_wall: self.points_wall,
+        }
+    }
+}
+
+/// Executes every point of the plan on `cfg.jobs` worker threads and
+/// returns results in plan order.
+///
+/// Identical experiments (by value) run once and share their report.
+/// Unique experiments are scheduled longest-estimated-first through an
+/// atomic work queue, so stragglers start early and the workers
+/// self-balance.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is propagated).
+pub fn run_plan(plan: &Plan, cfg: &RunnerConfig) -> PlanResults {
+    let start = Instant::now();
+    // Deduplicate by experiment value; points index into `unique`.
+    let mut unique: Vec<&RunPoint> = Vec::new();
+    let mut point_to_unique: Vec<usize> = Vec::with_capacity(plan.points.len());
+    for point in &plan.points {
+        match unique.iter().position(|u| u.experiment == point.experiment) {
+            Some(i) => point_to_unique.push(i),
+            None => {
+                unique.push(point);
+                point_to_unique.push(unique.len() - 1);
+            }
+        }
+    }
+
+    // Longest-first schedule over the unique experiments.
+    let mut order: Vec<usize> = (0..unique.len()).collect();
+    order.sort_by(|&a, &b| {
+        unique[b]
+            .experiment
+            .cost_estimate()
+            .total_cmp(&unique[a].experiment.cost_estimate())
+            .then(a.cmp(&b))
+    });
+
+    let jobs = cfg.jobs.clamp(1, unique.len().max(1));
+    if !cfg.quiet {
+        eprintln!(
+            "plan: {} points ({} unique experiments) on {} thread{}",
+            plan.len(),
+            unique.len(),
+            jobs,
+            if jobs == 1 { "" } else { "s" }
+        );
+    }
+
+    let slots: Vec<OnceLock<(RunReport, Duration)>> =
+        (0..unique.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&u) = order.get(k) else { break };
+                    let point = unique[u];
+                    let t0 = Instant::now();
+                    let report = point.experiment.run();
+                    let wall = t0.elapsed();
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if !cfg.quiet {
+                        eprintln!(
+                            "  [{finished}/{}] {} — {:.1} cyc, {:.2?}{}{}",
+                            unique.len(),
+                            point.id,
+                            report.avg_latency(),
+                            wall,
+                            if report.stats.saturated {
+                                " [SATURATED: latency is a lower bound]"
+                            } else {
+                                ""
+                            },
+                            if report.stats.is_healthy() { "" } else { " [WATCHDOG]" },
+                        );
+                    }
+                    slots[u].set((report, wall)).expect("each unique point runs once");
+                }
+            });
+        }
+    });
+
+    // Assemble in plan order and resolve baseline normalisation.
+    let reports: Vec<&(RunReport, Duration)> =
+        slots.iter().map(|s| s.get().expect("all points ran")).collect();
+    let results: Vec<PointResult> = plan
+        .points
+        .iter()
+        .zip(&point_to_unique)
+        .map(|(point, &u)| {
+            let (report, wall) = reports[u];
+            let normalized = point.baseline_id.as_ref().map(|bid| {
+                let bidx = plan
+                    .index_of(bid)
+                    .unwrap_or_else(|| panic!("baseline {bid:?} missing from plan"));
+                let (baseline, _) = reports[point_to_unique[bidx]];
+                report.normalized_to(baseline)
+            });
+            PointResult { point: point.clone(), report: report.clone(), wall: *wall, normalized }
+        })
+        .collect();
+    PlanResults {
+        results,
+        total_wall: start.elapsed(),
+        jobs,
+        unique_runs: unique.len(),
+        points_wall: reports.iter().map(|(_, wall)| *wall).sum(),
+    }
+}

@@ -59,7 +59,7 @@ pub enum FaultSpec {
 /// let report = Experiment::new(system, WorkloadSpec::Trace(TraceKind::Uniform)).run();
 /// println!("latency {:.1} cycles, power {:.3} W", report.avg_latency(), report.total_power_w());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     /// The architecture/width/simulator configuration.
     pub system: SystemConfig,
@@ -112,6 +112,39 @@ impl Experiment {
     pub fn with_random_faults(mut self, seed: u64, rates: FaultRates) -> Self {
         self.faults = FaultSpec::Random { seed, rates };
         self
+    }
+
+    /// One-line description of the design point without building or
+    /// running anything — used by sweep runners for progress reporting.
+    pub fn summary(&self) -> String {
+        let dims = self.placement.dims();
+        let mut s = format!(
+            "{} @{} on {} ({}x{}, {} msg/node/cyc",
+            self.system.arch.name(),
+            self.system.link_width,
+            self.workload.name(),
+            dims.width(),
+            dims.height(),
+            self.traffic.injection_rate,
+        );
+        if !matches!(self.faults, FaultSpec::None) {
+            s.push_str(", faults");
+        }
+        s.push(')');
+        s
+    }
+
+    /// Rough relative cost of running this experiment — simulated cycles
+    /// (profiling included for the adaptive architectures) scaled by the
+    /// router count. Parallel sweep runners use it to schedule the most
+    /// expensive points first; the absolute value is meaningless.
+    pub fn cost_estimate(&self) -> f64 {
+        let sim = &self.system.sim;
+        let mut cycles = sim.warmup_cycles + sim.measure_cycles + sim.drain_cycles;
+        if self.system.arch.is_adaptive() {
+            cycles += self.profile_cycles;
+        }
+        cycles as f64 * self.placement.dims().nodes() as f64
     }
 
     /// Resolves the fault specification into a concrete plan for `built`.
@@ -236,6 +269,43 @@ impl RunReport {
             self.avg_latency() / baseline.avg_latency(),
             self.total_power_w() / baseline.total_power_w(),
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfnoc_traffic::TraceKind;
+
+    fn exp(arch: Architecture) -> Experiment {
+        use rfnoc_power::LinkWidth;
+        Experiment::new(SystemConfig::new(arch, LinkWidth::B16), WorkloadSpec::Trace(TraceKind::Uniform))
+    }
+
+    #[test]
+    fn summary_is_cheap_and_descriptive() {
+        let s = exp(Architecture::Baseline).summary();
+        assert!(s.contains("Mesh Baseline"), "{s}");
+        assert!(s.contains("Uniform"), "{s}");
+        assert!(s.contains("10x10"), "{s}");
+    }
+
+    #[test]
+    fn cost_estimate_orders_designs() {
+        let base = exp(Architecture::Baseline).cost_estimate();
+        let adaptive =
+            exp(Architecture::AdaptiveShortcuts { access_points: 50 }).cost_estimate();
+        // Adaptive pays for its profiling pass on top of the same window.
+        assert!(adaptive > base);
+        let mut shorter = exp(Architecture::Baseline);
+        shorter.system.sim.measure_cycles /= 2;
+        assert!(shorter.cost_estimate() < base);
+    }
+
+    #[test]
+    fn experiments_compare_by_value() {
+        assert_eq!(exp(Architecture::Baseline), exp(Architecture::Baseline));
+        assert_ne!(exp(Architecture::Baseline), exp(Architecture::StaticShortcuts));
     }
 }
 

@@ -43,6 +43,7 @@ impl Network {
         self.stats.end_cycle = self.cycle;
         self.stats.activity.cycles =
             self.cycle.saturating_sub(self.config.warmup_cycles).max(1);
+        self.stats.finalize();
         self.stats.clone()
     }
 
