@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Escapes a string for a JSON literal.
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -36,7 +36,7 @@ fn json_str(s: &str) -> String {
 
 /// Formats a float as JSON: finite values with 4 decimals, else `null`
 /// (JSON has no NaN/Infinity).
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
     } else {

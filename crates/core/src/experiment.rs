@@ -272,6 +272,25 @@ impl RunReport {
     }
 }
 
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {}: latency {:.1} cyc, power {:.3} W, area {:.2} mm2{}",
+            self.system,
+            self.workload,
+            self.avg_latency(),
+            self.total_power_w(),
+            self.total_area_mm2(),
+            if self.stats.saturated { " [SATURATED]" } else { "" }
+        )?;
+        if let Some(health) = &self.stats.health {
+            write!(f, " [WATCHDOG: {health}]")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,24 +325,5 @@ mod tests {
     fn experiments_compare_by_value() {
         assert_eq!(exp(Architecture::Baseline), exp(Architecture::Baseline));
         assert_ne!(exp(Architecture::Baseline), exp(Architecture::StaticShortcuts));
-    }
-}
-
-impl fmt::Display for RunReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} / {}: latency {:.1} cyc, power {:.3} W, area {:.2} mm2{}",
-            self.system,
-            self.workload,
-            self.avg_latency(),
-            self.total_power_w(),
-            self.total_area_mm2(),
-            if self.stats.saturated { " [SATURATED]" } else { "" }
-        )?;
-        if let Some(health) = &self.stats.health {
-            write!(f, " [WATCHDOG: {health}]")?;
-        }
-        Ok(())
     }
 }

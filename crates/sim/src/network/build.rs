@@ -142,7 +142,6 @@ impl Network {
                 inputs,
                 outputs,
                 injector: Injector::new(vcs, depth),
-                va_rr: r % NUM_PORTS,
             });
         }
 
@@ -195,6 +194,8 @@ impl Network {
             faults: spec.faults,
             last_progress: 0,
             last_completion: 0,
+            active_epoch: 1,
+            active_stamp: vec![0; n],
             config: spec.config,
         })
     }

@@ -44,7 +44,33 @@ impl Network {
         self.stats.activity.cycles =
             self.cycle.saturating_sub(self.config.warmup_cycles).max(1);
         self.stats.finalize();
-        self.stats.clone()
+        // Return the accumulated statistics by move — the per-message
+        // latency and per-router activity vectors can run to megabytes
+        // and were previously cloned once per experiment. The network
+        // keeps a fresh (zeroed) collector, so a subsequent `run` starts
+        // a new measurement instead of accumulating; the watchdog report
+        // stays readable through [`Network::health`].
+        let n = self.routers.len();
+        let max_dist = self.stats.distance_histogram.len().saturating_sub(1);
+        let mut fresh = RunStats::new(n, max_dist);
+        if self.config.collect_pair_counts {
+            fresh.pair_counts = vec![0; n * n];
+        }
+        fresh.health = self.stats.health;
+        std::mem::replace(&mut self.stats, fresh)
+    }
+
+    /// Records the completion of one measured message created at
+    /// `created` whose final flit landed at `at` — the single site for
+    /// the latency push, outstanding-count decrement, and watchdog
+    /// completion stamp.
+    fn record_completion(&mut self, created: u64, at: u64) {
+        let latency = at.saturating_sub(created);
+        self.stats.completed_messages += 1;
+        self.stats.message_latency_sum += latency;
+        self.stats.message_latencies.push(latency.min(u32::MAX as u64) as u32);
+        self.measured_outstanding -= 1;
+        self.last_completion = at;
     }
 
     pub(super) fn complete_parent_part(&mut self, parent: u32, covered: u32, at: u64) {
@@ -52,12 +78,8 @@ impl Network {
         assert!(p.remaining >= covered, "multicast over-completion");
         p.remaining -= covered;
         if p.remaining == 0 && p.measured {
-            let latency = at.saturating_sub(p.created);
-            self.stats.completed_messages += 1;
-            self.stats.message_latency_sum += latency;
-            self.stats.message_latencies.push(latency.min(u32::MAX as u64) as u32);
-            self.measured_outstanding -= 1;
-            self.last_completion = at;
+            let created = p.created;
+            self.record_completion(created, at);
         }
     }
 
@@ -92,12 +114,7 @@ impl Network {
             } else if let Some(par) = parent {
                 self.complete_parent_part(par, 1, at);
             } else if is_unicast_measured {
-                let latency = at.saturating_sub(created);
-                self.stats.completed_messages += 1;
-                self.stats.message_latency_sum += latency;
-                self.stats.message_latencies.push(latency.min(u32::MAX as u64) as u32);
-                self.measured_outstanding -= 1;
-                self.last_completion = at;
+                self.record_completion(created, at);
             }
         }
     }
@@ -138,12 +155,50 @@ impl Network {
     }
 
     pub(super) fn step_routers(&mut self) {
+        // Active-router scheduling: visit only routers with (possible)
+        // work. `active_stamp[r] == e` means "visit r in sweep e"; the
+        // sweep scans the stamp vector in ascending router id (the push
+        // order into the delivery/credit outboxes depends on visit order,
+        // and downstream arrival interleaving is order-sensitive) and a
+        // visited router re-stamps itself for the next sweep while it is
+        // non-quiescent. Skipping a quiescent router is bit-identical to
+        // visiting it because a visit to one is a pure no-op (the VA
+        // round-robin pointer is derived from the cycle count, not stored
+        // and rotated). The O(n) stamp scan is deliberate: it is a dense
+        // sequential read, far cheaper than maintaining a sorted worklist.
+        let e = self.active_epoch;
+        self.active_epoch = e + 1;
         let n = self.routers.len();
         for r in 0..n {
+            if self.active_stamp[r] != e {
+                continue;
+            }
             self.deliver_arrivals(r);
             self.step_injector(r);
             self.step_va(r);
             self.step_sa(r);
+            if !self.routers[r].quiescent() {
+                self.active_stamp[r] = e + 1;
+            }
+        }
+    }
+
+    /// Marks router `r` for a visit on the next `step_routers` sweep.
+    /// Call sites are the points where work can appear at a quiescent
+    /// router: flit deliveries and message injections. Credit returns
+    /// alone never require a mark — VA/SA only act on occupied VCs, and
+    /// any packet waiting for those credits keeps its holder non-quiescent.
+    #[inline]
+    pub(super) fn mark_active(&mut self, r: usize) {
+        self.active_stamp[r] = self.active_epoch;
+    }
+
+    /// Marks every router active — cheap insurance around rare global
+    /// events (fault arrivals, RF retuning) whose reach is hard to bound
+    /// locally. Visits to routers that turn out to be idle are no-ops.
+    pub(super) fn mark_all_active(&mut self) {
+        for r in 0..self.routers.len() {
+            self.mark_active(r);
         }
     }
 
@@ -171,13 +226,21 @@ impl Network {
         let now = self.cycle;
         let escape_vcs = self.config.vcs_escape;
         let depth = self.config.buffer_depth as u32;
+        // The VA port round-robin pointer advances once per cycle on every
+        // router from an initial offset of `r`, so it is a pure function
+        // of (router, cycle). Deriving it here instead of storing and
+        // rotating a field keeps idle-router visits side-effect free.
+        let rr_base = ((r as u64 + now) % NUM_PORTS as u64) as usize;
         for port_off in 0..NUM_PORTS {
-            let port = (self.routers[r].va_rr + port_off) % NUM_PORTS;
+            let port = (rr_base + port_off) % NUM_PORTS;
             if !self.routers[r].inputs[port].exists {
                 continue;
             }
-            let occupied = self.routers[r].inputs[port].occupied.clone();
-            for vc in occupied {
+            // VA never claims or releases VCs, so `occupied` is stable
+            // across this loop and can be walked by index without cloning.
+            let occ_len = self.routers[r].inputs[port].occupied.len();
+            for oi in 0..occ_len {
+                let vc = self.routers[r].inputs[port].occupied[oi];
                 let vci = vc as usize;
                 let (needs_va, front, packet_id) = {
                     let v = &self.routers[r].inputs[port].vcs[vci];
@@ -203,7 +266,6 @@ impl Network {
                 }
             }
         }
-        self.routers[r].va_rr = (self.routers[r].va_rr + 1) % NUM_PORTS;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -305,36 +367,41 @@ impl Network {
         let total = self.config.total_vcs();
         // Compute the XY-tree partition once.
         if !self.routers[r].inputs[port].vcs[vci].mc_routed {
-            let groups = partition_tree(self.dims, r, &set);
-            debug_assert!(!groups.is_empty(), "tree packet with no progress");
-            let branches: Vec<McBranch> = if groups.len() == 1 {
-                vec![McBranch { port: groups[0].0, out_vc: None, packet }]
-            } else {
+            let (groups, glen) = partition_tree(self.dims, r, &set);
+            debug_assert!(glen > 0, "tree packet with no progress");
+            // Child packets first (needs `&mut self`), then the branch
+            // list is rebuilt in place so its capacity is reused. A
+            // single-group tree keeps forwarding the original packet.
+            let mut children: [u32; NUM_PORTS] = [packet; NUM_PORTS];
+            if glen > 1 {
                 let (created, measured, flits, bytes, parent) = {
                     let p = &self.packets[packet as usize];
                     (p.created, p.measured, p.flits, p.bytes, p.parent)
                 };
-                groups
-                    .iter()
-                    .map(|(gp, gset)| {
-                        let child = self.new_packet(PacketInfo {
-                            dest: PacketDest::Tree(*gset),
-                            flits,
-                            bytes,
-                            created,
-                            measured,
-                            parent,
-                            mc_carry: false,
-                            mesh_only: false,
-                            ejected: 0,
-                            head_grants: 0,
-                        });
-                        McBranch { port: *gp, out_vc: None, packet: child }
-                    })
-                    .collect()
-            };
+                for (g, child) in children.iter_mut().enumerate().take(glen) {
+                    *child = self.new_packet(PacketInfo {
+                        dest: PacketDest::Tree(groups[g].1),
+                        flits,
+                        bytes,
+                        created,
+                        measured,
+                        parent,
+                        mc_carry: false,
+                        mesh_only: false,
+                        ejected: 0,
+                        head_grants: 0,
+                    });
+                }
+            }
             let v = &mut self.routers[r].inputs[port].vcs[vci];
-            v.mc_branches = branches;
+            v.mc_branches.clear();
+            for g in 0..glen {
+                v.mc_branches.push(McBranch {
+                    port: groups[g].0,
+                    out_vc: None,
+                    packet: children[g],
+                });
+            }
             v.mc_routed = true;
         }
         // Allocate remaining branches (adaptive class first, escape
@@ -384,7 +451,11 @@ impl Network {
             if !self.routers[r].inputs[port].exists {
                 continue;
             }
-            for vc in self.routers[r].inputs[port].occupied.clone() {
+            // Request collection only reads router state; `occupied` is
+            // stable here (grants, which release VCs, come afterwards).
+            let occ_len = self.routers[r].inputs[port].occupied.len();
+            for oi in 0..occ_len {
+                let vc = self.routers[r].inputs[port].occupied[oi];
                 let v = &self.routers[r].inputs[port].vcs[vc as usize];
                 let Some(front) = v.buffer.front() else { continue };
                 if front.eligible > now {
@@ -406,18 +477,19 @@ impl Network {
             if !self.routers[r].outputs[out].exists {
                 continue;
             }
-            let reqs = std::mem::take(&mut self.sa_requests[out]);
-            if reqs.is_empty() {
-                self.sa_requests[out] = reqs;
+            // `try_grant` never touches `sa_requests`, so the request list
+            // can be walked by index — no take/put-back churn.
+            let reqs_len = self.sa_requests[out].len();
+            if reqs_len == 0 {
                 continue;
             }
             let mut budget = self.routers[r].outputs[out].capacity;
-            let start = self.routers[r].outputs[out].rr % reqs.len();
-            for i in 0..reqs.len() {
+            let start = self.routers[r].outputs[out].rr % reqs_len;
+            for i in 0..reqs_len {
                 if budget == 0 {
                     break;
                 }
-                let (in_port, vc, branch) = reqs[(start + i) % reqs.len()];
+                let (in_port, vc, branch) = self.sa_requests[out][(start + i) % reqs_len];
                 let ip = in_port as usize;
                 // One buffer read per input port per cycle, except multicast
                 // fanout of the same front flit.
@@ -441,7 +513,6 @@ impl Network {
                     }
                 }
             }
-            self.sa_requests[out] = reqs;
         }
     }
 
@@ -573,19 +644,28 @@ impl Network {
     }
 
     pub(super) fn apply_outboxes(&mut self) {
-        let deliveries = std::mem::take(&mut self.deliveries);
-        for (router, port, vc, flit, arrival) in deliveries {
+        // Indexed drains instead of `mem::take`: the outbox vectors keep
+        // their capacity across cycles, so the steady state allocates
+        // nothing here. A delivered flit is new work for the target
+        // router, so it is marked active; credit returns and multicast
+        // enqueues never wake a quiescent router on their own.
+        for i in 0..self.deliveries.len() {
+            let (router, port, vc, flit, arrival) = self.deliveries[i];
             self.routers[router].inputs[port as usize]
                 .arrivals
                 .push_back((arrival, vc, flit));
+            self.mark_active(router);
         }
-        let credits = std::mem::take(&mut self.credit_returns);
-        for (router, port, vc) in credits {
+        self.deliveries.clear();
+        for i in 0..self.credit_returns.len() {
+            let (router, port, vc) = self.credit_returns[i];
             self.routers[router].outputs[port as usize].vcs[vc as usize].credits += 1;
         }
-        let enqueues = std::mem::take(&mut self.mc_enqueues);
-        for (cluster, parent) in enqueues {
+        self.credit_returns.clear();
+        for i in 0..self.mc_enqueues.len() {
+            let (cluster, parent) = self.mc_enqueues[i];
             self.mc_queues[cluster].push_back(parent);
         }
+        self.mc_enqueues.clear();
     }
 }

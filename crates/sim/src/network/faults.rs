@@ -48,6 +48,10 @@ impl Network {
     }
 
     fn apply_fault(&mut self, event: FaultEvent) {
+        // Fault events can reroute traffic or delay in-flight flits far
+        // from the event site; a blanket mark is cheap insurance (visits
+        // to idle routers are no-ops) against missing a wakeup.
+        self.mark_all_active();
         match event {
             FaultEvent::ShortcutDown { src } => self.fail_shortcut(src),
             FaultEvent::BandDown => {

@@ -223,13 +223,18 @@ impl Network {
     }
 
     pub(super) fn apply_pending_injections(&mut self) {
-        let pending = std::mem::take(&mut self.pending_inj);
-        for (router, packet, ready_at) in pending {
+        // Indexed drain (no `mem::take`) so the buffer keeps its capacity.
+        // A queued packet makes its router non-quiescent, so mark it for
+        // the scheduler sweep.
+        for i in 0..self.pending_inj.len() {
+            let (router, packet, ready_at) = self.pending_inj[i];
             self.routers[router]
                 .injector
                 .queue
                 .push_back(PendingInjection { packet, ready_at });
+            self.mark_active(router);
         }
+        self.pending_inj.clear();
     }
 
     pub(super) fn step_injector(&mut self, r: usize) {

@@ -47,8 +47,7 @@ impl Network {
             let created = parent_info.created;
             let measured = parent_info.measured;
             let flits = self.flits_for(bytes);
-            let forwarded = plan.forwarded.clone();
-            for (rx, dest) in forwarded {
+            for &(rx, dest) in &plan.forwarded {
                 let pkt = self.new_packet(PacketInfo {
                     dest: PacketDest::Unicast(dest),
                     flits,

@@ -248,6 +248,13 @@ pub struct Network {
     pending_inj: Vec<(usize, u32, u64)>,
     sa_requests: Vec<Vec<(u8, u16, i8)>>,
     flit_trace: Vec<observe::FlitEvent>,
+    // Active-router scheduling (see DESIGN.md, "Engine performance"):
+    // `step_routers` visits only routers that can possibly make progress.
+    /// Sweep counter: bumped once per `step_routers` call. A router is
+    /// visited in sweep `e` iff its stamp equals `e` at that sweep.
+    active_epoch: u64,
+    /// Per-router sweep stamp; `mark_active` stamps the upcoming sweep.
+    active_stamp: Vec<u64>,
 }
 
 mod build;
@@ -299,6 +306,69 @@ impl Network {
     pub fn health(&self) -> Option<&HealthReport> {
         self.stats.health.as_ref()
     }
+
+    /// Validates the engine's internal bookkeeping invariants; intended
+    /// for tests that single-step the network. Panics on violation.
+    ///
+    /// Checked invariants:
+    ///
+    /// - `InputPort::occupied` lists exactly the VCs whose `cur_packet`
+    ///   is claimed, without duplicates or out-of-range entries — the
+    ///   active-set scheduler and both allocation stages scan this list
+    ///   instead of every VC.
+    /// - A released VC carries no leftover packet state (buffer,
+    ///   allocation, multicast branches).
+    /// - Ports that don't physically exist hold no work.
+    /// - Active-set coverage: every non-quiescent router is stamped for
+    ///   the next `step_routers` visit (no lost work).
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        for (r, router) in self.routers.iter().enumerate() {
+            for (pi, port) in router.inputs.iter().enumerate() {
+                for (i, &vc) in port.occupied.iter().enumerate() {
+                    assert!(
+                        (vc as usize) < port.vcs.len(),
+                        "router {r} port {pi}: occupied vc {vc} out of range"
+                    );
+                    assert!(
+                        !port.occupied[i + 1..].contains(&vc),
+                        "router {r} port {pi}: occupied vc {vc} listed twice"
+                    );
+                }
+                for (vci, vc) in port.vcs.iter().enumerate() {
+                    let listed = port.occupied.contains(&(vci as u16));
+                    assert_eq!(
+                        vc.cur_packet.is_some(),
+                        listed,
+                        "router {r} port {pi} vc {vci}: claimed {:?} vs occupied {listed}",
+                        vc.cur_packet
+                    );
+                    if vc.cur_packet.is_none() {
+                        assert!(
+                            vc.buffer.is_empty(),
+                            "router {r} port {pi} vc {vci}: flits buffered on a released VC"
+                        );
+                        assert!(
+                            !vc.allocated && vc.mc_branches.is_empty() && !vc.mc_routed,
+                            "router {r} port {pi} vc {vci}: stale allocation on a released VC"
+                        );
+                    }
+                }
+                if !port.exists {
+                    assert!(
+                        port.occupied.is_empty() && port.arrivals.is_empty(),
+                        "router {r} port {pi}: work on a non-existent port"
+                    );
+                }
+            }
+            if !router.quiescent() {
+                assert_eq!(
+                    self.active_stamp[r], self.active_epoch,
+                    "router {r} has pending work but is not in the active set"
+                );
+            }
+        }
+    }
 }
 
 
@@ -324,19 +394,28 @@ fn alloc_out_vc(
 }
 
 /// XY-tree partition of a destination set at router `r`: the non-empty
-/// (output port, destination subset) groups.
-fn partition_tree(dims: GridDims, r: NodeId, set: &DestSet) -> Vec<(u8, DestSet)> {
+/// (output port, destination subset) groups, packed into the first `len`
+/// slots of a fixed array — at most one group per output port, so no
+/// heap allocation on the VA hot path.
+fn partition_tree(
+    dims: GridDims,
+    r: NodeId,
+    set: &DestSet,
+) -> ([(u8, DestSet); NUM_PORTS], usize) {
     let mut groups: [DestSet; NUM_PORTS] = Default::default();
     for dest in set.iter() {
         let p = if dest == r { PORT_LOCAL as u8 } else { xy_port(dims, r, dest) };
         groups[p as usize].insert(dest);
     }
-    groups
-        .iter()
-        .enumerate()
-        .filter(|(_, g)| !g.is_empty())
-        .map(|(p, g)| (p as u8, *g))
-        .collect()
+    let mut out: [(u8, DestSet); NUM_PORTS] = Default::default();
+    let mut len = 0;
+    for (p, g) in groups.iter().enumerate() {
+        if !g.is_empty() {
+            out[len] = (p as u8, *g);
+            len += 1;
+        }
+    }
+    (out, len)
 }
 
 /// The mesh port at `from` that leads to adjacent router `to`.
@@ -435,8 +514,9 @@ mod tests {
         // at node 5 = (1,1): dest 5 -> local; dest 7 (3,1) -> east;
         // dest 4 (0,1) -> west; dest 13 (1,3) -> south.
         let set = DestSet::from_nodes([5, 7, 4, 13]);
-        let groups = partition_tree(dims, 5, &set);
-        assert_eq!(groups.len(), 4);
+        let (groups, len) = partition_tree(dims, 5, &set);
+        assert_eq!(len, 4);
+        let groups = &groups[..len];
         let port_of = |dest: usize| {
             groups
                 .iter()
@@ -454,8 +534,8 @@ mod tests {
     fn partition_tree_xy_goes_x_first() {
         let dims = GridDims::new(4, 4);
         // dest 15 = (3,3) from node 0 = (0,0): XY routes east first.
-        let groups = partition_tree(dims, 0, &DestSet::from_nodes([15]));
-        assert_eq!(groups.len(), 1);
+        let (groups, len) = partition_tree(dims, 0, &DestSet::from_nodes([15]));
+        assert_eq!(len, 1);
         assert_eq!(groups[0].0 as usize, PORT_E);
     }
 

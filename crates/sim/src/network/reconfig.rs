@@ -90,6 +90,9 @@ impl Network {
         }
         self.active_shortcuts = installed;
         self.rebuild_unicast_tables();
+        // Retuning rewrites the routing tables; wake everyone so any
+        // packet whose route just changed is revisited promptly.
+        self.mark_all_active();
     }
 
     /// Rebuilds the shortest-path tables over the current topology: the

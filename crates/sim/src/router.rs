@@ -214,11 +214,26 @@ pub(crate) struct Router {
     pub outputs: Vec<OutputPort>,
     /// Injection engine feeding the local input port.
     pub injector: Injector,
-    /// Round-robin start port for VC allocation fairness.
-    pub va_rr: usize,
 }
 
 impl Router {
+    /// Whether this router can make no progress until new work arrives:
+    /// no buffered or in-flight flits on any input port, no claimed VCs,
+    /// and an idle injector. A quiescent router is dropped from the
+    /// engine's active set; deliveries and injections re-activate it.
+    ///
+    /// Output-side state (missing credits, owned downstream VCs) is
+    /// deliberately not consulted: credits returning to an otherwise
+    /// empty router update counters but enable no pipeline stage until a
+    /// flit arrives, and the waiting flit keeps its *holder* active.
+    pub fn quiescent(&self) -> bool {
+        self.injector.queue.is_empty()
+            && self.injector.streams.iter().all(Option::is_none)
+            && self
+                .inputs
+                .iter()
+                .all(|p| p.arrivals.is_empty() && p.occupied.is_empty())
+    }
     /// Registers a VC as claimed (head flit arrived).
     pub fn claim_vc(&mut self, port: usize, vc: u16, packet: u32) {
         let p = &mut self.inputs[port];
@@ -299,6 +314,37 @@ mod tests {
         assert!(!inj.vc_free(0, 4));
         inj.queue.push_back(PendingInjection { packet: 1, ready_at: 0 });
         assert_eq!(inj.backlog(), 2);
+    }
+
+    #[test]
+    fn quiescent_tracks_every_work_source() {
+        let mut r = Router {
+            inputs: vec![InputPort {
+                exists: true,
+                vcs: vec![VcState::default(); 2],
+                ..InputPort::default()
+            }],
+            injector: Injector::new(2, 4),
+            ..Router::default()
+        };
+        assert!(r.quiescent());
+        // A pending injection is work.
+        r.injector.queue.push_back(PendingInjection { packet: 0, ready_at: 9 });
+        assert!(!r.quiescent());
+        r.injector.queue.clear();
+        // A streaming injection VC is work.
+        r.injector.streams[1] = Some(InjectStream { packet: 0, total_flits: 2, next: 1 });
+        assert!(!r.quiescent());
+        r.injector.streams[1] = None;
+        // An in-flight link delivery is work, even if not yet due.
+        r.inputs[0].arrivals.push_back((100, 0, Flit { packet: 0, idx: 0, eligible: 102 }));
+        assert!(!r.quiescent());
+        r.inputs[0].arrivals.clear();
+        // A claimed VC is work (wormhole in progress).
+        r.claim_vc(0, 1, 3);
+        assert!(!r.quiescent());
+        r.release_vc(0, 1);
+        assert!(r.quiescent());
     }
 
     #[test]
