@@ -8,13 +8,18 @@
 //! criterion crate is an API stub, so timing is hand-rolled with
 //! `std::time::Instant`, exactly like the sweep runner.
 //!
-//! Usage: `bench_perf [--quick]`
-//!   --quick   one short repetition per config (CI smoke)
+//! Usage: `bench_perf [--quick] [--telemetry]`
+//!   --quick      one short repetition per config (CI smoke)
+//!   --telemetry  enable the telemetry layer (all channels, 1k-cycle
+//!                interval) and write the artifact as
+//!                `BENCH_sim_throughput_telemetry.json` — CI compares its
+//!                cycles/sec against the telemetry-off run to bound the
+//!                observation overhead
 
 use rfnoc_bench::artifact::{git_describe, json_f64, json_str};
 use rfnoc_sim::{
     McConfig, MessageClass, MessageSpec, MulticastMode, Network, NetworkSpec, RunStats, SimConfig,
-    Workload,
+    TelemetryConfig, Workload,
 };
 use rfnoc_topology::{GridDims, Shortcut};
 use std::fmt::Write as _;
@@ -170,12 +175,15 @@ struct Sample {
     wall: Duration,
 }
 
-fn run_once(bc: &BenchConfig, measure_cycles: u64) -> Sample {
+fn run_once(bc: &BenchConfig, measure_cycles: u64, telemetry: bool) -> Sample {
     let mut cfg = SimConfig::paper_baseline();
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = measure_cycles;
     cfg.drain_cycles = 20_000;
     cfg.watchdog_cycles = 0;
+    if telemetry {
+        cfg.telemetry = Some(TelemetryConfig::every(1_000));
+    }
     let horizon = cfg.warmup_cycles + cfg.measure_cycles;
     let spec = (bc.build)(cfg);
     let mut network = Network::new(spec);
@@ -186,13 +194,24 @@ fn run_once(bc: &BenchConfig, measure_cycles: u64) -> Sample {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (measure_cycles, reps) = if quick { (4_000, 1) } else { (40_000, 3) };
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    // Quick mode still takes best-of-2: single-rep wall times on the
+    // short configs are noisy enough to flake the CI telemetry-overhead
+    // comparison.
+    let (measure_cycles, reps) = if quick { (4_000, 2) } else { (40_000, 3) };
+    let name = if telemetry {
+        "BENCH_sim_throughput_telemetry"
+    } else {
+        "BENCH_sim_throughput"
+    };
     let git = git_describe();
     eprintln!(
-        "bench_perf: {} configs x {reps} reps, {measure_cycles} measured cycles each ({})",
+        "bench_perf: {} configs x {reps} reps, {measure_cycles} measured cycles each ({}{})",
         CONFIGS.len(),
         if quick { "quick" } else { "full" },
+        if telemetry { ", telemetry on" } else { "" },
     );
 
     let mut rows = String::new();
@@ -201,7 +220,7 @@ fn main() {
         // simulation is the most faithful throughput estimate.
         let mut best: Option<Sample> = None;
         for _ in 0..reps {
-            let s = run_once(bc, measure_cycles);
+            let s = run_once(bc, measure_cycles, telemetry);
             if best.as_ref().is_none_or(|b| s.wall < b.wall) {
                 best = Some(s);
             }
@@ -245,21 +264,22 @@ fn main() {
         .map_or(0, |d| d.as_secs());
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"name\": \"BENCH_sim_throughput\",");
+    let _ = writeln!(out, "  \"name\": {},", json_str(name));
     let _ = writeln!(out, "  \"git\": {},", json_str(&git));
     let _ = writeln!(out, "  \"generated_unix\": {unix},");
     let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"telemetry\": {telemetry},");
     let _ = writeln!(out, "  \"measure_cycles\": {measure_cycles},");
     let _ = writeln!(out, "  \"reps\": {reps},");
     out.push_str("  \"configs\": [\n");
     out.push_str(&rows);
     out.push_str("  ]\n}\n");
 
-    let path = std::path::Path::new("results/json/BENCH_sim_throughput.json");
+    let path = std::path::PathBuf::from(format!("results/json/{name}.json"));
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    match std::fs::write(path, &out) {
+    match std::fs::write(&path, &out) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("WARNING: could not write {}: {e}", path.display()),
     }

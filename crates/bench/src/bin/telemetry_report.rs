@@ -1,0 +1,170 @@
+//! Congestion telemetry report: where and *when* the network saturates.
+//!
+//! Runs two instrumented scenarios on the paper's 10×10 system and
+//! renders the telemetry layer's artifacts:
+//!
+//! 1. **Congestion** — a saturating uniform load on the static-shortcut
+//!    design. Writes `results/json/TELEMETRY_congestion.json` (interval
+//!    time series, per-link utilization, per-band RF utilization, span
+//!    digest) and `results/svg/TELEMETRY_link_heatmap.svg` (mesh links
+//!    stroked by utilization, RF arcs shaded by band utilization).
+//! 2. **Fault timeline** — the same design at moderate load with the
+//!    whole RF band failing mid-run. Writes
+//!    `results/json/TELEMETRY_fault_timeline.json`; the printed timeline
+//!    shows the fault event in the interval where RF utilization drops.
+//!
+//! ```sh
+//! cargo run --release -p rfnoc-bench --bin telemetry_report [--quick]
+//! ```
+
+use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc_bench::svg::{render_link_heatmap, LinkHeatFigure};
+use rfnoc_bench::telemetry::{
+    self, covered_cycles, event_label, hottest_ports, link_utilization, print_timeline,
+    PORT_NAMES,
+};
+use rfnoc_power::LinkWidth;
+use rfnoc_sim::{FaultEvent, FaultPlan, TelemetryConfig, TelemetryReport};
+use rfnoc_traffic::{Placement, TraceKind, TrafficConfig};
+
+/// Simulation windows: (warmup, measure, drain, telemetry interval).
+fn windows(quick: bool) -> (u64, u64, u64, u64) {
+    if quick {
+        (500, 4_000, 10_000, 250)
+    } else {
+        (2_000, 20_000, 20_000, 1_000)
+    }
+}
+
+fn instrumented_experiment(quick: bool, injection_rate: f64) -> Experiment {
+    let (warmup, measure, drain, interval) = windows(quick);
+    let mut system = SystemConfig::new(Architecture::StaticShortcuts, LinkWidth::B16);
+    system.sim.warmup_cycles = warmup;
+    system.sim.measure_cycles = measure;
+    system.sim.drain_cycles = drain;
+    system.sim.telemetry = Some(TelemetryConfig::every(interval));
+    let traffic = TrafficConfig { injection_rate, ..TrafficConfig::default() };
+    Experiment::new(system, WorkloadSpec::Trace(TraceKind::Uniform)).with_traffic(traffic)
+}
+
+fn rf_capacity() -> u32 {
+    rfnoc_sim::SimConfig::paper_baseline().rf_flits_per_cycle()
+}
+
+fn write_svg(name: &str, svg: &str) {
+    let dir = "results/svg";
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("telemetry_report: cannot create {dir}: {e}");
+        return;
+    }
+    let path = format!("{dir}/{name}.svg");
+    match std::fs::write(&path, svg) {
+        Ok(()) => eprintln!("telemetry_report: wrote {path}"),
+        Err(e) => eprintln!("telemetry_report: cannot write {path}: {e}"),
+    }
+}
+
+fn congestion_scenario(quick: bool) {
+    // A load comfortably past the 16B uniform saturation knee, so the
+    // heatmap shows the congested steady state (fig7's saturated region).
+    let experiment = instrumented_experiment(quick, 0.14);
+    let built = experiment.build();
+    eprintln!("telemetry_report: congestion run ({})", experiment.summary());
+    let report = experiment.run();
+    let stats = &report.stats;
+    let tel = stats.telemetry.as_ref().expect("telemetry was enabled");
+
+    println!("# Congestion telemetry: {} on Uniform (saturating load)", report.system);
+    println!(
+        "  {} cycles in {} samples, {} spans ({} dropped), saturated: {}",
+        covered_cycles(tel),
+        tel.samples.len(),
+        tel.spans.len(),
+        tel.dropped_spans,
+        stats.saturated,
+    );
+    print_timeline(tel, 16);
+    print_hot_ports(tel);
+
+    telemetry::write_json("TELEMETRY_congestion", stats, tel);
+
+    // Heatmap: mesh links at flit/cycle utilization, RF arcs at band
+    // utilization (per shortcut source, since sources are unique).
+    let placement = Placement::paper_10x10();
+    let util = scaled_link_util(tel);
+    let shortcut_util: Vec<f64> = built
+        .shortcuts
+        .iter()
+        .map(|s| telemetry::port_utilization(tel, s.src, 5, rf_capacity()))
+        .collect();
+    let figure = LinkHeatFigure {
+        shortcuts: &built.shortcuts,
+        port_util: &util,
+        shortcut_util: &shortcut_util,
+        title: format!(
+            "Link utilization: {} on Uniform, saturating load (scale x{HEAT_SCALE})",
+            report.system
+        ),
+    };
+    write_svg("TELEMETRY_link_heatmap", &render_link_heatmap(&placement, &figure));
+}
+
+/// Colour gain: mesh links saturate the ramp at 1/HEAT_SCALE flits/cycle.
+const HEAT_SCALE: f64 = 2.5;
+
+fn scaled_link_util(tel: &TelemetryReport) -> Vec<f64> {
+    link_utilization(tel).iter().map(|u| (u * HEAT_SCALE).min(1.0)).collect()
+}
+
+fn print_hot_ports(tel: &TelemetryReport) {
+    let dims = Placement::paper_10x10().dims();
+    let cycles = covered_cycles(tel).max(1);
+    println!("\nhottest output ports:");
+    for (r, p, grants) in hottest_ports(tel, 8) {
+        println!(
+            "    {} port {:<5} {:>9} flits  ({:.1}% of cycles)",
+            dims.coord_of(r),
+            PORT_NAMES[p],
+            grants,
+            100.0 * grants as f64 / cycles as f64
+        );
+    }
+}
+
+fn fault_scenario(quick: bool) {
+    let (warmup, measure, _, _) = windows(quick);
+    let fault_at = warmup + measure / 2;
+    let experiment = instrumented_experiment(quick, 0.008)
+        .with_fault_plan(FaultPlan::new(vec![(fault_at, FaultEvent::BandDown)]));
+    eprintln!("telemetry_report: fault run (BandDown at cycle {fault_at})");
+    let report = experiment.run();
+    let stats = &report.stats;
+    let tel = stats.telemetry.as_ref().expect("telemetry was enabled");
+
+    println!("\n# Fault timeline: whole RF band down at cycle {fault_at}");
+    print_timeline(tel, 24);
+    telemetry::write_json("TELEMETRY_fault_timeline", stats, tel);
+
+    // Sanity narration: RF utilization before vs after the fault interval.
+    if let Some(i) = tel.sample_index_at(fault_at) {
+        let rate = |s: &rfnoc_sim::IntervalSample| s.rf_grants as f64 / s.cycles.max(1) as f64;
+        let before: f64 = tel.samples[..i].iter().map(rate).sum::<f64>() / i.max(1) as f64;
+        let after: f64 = tel.samples[i + 1..]
+            .iter()
+            .map(rate)
+            .sum::<f64>()
+            / tel.samples.len().saturating_sub(i + 1).max(1) as f64;
+        println!(
+            "\nRF grants/cycle: {before:.3} before the fault interval, {after:.3} after"
+        );
+        for e in tel.events_in_sample(i) {
+            println!("  event in interval {i}: cycle {} {}", e.cycle, event_label(&e.kind));
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    congestion_scenario(quick);
+    fault_scenario(quick);
+}

@@ -1,19 +1,22 @@
 //! Link-utilization heatmap: where the traffic actually flows.
 //!
-//! Runs one trace on a chosen architecture and renders per-router output
-//! utilization as an ASCII heatmap, plus the hottest ports. Makes the
-//! hotspot structure of the Table 1 traces (and the relief provided by
-//! RF-I shortcuts) directly visible.
+//! Runs one trace on a chosen architecture with the telemetry layer
+//! enabled and renders per-router output utilization as an ASCII heatmap,
+//! plus the hottest ports — all derived from the telemetry link channel
+//! (`TelemetryReport::total_port_grants`), the same counters behind
+//! `telemetry_report`'s JSON and SVG artifacts. Makes the hotspot
+//! structure of the Table 1 traces (and the relief provided by RF-I
+//! shortcuts) directly visible.
 //!
 //! ```sh
 //! cargo run --release -p rfnoc-bench --bin utilization_map [trace] [baseline|static|adaptive]
 //! ```
 
 use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc_bench::telemetry::{covered_cycles, hottest_ports, port_utilization, PORT_NAMES};
 use rfnoc_power::LinkWidth;
+use rfnoc_sim::TelemetryConfig;
 use rfnoc_traffic::{Placement, TraceKind};
-
-const PORT_NAMES: [&str; 6] = ["N", "S", "E", "W", "Local", "RF"];
 
 fn glyph(util: f64) -> char {
     match util {
@@ -45,10 +48,10 @@ fn main() {
         Some(other) => panic!("unknown architecture {other}"),
     };
     println!("# Output-port utilization: {} on {trace}", arch.name());
-    let report =
-        Experiment::new(SystemConfig::new(arch, LinkWidth::B16), WorkloadSpec::Trace(trace))
-            .run();
-    let stats = &report.stats;
+    let mut system = SystemConfig::new(arch, LinkWidth::B16);
+    system.sim.telemetry = Some(TelemetryConfig::every(1_000));
+    let report = Experiment::new(system, WorkloadSpec::Trace(trace)).run();
+    let tel = report.stats.telemetry.as_ref().expect("telemetry was enabled");
     let placement = Placement::paper_10x10();
     let dims = placement.dims();
 
@@ -59,7 +62,7 @@ fn main() {
         for x in 0..dims.width() {
             let r = y * dims.width() + x;
             let mesh: f64 =
-                (0..4).map(|p| stats.port_utilization(r, p, 1)).sum::<f64>() / 4.0;
+                (0..4).map(|p| port_utilization(tel, r, p, 1)).sum::<f64>() / 4.0;
             print!("{} ", glyph(mesh));
         }
         println!();
@@ -70,33 +73,28 @@ fn main() {
         print!("    ");
         for x in 0..dims.width() {
             let r = y * dims.width() + x;
-            print!("{} ", glyph(stats.port_utilization(r, 4, 2)));
+            print!("{} ", glyph(port_utilization(tel, r, 4, 2)));
         }
         println!();
     }
 
-    // Top 10 hottest ports.
-    let mut ports: Vec<(usize, usize, u64)> = (0..dims.nodes())
-        .flat_map(|r| (0..6).map(move |p| (r, p, 0u64)))
-        .map(|(r, p, _)| (r, p, stats.port_flits[r * 6 + p]))
-        .collect();
-    ports.sort_by_key(|&(_, _, f)| std::cmp::Reverse(f));
     println!("\nhottest output ports:");
-    for &(r, p, flits) in ports.iter().take(10) {
+    let cycles = covered_cycles(tel).max(1);
+    for (r, p, flits) in hottest_ports(tel, 10) {
         println!(
             "    {} port {:<5} {:>8} flits  ({:.1}% of cycles)",
             dims.coord_of(r),
             PORT_NAMES[p],
             flits,
-            100.0 * flits as f64 / stats.activity.cycles as f64
+            100.0 * flits as f64 / cycles as f64
         );
     }
-    if let Some((r, p, util)) = stats.hottest_port() {
+    if let Some((r, p, _)) = hottest_ports(tel, 1).first().copied() {
         println!(
             "\npeak: {} port {} at {:.1}% occupancy",
             dims.coord_of(r),
             PORT_NAMES[p],
-            util * 100.0
+            port_utilization(tel, r, p, 1) * 100.0
         );
     }
 }

@@ -16,6 +16,7 @@ pub mod plan;
 pub mod runner;
 pub mod suite;
 pub mod svg;
+pub mod telemetry;
 
 use rfnoc::{Architecture, Experiment, RunReport, SystemConfig, WorkloadSpec};
 use rfnoc_power::LinkWidth;

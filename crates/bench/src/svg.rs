@@ -144,6 +144,130 @@ pub fn render_topology(placement: &Placement, figure: &TopologyFigure<'_>) -> St
     svg
 }
 
+/// Options for [`render_link_heatmap`].
+#[derive(Debug, Clone, Default)]
+pub struct LinkHeatFigure<'a> {
+    /// Shortcut arcs to draw, shaded by `shortcut_util`.
+    pub shortcuts: &'a [Shortcut],
+    /// Directed per-port utilization (`router * 6 + port`, 0.0–1.0); the
+    /// two directions of a mesh edge are collapsed to their maximum.
+    /// Length must be `routers * 6`.
+    pub port_util: &'a [f64],
+    /// Utilization per shortcut arc, parallel to `shortcuts` (0.0–1.0).
+    /// May be empty, drawing the arcs at full strength.
+    pub shortcut_util: &'a [f64],
+    /// Figure caption.
+    pub title: String,
+}
+
+/// Interpolates a utilization in 0.0–1.0 to a grey→red ramp.
+fn heat_color(util: f64) -> String {
+    let u = util.clamp(0.0, 1.0);
+    let lerp = |a: f64, b: f64| (a + (b - a) * u).round() as u8;
+    format!("rgb({},{},{})", lerp(215.0, 214.0), lerp(215.0, 39.0), lerp(215.0, 40.0))
+}
+
+/// Renders a per-link congestion heatmap: mesh edges stroked by
+/// utilization (colour ramp + width), RF shortcut arcs shaded by their
+/// band utilization, and ejection (local-port) pressure as router fill.
+/// Port order matches the simulator: N, S, E, W, Local, RF.
+///
+/// # Panics
+///
+/// Panics if `port_util` does not cover every router's six ports.
+pub fn render_link_heatmap(placement: &Placement, figure: &LinkHeatFigure<'_>) -> String {
+    let dims = placement.dims();
+    assert_eq!(
+        figure.port_util.len(),
+        dims.nodes() * 6,
+        "port utilization must cover routers x 6 ports"
+    );
+    let width = MARGIN * 2.0 + dims.width() as f64 * PITCH;
+    let height = MARGIN * 2.0 + dims.height() as f64 * PITCH + 24.0;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="{width}" height="{height}" fill="white"/>
+<text x="{MARGIN}" y="22" font-family="sans-serif" font-size="14">{}</text>"##,
+        figure.title
+    );
+    // Mesh edges: for each undirected edge, the hotter of the two directed
+    // ports sets the colour and stroke weight. Ports: N=0, S=1, E=2, W=3.
+    let port = |node: usize, p: usize| figure.port_util[node * 6 + p];
+    for node in 0..dims.nodes() {
+        let (x, y) = center(placement, node);
+        let c = dims.coord_of(node);
+        let mut edge = |other: usize, out_p: usize, back_p: usize| {
+            let (x2, y2) = center(placement, other);
+            let u = port(node, out_p).max(port(other, back_p)).clamp(0.0, 1.0);
+            let w = 1.0 + 5.0 * u;
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x}" y1="{y}" x2="{x2}" y2="{y2}" stroke="{}" stroke-width="{w:.2}"/>"##,
+                heat_color(u)
+            );
+        };
+        if (c.x as usize) < dims.width() - 1 {
+            edge(node + 1, 2, 3); // east out, neighbour's west back
+        }
+        if (c.y as usize) < dims.height() - 1 {
+            edge(node + dims.width(), 1, 0); // south out, neighbour's north back
+        }
+    }
+    // RF shortcut arcs shaded by band utilization.
+    let (gx, gy) = (
+        MARGIN + dims.width() as f64 * PITCH / 2.0,
+        MARGIN + dims.height() as f64 * PITCH / 2.0,
+    );
+    for (i, s) in figure.shortcuts.iter().enumerate() {
+        let u = figure.shortcut_util.get(i).copied().unwrap_or(1.0).clamp(0.0, 1.0);
+        let (x1, y1) = center(placement, s.src);
+        let (x2, y2) = center(placement, s.dst);
+        let (mx, my) = ((x1 + x2) / 2.0, (y1 + y2) / 2.0);
+        let (cx, cy) = (mx + (gx - mx) * 0.25, my + (gy - my) * 0.25);
+        let _ = writeln!(
+            svg,
+            r##"<path d="M {x1} {y1} Q {cx} {cy} {x2} {y2}" fill="none" stroke="#06c" stroke-width="{:.2}" stroke-opacity="{:.3}"/>"##,
+            1.5 + 3.0 * u,
+            0.25 + 0.75 * u,
+        );
+    }
+    // Routers, filled by ejection (local-port) pressure.
+    for node in 0..dims.nodes() {
+        let (x, y) = center(placement, node);
+        let (bx, by) = (x - BOX / 2.0, y - BOX / 2.0);
+        let local = port(node, 4).clamp(0.0, 1.0);
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{bx}" y="{by}" width="{BOX}" height="{BOX}" fill="{}" stroke="#333" stroke-width="1"/>"##,
+            heat_color(local)
+        );
+    }
+    // Colour-ramp legend.
+    let ly = height - 14.0;
+    for i in 0..10 {
+        let u = (i as f64 + 0.5) / 10.0;
+        let lx = MARGIN + i as f64 * 12.0;
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{lx}" y="{}" width="12" height="8" fill="{}"/>"##,
+            ly - 8.0,
+            heat_color(u)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="{}" y="{ly}" font-family="sans-serif" font-size="10">link utilization 0 to 1</text>"##,
+        MARGIN + 128.0
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
 /// Builds the per-router heat vector (mean mesh-port utilization) from run
 /// statistics.
 pub fn utilization_heat(stats: &RunStats, routers: usize) -> Vec<f64> {
@@ -186,6 +310,36 @@ mod tests {
         let placement = Placement::paper_10x10();
         let figure = TopologyFigure { heat: vec![0.1; 5], ..Default::default() };
         render_topology(&placement, &figure);
+    }
+
+    #[test]
+    fn link_heatmap_is_wellformed() {
+        let placement = Placement::paper_10x10();
+        let shortcuts = vec![Shortcut::new(1, 98)];
+        let mut port_util = vec![0.0; 600];
+        port_util[2] = 0.8; // router 0, east port
+        let figure = LinkHeatFigure {
+            shortcuts: &shortcuts,
+            port_util: &port_util,
+            shortcut_util: &[0.5],
+            title: "link heat".into(),
+        };
+        let svg = render_link_heatmap(&placement, &figure);
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+        // 10x10 mesh has 180 undirected edges.
+        assert_eq!(svg.matches("<line").count(), 180);
+        assert_eq!(svg.matches(" Q ").count(), 1, "one shortcut arc");
+        // bg + 100 routers + 10 legend swatches
+        assert_eq!(svg.matches("<rect").count(), 1 + 100 + 10);
+        assert!(svg.contains("rgb(214,39,40)") || svg.contains("rgb("));
+    }
+
+    #[test]
+    #[should_panic(expected = "port utilization must cover")]
+    fn link_heatmap_length_checked() {
+        let placement = Placement::paper_10x10();
+        let figure = LinkHeatFigure { port_util: &[0.1; 5], ..Default::default() };
+        render_link_heatmap(&placement, &figure);
     }
 
     #[test]

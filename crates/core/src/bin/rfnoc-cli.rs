@@ -13,10 +13,14 @@
 //! `--mesh-faults <f>`, `--glitches <f>`, `--repair-after <cycles>` —
 //! expected event counts for a deterministic random fault plan spread
 //! over the measurement window.
+//!
+//! Telemetry (run only): `--telemetry <interval>` enables the
+//! interval-sampled telemetry layer and prints the per-interval timeline
+//! (rates, RF grants, stalls, fault/retune events) after the report.
 
 use rfnoc::{Architecture, Experiment, FaultSpec, RunReport, SystemConfig, WorkloadSpec};
 use rfnoc_power::LinkWidth;
-use rfnoc_sim::FaultRates;
+use rfnoc_sim::{FaultRates, TelemetryConfig, TelemetryReport, TimelineEventKind};
 use rfnoc_traffic::{AppProfile, Placement, TraceKind};
 use std::process::ExitCode;
 
@@ -132,15 +136,79 @@ fn run_one(arch: Architecture, width: LinkWidth, workload: WorkloadSpec) -> RunR
     Experiment::new(SystemConfig::new(arch, width), workload).run()
 }
 
+/// Prints the telemetry timeline: one row per interval (capped at 20
+/// evenly spaced rows; event-bearing intervals always shown).
+fn print_timeline(report: &TelemetryReport) {
+    let event_label = |kind: &TimelineEventKind| match kind {
+        TimelineEventKind::Fault(e) => format!("fault: {e:?}"),
+        TimelineEventKind::RetuneApplied { installed } => {
+            format!("retune_applied({installed} shortcuts)")
+        }
+        TimelineEventKind::TablesRewritten => "tables_rewritten".into(),
+        TimelineEventKind::WatchdogFired => "watchdog_fired".into(),
+    };
+    println!(
+        "  {:>16} {:>8} {:>8} {:>8} {:>8} {:>18}  events",
+        "interval", "inj/cyc", "cmp/cyc", "rf/cyc", "peak-buf", "va/sa/credit"
+    );
+    let n = report.samples.len();
+    let stride = n.div_ceil(20).max(1);
+    for (i, s) in report.samples.iter().enumerate() {
+        let events: Vec<String> =
+            report.events_in_sample(i).map(|e| event_label(&e.kind)).collect();
+        if i % stride != 0 && events.is_empty() && i + 1 != n {
+            continue;
+        }
+        let cycles = s.cycles.max(1) as f64;
+        let peak = s.buffered_peak.iter().copied().max().unwrap_or(0);
+        println!(
+            "  {:>16} {:>8.3} {:>8.3} {:>8.3} {:>8} {:>18}  {}",
+            format!("[{}, {})", s.start, s.start + s.cycles),
+            s.injected as f64 / cycles,
+            s.completed_packets as f64 / cycles,
+            s.rf_grants as f64 / cycles,
+            peak,
+            format!("{}/{}/{}", s.va_stalls, s.sa_stalls, s.credit_stalls),
+            if events.is_empty() { "-".to_string() } else { events.join("; ") },
+        );
+    }
+    let complete = report.spans.iter().filter(|s| s.is_complete()).count();
+    println!(
+        "  spans: {} recorded ({} complete, {} dropped), {} timeline events",
+        report.spans.len(),
+        complete,
+        report.dropped_spans,
+        report.events.len()
+    );
+}
+
 fn cmd_run(args: &[String]) -> Option<ExitCode> {
-    let [arch, width, workload, fault_args @ ..] = args else { return None };
+    let [arch, width, workload, rest @ ..] = args else { return None };
     let mut experiment = Experiment::new(
         SystemConfig::new(parse_arch(arch)?, parse_width(width)?),
         parse_workload(workload)?,
     );
-    experiment.faults = parse_fault_flags(fault_args)?;
+    // Peel off `--telemetry <interval>` before the fault flags.
+    let mut fault_args: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--telemetry" {
+            let interval: u64 = it.next()?.parse().ok()?;
+            if interval == 0 {
+                return None;
+            }
+            experiment.system.sim.telemetry = Some(TelemetryConfig::every(interval));
+        } else {
+            fault_args.push(flag.clone());
+        }
+    }
+    experiment.faults = parse_fault_flags(&fault_args)?;
     let report = experiment.run();
     report_line(&report);
+    if let Some(tel) = &report.stats.telemetry {
+        println!("telemetry ({} samples at interval {}):", tel.samples.len(), tel.interval);
+        print_timeline(tel);
+    }
     Some(ExitCode::SUCCESS)
 }
 
@@ -217,6 +285,7 @@ fn main() -> ExitCode {
     result.unwrap_or_else(|| {
         eprintln!(
             "usage:\n  rfnoc-cli run <arch> <16|8|4> <workload> \
+             [--telemetry INTERVAL] \
              [--fault-seed N] [--shortcut-faults F] [--mesh-faults F] \
              [--glitches F] [--repair-after C]\n  \
              rfnoc-cli compare <workload>\n  \

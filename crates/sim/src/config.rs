@@ -1,6 +1,7 @@
 //! Simulator configuration (paper Figure 5a parameters).
 
 use crate::error::ConfigError;
+use crate::network::telemetry::{FlitTraceConfig, TelemetryConfig};
 use rfnoc_power::LinkWidth;
 
 /// Microarchitectural configuration of the simulated network.
@@ -47,9 +48,15 @@ pub struct SimConfig {
     /// 2 GHz interconnect (§3.1), so the local port drains and fills at
     /// twice the network rate: 2.
     pub local_port_speedup: u32,
-    /// Maximum flit-trace events to record (0 disables tracing). See
-    /// `Network::flit_trace`.
-    pub flit_trace_limit: usize,
+    /// Flit-level debug trace configuration (off by default). See
+    /// `Network::flit_trace` and `Network::flit_trace_dropped`.
+    pub flit_trace: FlitTraceConfig,
+    /// Telemetry subsystem configuration: `Some` enables interval-sampled
+    /// counters, packet spans, and the event timeline (returned through
+    /// `RunStats::telemetry`); `None` (the default) keeps the engine
+    /// telemetry-free — provably bit-identical and with no measurable
+    /// overhead.
+    pub telemetry: Option<TelemetryConfig>,
     /// Collect per-(source, destination) message counts during the run —
     /// the "event counters in our network" the paper's application-specific
     /// selection relies on (§3.2.2). Off by default (memory/time cost).
@@ -89,7 +96,8 @@ impl SimConfig {
             drain_cycles: 50_000,
             reconfig_cycles: 99,
             local_port_speedup: 2,
-            flit_trace_limit: 0,
+            flit_trace: FlitTraceConfig::disabled(),
+            telemetry: None,
             collect_pair_counts: false,
             adaptive_shortcut_routing: true,
             watchdog_cycles: 10_000,
@@ -113,6 +121,25 @@ impl SimConfig {
     #[must_use]
     pub fn with_link_width(mut self, width: LinkWidth) -> Self {
         self.link_width = width;
+        self
+    }
+
+    /// Returns a copy with flit tracing capped at `limit` events.
+    #[deprecated(
+        since = "0.5.0",
+        note = "set `flit_trace = FlitTraceConfig::capped(limit)` instead; \
+                the bare cap truncated silently"
+    )]
+    #[must_use]
+    pub fn with_flit_trace_limit(mut self, limit: usize) -> Self {
+        self.flit_trace = FlitTraceConfig::capped(limit);
+        self
+    }
+
+    /// Returns a copy with telemetry enabled at the given configuration.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -145,6 +172,11 @@ impl SimConfig {
                 watchdog: self.watchdog_cycles,
                 minimum: watchdog_minimum,
             });
+        }
+        if let Some(t) = &self.telemetry {
+            if t.interval == 0 {
+                return Err(ConfigError::ZeroTelemetryInterval);
+            }
         }
         Ok(())
     }
@@ -222,5 +254,21 @@ mod tests {
         );
         cfg.watchdog_cycles = 0;
         assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_telemetry_interval_rejected() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.telemetry = Some(TelemetryConfig { interval: 0, ..TelemetryConfig::every(1) });
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroTelemetryInterval));
+        cfg.telemetry = Some(TelemetryConfig::every(1_000));
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_flit_trace_builder_maps_to_config() {
+        let cfg = SimConfig::paper_baseline().with_flit_trace_limit(42);
+        assert_eq!(cfg.flit_trace, FlitTraceConfig::capped(42));
     }
 }

@@ -36,6 +36,8 @@ pub enum ConfigError {
         /// The minimum meaningful window.
         minimum: u64,
     },
+    /// Telemetry was enabled with a zero sampling interval.
+    ZeroTelemetryInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -56,6 +58,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "watchdog window of {watchdog} cycles is below the {minimum}-cycle minimum"
             ),
+            Self::ZeroTelemetryInterval => {
+                write!(f, "telemetry sampling interval must be non-zero")
+            }
         }
     }
 }

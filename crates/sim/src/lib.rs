@@ -61,8 +61,10 @@ pub use config::SimConfig;
 pub use error::{ConfigError, ReconfigError, SimError};
 pub use fault::{FaultEvent, FaultPlan, FaultRates, HealthDiagnosis, HealthReport};
 pub use network::{
-    FlitEvent, FlitEventKind, MulticastMode, Network, NetworkSpec, RoutingKind,
-    ScriptedWorkload, Workload,
+    latency_bucket, latency_bucket_bounds, ChannelMask, FlitEvent, FlitEventKind,
+    FlitTraceConfig, IntervalSample, MulticastMode, Network, NetworkSpec, PacketSpan,
+    RoutingKind, ScriptedWorkload, TelemetryConfig, TelemetryReport, TimelineEvent,
+    TimelineEventKind, Workload, LATENCY_BUCKETS,
 };
 pub use packet::{DestSet, Destination, MessageClass, MessageSpec};
 pub use rfmc::McConfig;

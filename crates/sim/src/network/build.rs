@@ -183,6 +183,11 @@ impl Network {
             sa_requests: vec![Vec::new(); NUM_PORTS],
             sp_dist,
             flit_trace: Vec::new(),
+            flit_trace_dropped: 0,
+            telemetry: spec
+                .config
+                .telemetry
+                .map(|t| Box::new(telemetry::TelemetryState::new(t, n))),
             reconfig: ReconfigState::Idle,
             reconfigurations: 0,
             active_shortcuts: spec.shortcuts,

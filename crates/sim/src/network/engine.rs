@@ -35,6 +35,7 @@ impl Network {
                 if stalled >= watchdog || starved >= watchdog.saturating_mul(4) {
                     self.stats.health =
                         Some(self.health_report(stalled, starved, stalled >= watchdog));
+                    self.tel_event(telemetry::TimelineEventKind::WatchdogFired);
                     break;
                 }
             }
@@ -44,6 +45,9 @@ impl Network {
         self.stats.activity.cycles =
             self.cycle.saturating_sub(self.config.warmup_cycles).max(1);
         self.stats.finalize();
+        // Telemetry closes its partial final interval and hands the report
+        // to the outgoing stats before the move below.
+        self.finish_telemetry();
         // Return the accumulated statistics by move — the per-message
         // latency and per-router activity vectors can run to megabytes
         // and were previously cloned once per experiment. The network
@@ -60,15 +64,16 @@ impl Network {
         std::mem::replace(&mut self.stats, fresh)
     }
 
-    /// Records the completion of one measured message created at
-    /// `created` whose final flit landed at `at` — the single site for
-    /// the latency push, outstanding-count decrement, and watchdog
-    /// completion stamp.
-    fn record_completion(&mut self, created: u64, at: u64) {
+    /// Records the completion of one measured message from source `src`
+    /// created at `created` whose final flit landed at `at` — the single
+    /// site for the latency push, per-source count, outstanding-count
+    /// decrement, and watchdog completion stamp.
+    fn record_completion(&mut self, src: u32, created: u64, at: u64) {
         let latency = at.saturating_sub(created);
         self.stats.completed_messages += 1;
         self.stats.message_latency_sum += latency;
         self.stats.message_latencies.push(latency.min(u32::MAX as u64) as u32);
+        self.stats.per_source[src as usize] += 1;
         self.measured_outstanding -= 1;
         self.last_completion = at;
     }
@@ -78,8 +83,8 @@ impl Network {
         assert!(p.remaining >= covered, "multicast over-completion");
         p.remaining -= covered;
         if p.remaining == 0 && p.measured {
-            let created = p.created;
-            self.record_completion(created, at);
+            let (src, created) = (p.src, p.created);
+            self.record_completion(src, created, at);
         }
     }
 
@@ -94,14 +99,19 @@ impl Network {
             self.stats.ejected_flits += 1;
             self.stats.flit_latency_sum += at.saturating_sub(created);
         }
+        self.tel_ejected_flit();
         if ejected == flits {
-            let (parent, mc_carry, is_unicast_measured, head_grants) = {
+            let (parent, mc_carry, is_unicast_measured, head_grants, src) = {
                 let p = &self.packets[packet as usize];
-                (p.parent, p.mc_carry, p.measured, p.head_grants)
+                (p.parent, p.mc_carry, p.measured, p.head_grants, p.src)
             };
             if measured && head_grants > 0 {
                 self.stats.hops_sum += (head_grants - 1) as u64;
                 self.stats.hop_packets += 1;
+            }
+            self.tel_packet_done(packet, at);
+            if measured && !mc_carry {
+                self.stats.per_dest[router] += 1;
             }
             if mc_carry {
                 let cluster = self
@@ -114,7 +124,7 @@ impl Network {
             } else if let Some(par) = parent {
                 self.complete_parent_part(par, 1, at);
             } else if is_unicast_measured {
-                self.record_completion(created, at);
+                self.record_completion(src, created, at);
             }
         }
     }
@@ -152,6 +162,7 @@ impl Network {
         self.step_routers();
         self.apply_outboxes();
         self.cycle += 1;
+        self.step_telemetry();
     }
 
     pub(super) fn step_routers(&mut self) {
@@ -214,6 +225,9 @@ impl Network {
                             self.routers[r].claim_vc(port, vc, flit.packet);
                         }
                         self.routers[r].inputs[port].vcs[vc as usize].buffer.push_back(flit);
+                        if self.telemetry.is_some() {
+                            self.tel_buffer_push(r);
+                        }
                     }
                     _ => break,
                 }
@@ -337,6 +351,7 @@ impl Network {
                     .map(|ov| (esc, ov))
             })
         };
+        let granted = grant.is_some();
         let v = &mut self.routers[r].inputs[port].vcs[vci];
         match grant {
             Some((out, ovc)) => {
@@ -349,6 +364,9 @@ impl Network {
                 }
             }
             None => v.va_blocked += 1,
+        }
+        if !granted && self.telemetry.is_some() {
+            self.tel_va_stall();
         }
     }
 
@@ -378,9 +396,11 @@ impl Network {
                     let p = &self.packets[packet as usize];
                     (p.created, p.measured, p.flits, p.bytes, p.parent)
                 };
+                let src = self.packets[packet as usize].src;
                 for (g, child) in children.iter_mut().enumerate().take(glen) {
                     *child = self.new_packet(PacketInfo {
                         dest: PacketDest::Tree(groups[g].1),
+                        src,
                         flits,
                         bytes,
                         created,
@@ -436,6 +456,9 @@ impl Network {
                     f.eligible = now + 1;
                 }
             }
+        }
+        if !any_allocated && !had_allocation && self.telemetry.is_some() {
+            self.tel_va_stall();
         }
     }
 
@@ -513,6 +536,12 @@ impl Network {
                     }
                 }
             }
+            if self.telemetry.is_some() {
+                // Requests left ungranted this cycle lost switch
+                // arbitration (to competition, capacity, or credits).
+                let granted = (self.routers[r].outputs[out].capacity - budget) as usize;
+                self.tel_sa_stalls(reqs_len.saturating_sub(granted) as u64);
+            }
         }
     }
 
@@ -545,6 +574,9 @@ impl Network {
         };
         // Credit check for non-ejection ports.
         if !is_ejection && self.routers[r].outputs[out].vcs[out_vc as usize].credits == 0 {
+            if self.telemetry.is_some() {
+                self.tel_credit_stall();
+            }
             return false;
         }
         // Every grant is forward progress for the watchdog.
@@ -554,8 +586,11 @@ impl Network {
             (p.flits, p.bytes)
         };
         let is_tail = flit.is_tail(packet_flits);
+        let mut first_grant = false;
         if flit.is_head() {
-            self.packets[sent_packet as usize].head_grants += 1;
+            let hg = &mut self.packets[sent_packet as usize].head_grants;
+            first_grant = *hg == 0;
+            *hg += 1;
         }
         // Payload bytes carried by this flit (the tail may be partial).
         let flit_bytes = if is_tail {
@@ -564,13 +599,16 @@ impl Network {
             width_bytes
         };
 
-        if self.config.flit_trace_limit > 0 {
+        if self.config.flit_trace.is_enabled() {
             let kind = if is_ejection {
-                observe::FlitEventKind::Ejected
+                telemetry::FlitEventKind::Ejected
             } else {
-                observe::FlitEventKind::Granted { out_port: out as u8 }
+                telemetry::FlitEventKind::Granted { out_port: out as u8 }
             };
             self.trace_event(sent_packet, flit.idx, r, kind);
+        }
+        if self.telemetry.is_some() {
+            self.tel_grant(r, out, sent_packet, first_grant, now);
         }
 
         // Statistics (per payload byte; see rfnoc-power's ActivityCounters).
@@ -632,6 +670,9 @@ impl Network {
         };
         if retire {
             self.routers[r].inputs[port].vcs[vci].buffer.pop_front();
+            if self.telemetry.is_some() {
+                self.tel_buffer_pop(r);
+            }
             match self.routers[r].inputs[port].upstream {
                 Some((ur, up)) => self.credit_returns.push((ur, up, vci as u16)),
                 None => self.routers[r].injector.credits[vci] += 1,

@@ -52,6 +52,7 @@ impl Network {
         // from the event site; a blanket mark is cheap insurance (visits
         // to idle routers are no-ops) against missing a wakeup.
         self.mark_all_active();
+        self.tel_event(telemetry::TimelineEventKind::Fault(event));
         match event {
             FaultEvent::ShortcutDown { src } => self.fail_shortcut(src),
             FaultEvent::BandDown => {

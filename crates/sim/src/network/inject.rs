@@ -14,7 +14,11 @@ impl Network {
 
     pub(super) fn new_packet(&mut self, p: PacketInfo) -> u32 {
         self.packets.push(p);
-        (self.packets.len() - 1) as u32
+        let id = (self.packets.len() - 1) as u32;
+        if self.telemetry.is_some() {
+            self.tel_packet_created(id);
+        }
+        id
     }
 
     /// Resets the watchdog baselines when the network transitions from
@@ -62,6 +66,7 @@ impl Network {
         }
         let now = self.cycle;
         let measured = self.in_window();
+        self.tel_injected();
         if measured {
             self.stats.injected_messages += 1;
             let dist = match spec.dest {
@@ -98,6 +103,7 @@ impl Network {
                 let flits = self.flits_for(bytes);
                 let pkt = self.new_packet(PacketInfo {
                     dest: PacketDest::Unicast(dst),
+                    src: spec.src as u32,
                     flits,
                     bytes,
                     created: now,
@@ -132,6 +138,7 @@ impl Network {
             set.remove(src);
         }
         self.parents.push(ParentInfo {
+            src: src as u32,
             created: now,
             measured,
             remaining: original_len,
@@ -145,6 +152,9 @@ impl Network {
         }
         if self_dest {
             self.complete_parent_part(parent, 1, now);
+            if measured {
+                self.stats.per_dest[src] += 1;
+            }
             if set.is_empty() {
                 return;
             }
@@ -164,6 +174,7 @@ impl Network {
                 let flits = self.flits_for(bytes);
                 let pkt = self.new_packet(PacketInfo {
                     dest: PacketDest::Unicast(tx),
+                    src: src as u32,
                     flits,
                     bytes,
                     created: now,
@@ -188,6 +199,7 @@ impl Network {
                 let flits = self.flits_for(bytes);
                 let pkt = self.new_packet(PacketInfo {
                     dest: PacketDest::Tree(set),
+                    src: src as u32,
                     flits,
                     bytes,
                     created: now,
@@ -206,6 +218,7 @@ impl Network {
                 for dst in set.iter() {
                     let pkt = self.new_packet(PacketInfo {
                         dest: PacketDest::Unicast(dst),
+                        src: src as u32,
                         flits,
                         bytes,
                         created: now,
@@ -289,8 +302,8 @@ impl Network {
                 self.routers[r].inputs[PORT_LOCAL]
                     .arrivals
                     .push_back((arrival, vc as u16, flit));
-                if self.config.flit_trace_limit > 0 {
-                    self.trace_event(flit.packet, flit.idx, r, observe::FlitEventKind::Injected);
+                if self.config.flit_trace.is_enabled() {
+                    self.trace_event(flit.packet, flit.idx, r, telemetry::FlitEventKind::Injected);
                 }
                 sent += 1;
                 continue 'streaming;

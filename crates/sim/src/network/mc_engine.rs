@@ -37,6 +37,7 @@ impl Network {
         if self.counting {
             self.stats.activity.rf_bytes += mc.rf_flit_bytes as u64;
         }
+        self.tel_rf_mc_flit();
         let mut tx = tx;
         if tx.next_flit == 1.min(tx.total_flits - 1) {
             // First payload flit: receivers serving neighbour cores start
@@ -50,6 +51,7 @@ impl Network {
             for &(rx, dest) in &plan.forwarded {
                 let pkt = self.new_packet(PacketInfo {
                     dest: PacketDest::Unicast(dest),
+                    src: rx as u32,
                     flits,
                     bytes,
                     created,
@@ -70,9 +72,10 @@ impl Network {
             let payload_flits = tx.total_flits - 1;
             let measured = self.parents[parent as usize].measured;
             let created = self.parents[parent as usize].created;
-            for _ in 0..plan.direct.len() {
+            for &dest in &plan.direct {
                 self.complete_parent_part(parent, 1, arrival);
                 if measured {
+                    self.stats.per_dest[dest] += 1;
                     self.stats.ejected_flits += payload_flits as u64;
                     self.stats.flit_latency_sum +=
                         payload_flits as u64 * arrival.saturating_sub(created);

@@ -147,6 +147,8 @@ enum PacketDest {
 #[derive(Debug, Clone)]
 struct PacketInfo {
     dest: PacketDest,
+    /// Router where this packet entered the network.
+    src: u32,
     flits: u32,
     /// Payload bytes (the last flit may be partially filled).
     bytes: u32,
@@ -168,6 +170,8 @@ struct PacketInfo {
 
 #[derive(Debug, Clone)]
 struct ParentInfo {
+    /// Source router of the multicast message.
+    src: u32,
     created: u64,
     measured: bool,
     remaining: u32,
@@ -247,7 +251,13 @@ pub struct Network {
     mc_enqueues: Vec<(usize, u32)>,
     pending_inj: Vec<(usize, u32, u64)>,
     sa_requests: Vec<Vec<(u8, u16, i8)>>,
-    flit_trace: Vec<observe::FlitEvent>,
+    flit_trace: Vec<telemetry::FlitEvent>,
+    /// Flit-trace events dropped at the cap (see
+    /// [`telemetry::FlitTraceConfig`]).
+    flit_trace_dropped: u64,
+    /// Telemetry accumulator, present when [`SimConfig::telemetry`] is
+    /// set. Boxed so the disabled case costs one null-check per hook.
+    telemetry: Option<Box<telemetry::TelemetryState>>,
     // Active-router scheduling (see DESIGN.md, "Engine performance"):
     // `step_routers` visits only routers that can possibly make progress.
     /// Sweep counter: bumped once per `step_routers` call. A router is
@@ -262,10 +272,14 @@ mod engine;
 mod faults;
 mod inject;
 mod mc_engine;
-mod observe;
 mod reconfig;
+pub(crate) mod telemetry;
 
-pub use observe::{FlitEvent, FlitEventKind};
+pub use telemetry::{
+    latency_bucket, latency_bucket_bounds, ChannelMask, FlitEvent, FlitEventKind,
+    FlitTraceConfig, IntervalSample, PacketSpan, TelemetryConfig, TelemetryReport,
+    TimelineEvent, TimelineEventKind, LATENCY_BUCKETS,
+};
 
 impl Network {
 

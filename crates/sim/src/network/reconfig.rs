@@ -90,6 +90,9 @@ impl Network {
         }
         self.active_shortcuts = installed;
         self.rebuild_unicast_tables();
+        self.tel_event(telemetry::TimelineEventKind::RetuneApplied {
+            installed: self.active_shortcuts.len(),
+        });
         // Retuning rewrites the routing tables; wake everyone so any
         // packet whose route just changed is revisited promptly.
         self.mark_all_active();
@@ -149,6 +152,7 @@ impl Network {
             ReconfigState::Updating(until) => {
                 if self.cycle >= until {
                     self.reconfigurations += 1;
+                    self.tel_event(telemetry::TimelineEventKind::TablesRewritten);
                     // A fault that struck mid-rewrite queued a fresh target;
                     // start draining toward it now.
                     if let Some(target) = self.pending_target.take() {

@@ -1,0 +1,765 @@
+//! Telemetry: interval-sampled counters, packet-lifecycle spans, the
+//! fault/retune event timeline, and the flit-level debug trace.
+//!
+//! The aggregate [`crate::RunStats`] answer "how did the run end"; this
+//! module answers "where and *when* did congestion form". When enabled via
+//! [`crate::SimConfig::telemetry`] the network samples a time series of
+//! [`IntervalSample`]s — per-link and per-RF-band flit grants, per-router
+//! buffer occupancy (average and peak), injection/ejection rates, in-flight
+//! counts, stall cycles by cause, and a latency histogram per interval —
+//! plus one [`PacketSpan`] per packet (inject → first grant → eject) and a
+//! [`TimelineEvent`] log of faults, retunes, and watchdog trips, so a
+//! health report can be correlated with the interval where progress
+//! stalled.
+//!
+//! # Overhead model
+//!
+//! Every hook is an increment on a preallocated accumulator, gated on one
+//! `Option` check; the steady state allocates nothing. The only
+//! allocations happen at *interval boundaries* (one `IntervalSample` per
+//! `interval` cycles) and when the packet table itself grows (span slots
+//! grow in step with `Network::packets`). With telemetry disabled the
+//! engine takes a single never-taken branch per hook site, and the
+//! golden-determinism suite proves the results are bit-identical.
+//!
+//! # Flit trace
+//!
+//! The older flit-level debug trace lives here too. It is configured by
+//! [`FlitTraceConfig`] (the bare `flit_trace_limit` field is gone) and no
+//! longer truncates silently: events past the cap are counted in
+//! [`Network::flit_trace_dropped`].
+
+#[allow(clippy::wildcard_imports)]
+use super::*;
+
+/// What happened to a flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitEventKind {
+    /// Entered the network at the source's local port.
+    Injected,
+    /// Granted switch allocation at a router toward the given output port
+    /// (0–3 mesh, 4 local/ejection, 5 RF).
+    Granted {
+        /// Output port index.
+        out_port: u8,
+    },
+    /// Left the network at the destination's local port.
+    Ejected,
+}
+
+/// One traced flit movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitEvent {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// Packet table index.
+    pub packet: u32,
+    /// Flit index within the packet (0 = head).
+    pub flit: u32,
+    /// Router where the event occurred.
+    pub router: usize,
+    /// Event kind.
+    pub kind: FlitEventKind,
+}
+
+/// Configuration of the flit-level debug trace.
+///
+/// Replaces the old bare `flit_trace_limit` field: the cap is now
+/// documented and truncation is visible. Tracing records one [`FlitEvent`]
+/// per flit movement (injection, switch grant, ejection) up to `limit`
+/// events; movements past the cap are *counted* in
+/// [`Network::flit_trace_dropped`] instead of vanishing silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitTraceConfig {
+    /// Maximum events to record; 0 disables tracing entirely.
+    pub limit: usize,
+}
+
+impl FlitTraceConfig {
+    /// Tracing off (the default — tracing costs time and memory).
+    pub const fn disabled() -> Self {
+        Self { limit: 0 }
+    }
+
+    /// Tracing on, capped at `limit` events.
+    pub const fn capped(limit: usize) -> Self {
+        Self { limit }
+    }
+
+    /// Whether any tracing happens.
+    pub const fn is_enabled(&self) -> bool {
+        self.limit > 0
+    }
+}
+
+impl Default for FlitTraceConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Bit mask selecting which telemetry channels are recorded.
+///
+/// Channels are independent: disabling one removes its hook cost and its
+/// per-interval storage. [`ChannelMask::ALL`] is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelMask(pub u16);
+
+impl ChannelMask {
+    /// Per-output-port flit grants and RF band activity per interval.
+    pub const LINKS: Self = Self(1 << 0);
+    /// Per-router buffer occupancy (average and peak) per interval.
+    pub const OCCUPANCY: Self = Self(1 << 1);
+    /// Injection/ejection/completion rates and in-flight counts.
+    pub const RATES: Self = Self(1 << 2);
+    /// Stall cycles by cause (VC allocation, switch allocation, credits).
+    pub const STALLS: Self = Self(1 << 3);
+    /// Per-interval completion-latency histogram.
+    pub const LATENCY: Self = Self(1 << 4);
+    /// Packet-lifecycle spans (inject → first grant → eject).
+    pub const SPANS: Self = Self(1 << 5);
+    /// Fault/retune/reconfigure/watchdog timeline events.
+    pub const EVENTS: Self = Self(1 << 6);
+    /// Every channel.
+    pub const ALL: Self = Self(0x7f);
+    /// No channels (telemetry enabled but recording nothing).
+    pub const NONE: Self = Self(0);
+
+    /// Whether every channel in `other` is enabled in `self`.
+    pub const fn contains(self, other: Self) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The union of two masks.
+    #[must_use]
+    pub const fn with(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+}
+
+impl Default for ChannelMask {
+    fn default() -> Self {
+        Self::ALL
+    }
+}
+
+/// Configuration of the telemetry subsystem
+/// ([`crate::SimConfig::telemetry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Sampling interval in cycles; one [`IntervalSample`] is emitted per
+    /// `interval` cycles (the last sample may be shorter). Must be
+    /// non-zero — [`crate::SimConfig::validate`] rejects 0.
+    pub interval: u64,
+    /// Channels to record.
+    pub channels: ChannelMask,
+    /// Maximum packet spans to record; spans past the cap are counted in
+    /// [`TelemetryReport::dropped_spans`].
+    pub span_limit: usize,
+}
+
+impl TelemetryConfig {
+    /// All channels at the given sampling interval, with the default span
+    /// cap (65 536 spans ≈ 1.8 MB).
+    pub const fn every(interval: u64) -> Self {
+        Self { interval, channels: ChannelMask::ALL, span_limit: 1 << 16 }
+    }
+}
+
+/// Number of buckets in the per-interval latency histogram.
+pub const LATENCY_BUCKETS: usize = 8;
+
+/// The bucket index for a completion latency: bucket `i` holds latencies
+/// in `[16·2^(i-1), 16·2^i)` cycles (bucket 0 is `< 16`, the last bucket
+/// is unbounded).
+pub fn latency_bucket(latency: u64) -> usize {
+    let mut bucket = 0;
+    let mut edge = 16u64;
+    while bucket + 1 < LATENCY_BUCKETS && latency >= edge {
+        edge *= 2;
+        bucket += 1;
+    }
+    bucket
+}
+
+/// The inclusive-exclusive cycle bounds of latency bucket `i`, for report
+/// rendering. The last bucket's upper bound is `u64::MAX`.
+pub fn latency_bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < LATENCY_BUCKETS, "bucket index out of range");
+    let lo = if i == 0 { 0 } else { 16u64 << (i - 1) };
+    let hi = if i + 1 == LATENCY_BUCKETS { u64::MAX } else { 16u64 << i };
+    (lo, hi)
+}
+
+/// One sampling interval's worth of counters.
+///
+/// Vector fields are sized `routers * 6` (per output port, ports are
+/// N,S,E,W,Local,RF) or `routers`; they are empty when their channel is
+/// disabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// First cycle covered by this sample.
+    pub start: u64,
+    /// Cycles covered (equals the configured interval except possibly for
+    /// the final, partial sample).
+    pub cycles: u64,
+    /// Flit grants per output port (`router * 6 + port`) — the time-series
+    /// counterpart of [`crate::RunStats::port_flits`]. Channel:
+    /// [`ChannelMask::LINKS`].
+    pub port_grants: Vec<u64>,
+    /// Flit grants onto RF shortcut ports (the point-to-point RF band).
+    /// Channel: [`ChannelMask::LINKS`].
+    pub rf_grants: u64,
+    /// Flits transmitted on the RF broadcast (multicast) band. Channel:
+    /// [`ChannelMask::LINKS`].
+    pub rf_mc_flits: u64,
+    /// Per-router sum over the interval's cycles of buffered flit counts
+    /// (divide by `cycles` for the average). Channel:
+    /// [`ChannelMask::OCCUPANCY`].
+    pub buffered_cycles: Vec<u64>,
+    /// Per-router peak buffered flit count within the interval. Channel:
+    /// [`ChannelMask::OCCUPANCY`].
+    pub buffered_peak: Vec<u32>,
+    /// Messages injected (all traffic, warmup included). Channel:
+    /// [`ChannelMask::RATES`].
+    pub injected: u64,
+    /// Flits ejected at local ports. Channel: [`ChannelMask::RATES`].
+    pub ejected_flits: u64,
+    /// Packets whose last flit ejected this interval. Channel:
+    /// [`ChannelMask::RATES`].
+    pub completed_packets: u64,
+    /// Measured messages still in flight at the end of the interval.
+    /// Channel: [`ChannelMask::RATES`].
+    pub in_flight_end: u64,
+    /// VC-allocation failures (a head flit found no free output VC).
+    /// Channel: [`ChannelMask::STALLS`].
+    pub va_stalls: u64,
+    /// Switch-allocation losses (an eligible request not granted this
+    /// cycle). Channel: [`ChannelMask::STALLS`].
+    pub sa_stalls: u64,
+    /// Grants refused for lack of downstream credits. Channel:
+    /// [`ChannelMask::STALLS`].
+    pub credit_stalls: u64,
+    /// Histogram of packet completion latencies (creation → last flit
+    /// ejected), bucketed by [`latency_bucket`]. Channel:
+    /// [`ChannelMask::LATENCY`].
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+}
+
+impl IntervalSample {
+    fn zeroed(start: u64, routers: usize, channels: ChannelMask) -> Self {
+        let links = channels.contains(ChannelMask::LINKS);
+        let occ = channels.contains(ChannelMask::OCCUPANCY);
+        Self {
+            start,
+            cycles: 0,
+            port_grants: if links { vec![0; routers * NUM_PORTS] } else { Vec::new() },
+            rf_grants: 0,
+            rf_mc_flits: 0,
+            buffered_cycles: if occ { vec![0; routers] } else { Vec::new() },
+            buffered_peak: if occ { vec![0; routers] } else { Vec::new() },
+            injected: 0,
+            ejected_flits: 0,
+            completed_packets: 0,
+            in_flight_end: 0,
+            va_stalls: 0,
+            sa_stalls: 0,
+            credit_stalls: 0,
+            latency_hist: [0; LATENCY_BUCKETS],
+        }
+    }
+
+    /// Mean buffered flits at router `r` over this interval (0.0 when the
+    /// occupancy channel is off or no cycles elapsed).
+    pub fn avg_buffered(&self, r: usize) -> f64 {
+        if self.cycles == 0 || self.buffered_cycles.is_empty() {
+            0.0
+        } else {
+            self.buffered_cycles[r] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Utilization of one output port over this interval: grants divided
+    /// by `capacity × cycles` slot capacity (0.0 when the links channel is
+    /// off or no cycles elapsed).
+    pub fn port_utilization(&self, r: usize, port: usize, capacity: u32) -> f64 {
+        assert!(port < NUM_PORTS, "port index out of range");
+        if self.cycles == 0 || self.port_grants.is_empty() {
+            0.0
+        } else {
+            self.port_grants[r * NUM_PORTS + port] as f64
+                / (self.cycles as f64 * capacity.max(1) as f64)
+        }
+    }
+}
+
+/// The lifecycle of one network packet: inject → first switch grant →
+/// last flit ejected. The structured successor to walking the flit trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketSpan {
+    /// Packet table index.
+    pub packet: u32,
+    /// Router where the packet entered the network.
+    pub src: u32,
+    /// Destination router, or `u32::MAX` for a multicast tree packet.
+    pub dest: u32,
+    /// Cycle the message was created (injection request).
+    pub injected_at: u64,
+    /// Cycle of the head flit's first switch grant, or `u64::MAX` if it
+    /// never won allocation.
+    pub first_grant_at: u64,
+    /// Cycle the packet's last flit landed at its destination's local
+    /// port, or `u64::MAX` while in flight.
+    pub ejected_at: u64,
+    /// Routers traversed minus one (valid once ejected).
+    pub hops: u32,
+    /// Whether any flit of this packet was granted onto an RF shortcut
+    /// port.
+    pub took_rf: bool,
+    /// Whether the packet was created inside the measurement window.
+    pub measured: bool,
+}
+
+impl PacketSpan {
+    /// Whether the packet fully left the network.
+    pub fn is_complete(&self) -> bool {
+        self.ejected_at != u64::MAX
+    }
+
+    /// Creation-to-ejection latency, when complete.
+    pub fn latency(&self) -> Option<u64> {
+        self.is_complete().then(|| self.ejected_at.saturating_sub(self.injected_at))
+    }
+}
+
+/// A non-traffic event on the telemetry timeline, so degradation can be
+/// correlated with the interval where utilization changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineEventKind {
+    /// A scheduled fault event was applied.
+    Fault(FaultEvent),
+    /// RF transmitters/receivers retuned; `installed` shortcuts are now
+    /// active (the routing-table rewrite stall begins here).
+    RetuneApplied {
+        /// Shortcuts installed by the retune.
+        installed: usize,
+    },
+    /// A routing-table rewrite completed and injection resumed.
+    TablesRewritten,
+    /// The forward-progress watchdog stopped the run (see
+    /// [`crate::RunStats::health`] for the diagnosis).
+    WatchdogFired,
+}
+
+/// One timeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TimelineEventKind,
+}
+
+/// The full telemetry record of one run, returned through
+/// [`crate::RunStats::telemetry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Sampling interval in cycles.
+    pub interval: u64,
+    /// Channels that were recorded.
+    pub channels: ChannelMask,
+    /// Routers in the network (sizes the per-router vectors).
+    pub routers: usize,
+    /// The time series, in cycle order; the final sample may cover fewer
+    /// than `interval` cycles.
+    pub samples: Vec<IntervalSample>,
+    /// Packet lifecycle spans, in packet-id order, capped at
+    /// [`TelemetryConfig::span_limit`].
+    pub spans: Vec<PacketSpan>,
+    /// Packets whose span was not recorded because the cap was reached.
+    pub dropped_spans: u64,
+    /// Fault/retune/watchdog events, in cycle order.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl TelemetryReport {
+    /// Index of the sample covering `cycle`, if any.
+    pub fn sample_index_at(&self, cycle: u64) -> Option<usize> {
+        self.samples
+            .iter()
+            .position(|s| cycle >= s.start && cycle < s.start + s.cycles.max(1))
+    }
+
+    /// Total flit grants per output port (`router * 6 + port`) summed over
+    /// every sample — equals `RunStats::port_flits` plus warmup/drain
+    /// traffic. Empty when the links channel was off.
+    pub fn total_port_grants(&self) -> Vec<u64> {
+        let Some(first) = self.samples.iter().find(|s| !s.port_grants.is_empty()) else {
+            return Vec::new();
+        };
+        let mut total = vec![0u64; first.port_grants.len()];
+        for s in &self.samples {
+            for (t, g) in total.iter_mut().zip(&s.port_grants) {
+                *t += g;
+            }
+        }
+        total
+    }
+
+    /// The events whose cycle falls inside sample `i`.
+    pub fn events_in_sample(&self, i: usize) -> impl Iterator<Item = &TimelineEvent> {
+        let (start, end) = match self.samples.get(i) {
+            Some(s) => (s.start, s.start + s.cycles.max(1)),
+            None => (u64::MAX, u64::MAX),
+        };
+        self.events.iter().filter(move |e| e.cycle >= start && e.cycle < end)
+    }
+}
+
+/// Live telemetry accumulator state, attached to the network when
+/// [`crate::SimConfig::telemetry`] is set.
+#[derive(Debug)]
+pub(super) struct TelemetryState {
+    cfg: TelemetryConfig,
+    routers: usize,
+    /// First cycle of the interval being accumulated.
+    interval_start: u64,
+    /// The interval currently accumulating.
+    cur: IntervalSample,
+    /// Flushed samples.
+    samples: Vec<IntervalSample>,
+    /// Per-router live buffered-flit count, maintained incrementally at
+    /// the two buffer mutation sites instead of walking every VC per
+    /// cycle.
+    buffered: Vec<u32>,
+    /// Span index per packet id (`u32::MAX` = none), grown on demand so it
+    /// stays parallel with the packet table across runs.
+    span_of: Vec<u32>,
+    spans: Vec<PacketSpan>,
+    dropped_spans: u64,
+    events: Vec<TimelineEvent>,
+}
+
+const NO_SPAN: u32 = u32::MAX;
+
+impl TelemetryState {
+    pub(super) fn new(cfg: TelemetryConfig, routers: usize) -> Self {
+        let occ = cfg.channels.contains(ChannelMask::OCCUPANCY);
+        Self {
+            cfg,
+            routers,
+            interval_start: 0,
+            cur: IntervalSample::zeroed(0, routers, cfg.channels),
+            samples: Vec::new(),
+            buffered: if occ { vec![0; routers] } else { Vec::new() },
+            span_of: Vec::new(),
+            spans: Vec::new(),
+            dropped_spans: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn on(&self, channel: ChannelMask) -> bool {
+        self.cfg.channels.contains(channel)
+    }
+
+    /// Closes the current interval at `end` cycles covered and opens the
+    /// next one.
+    fn flush_interval(&mut self, covered: u64, in_flight: u64) {
+        self.cur.cycles = covered;
+        self.cur.in_flight_end = in_flight;
+        let next_start = self.interval_start + covered;
+        let next = IntervalSample::zeroed(next_start, self.routers, self.cfg.channels);
+        self.samples.push(std::mem::replace(&mut self.cur, next));
+        self.interval_start = next_start;
+    }
+
+    fn span_slot(&mut self, packet: u32) -> Option<&mut PacketSpan> {
+        let idx = *self.span_of.get(packet as usize)?;
+        if idx == NO_SPAN {
+            return None;
+        }
+        self.spans.get_mut(idx as usize)
+    }
+}
+
+impl Network {
+    /// Records a flit-trace event, respecting the configured cap; events
+    /// past the cap are counted in [`Network::flit_trace_dropped`].
+    pub(super) fn trace_event(&mut self, packet: u32, flit: u32, router: usize, kind: FlitEventKind) {
+        if self.flit_trace.len() < self.config.flit_trace.limit {
+            self.flit_trace.push(FlitEvent {
+                cycle: self.cycle,
+                packet,
+                flit,
+                router,
+                kind,
+            });
+        } else {
+            self.flit_trace_dropped += 1;
+        }
+    }
+
+    /// The recorded flit trace so far (empty unless
+    /// [`crate::SimConfig::flit_trace`] enables tracing).
+    pub fn flit_trace(&self) -> &[FlitEvent] {
+        &self.flit_trace
+    }
+
+    /// Flit-trace events dropped because [`FlitTraceConfig::limit`] was
+    /// reached — non-zero means the trace is a truncated prefix.
+    pub fn flit_trace_dropped(&self) -> u64 {
+        self.flit_trace_dropped
+    }
+
+    /// Per-cycle telemetry work, called once at the end of every
+    /// [`Network::step`]: accumulates the occupancy channel and flushes
+    /// the interval at its boundary. No-op when telemetry is disabled.
+    #[inline]
+    pub(super) fn step_telemetry(&mut self) {
+        let cycle = self.cycle;
+        let in_flight = self.measured_outstanding;
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if !t.buffered.is_empty() {
+            for (r, &b) in t.buffered.iter().enumerate() {
+                t.cur.buffered_cycles[r] += b as u64;
+                if b > t.cur.buffered_peak[r] {
+                    t.cur.buffered_peak[r] = b;
+                }
+            }
+        }
+        let covered = cycle - t.interval_start;
+        if covered >= t.cfg.interval {
+            t.flush_interval(covered, in_flight);
+        }
+    }
+
+    /// Flushes the partial final interval and moves the report into
+    /// `self.stats.telemetry`; the accumulator is reset so a subsequent
+    /// `run` starts a fresh time series.
+    pub(super) fn finish_telemetry(&mut self) {
+        let cycle = self.cycle;
+        let in_flight = self.measured_outstanding;
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        let covered = cycle - t.interval_start;
+        if covered > 0 {
+            t.flush_interval(covered, in_flight);
+        }
+        let report = TelemetryReport {
+            interval: t.cfg.interval,
+            channels: t.cfg.channels,
+            routers: t.routers,
+            samples: std::mem::take(&mut t.samples),
+            spans: std::mem::take(&mut t.spans),
+            dropped_spans: std::mem::take(&mut t.dropped_spans),
+            events: std::mem::take(&mut t.events),
+        };
+        t.span_of.clear();
+        self.stats.telemetry = Some(Box::new(report));
+    }
+
+    /// Registers a freshly created packet: opens its lifecycle span.
+    #[inline]
+    pub(super) fn tel_packet_created(&mut self, packet: u32) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if !t.on(ChannelMask::SPANS) {
+            return;
+        }
+        let p = &self.packets[packet as usize];
+        if t.span_of.len() <= packet as usize {
+            t.span_of.resize(packet as usize + 1, NO_SPAN);
+        }
+        if t.spans.len() >= t.cfg.span_limit {
+            t.dropped_spans += 1;
+            return;
+        }
+        t.span_of[packet as usize] = t.spans.len() as u32;
+        t.spans.push(PacketSpan {
+            packet,
+            src: p.src,
+            dest: match p.dest {
+                PacketDest::Unicast(d) => d as u32,
+                PacketDest::Tree(_) => u32::MAX,
+            },
+            injected_at: p.created,
+            first_grant_at: u64::MAX,
+            ejected_at: u64::MAX,
+            hops: 0,
+            took_rf: false,
+            measured: p.measured,
+        });
+    }
+
+    /// Records a switch grant: the links channel and span first-grant/RF
+    /// marks. `first` is true for the head flit's first grant anywhere.
+    #[inline]
+    pub(super) fn tel_grant(&mut self, r: usize, out: usize, packet: u32, first: bool, now: u64) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::LINKS) {
+            t.cur.port_grants[r * NUM_PORTS + out] += 1;
+            if out == PORT_RF {
+                t.cur.rf_grants += 1;
+            }
+        }
+        if (first || out == PORT_RF) && t.on(ChannelMask::SPANS) {
+            if let Some(span) = t.span_slot(packet) {
+                if first {
+                    span.first_grant_at = now;
+                }
+                if out == PORT_RF {
+                    span.took_rf = true;
+                }
+            }
+        }
+    }
+
+    /// Records one flit transmitted on the RF broadcast band.
+    #[inline]
+    pub(super) fn tel_rf_mc_flit(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::LINKS) {
+            t.cur.rf_mc_flits += 1;
+        }
+    }
+
+    /// Records a grant refused for lack of downstream credits.
+    #[inline]
+    pub(super) fn tel_credit_stall(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::STALLS) {
+            t.cur.credit_stalls += 1;
+        }
+    }
+
+    /// Records a failed VC allocation attempt.
+    #[inline]
+    pub(super) fn tel_va_stall(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::STALLS) {
+            t.cur.va_stalls += 1;
+        }
+    }
+
+    /// Records `count` switch-allocation requests that lost arbitration
+    /// this cycle.
+    #[inline]
+    pub(super) fn tel_sa_stalls(&mut self, count: u64) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::STALLS) {
+            t.cur.sa_stalls += count;
+        }
+    }
+
+    /// Records a flit entering a router's input buffers.
+    #[inline]
+    pub(super) fn tel_buffer_push(&mut self, r: usize) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if let Some(b) = t.buffered.get_mut(r) {
+            *b += 1;
+        }
+    }
+
+    /// Records a flit retired from a router's input buffers.
+    #[inline]
+    pub(super) fn tel_buffer_pop(&mut self, r: usize) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if let Some(b) = t.buffered.get_mut(r) {
+            debug_assert!(*b > 0, "buffered-flit underflow at router {r}");
+            *b = b.saturating_sub(1);
+        }
+    }
+
+    /// Records one injected message.
+    #[inline]
+    pub(super) fn tel_injected(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::RATES) {
+            t.cur.injected += 1;
+        }
+    }
+
+    /// Records one flit ejected at a local port.
+    #[inline]
+    pub(super) fn tel_ejected_flit(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::RATES) {
+            t.cur.ejected_flits += 1;
+        }
+    }
+
+    /// Records a packet whose last flit just ejected: the rates and
+    /// latency channels, and the span's eject stamp.
+    #[inline]
+    pub(super) fn tel_packet_done(&mut self, packet: u32, at: u64) {
+        let (created, head_grants) = {
+            let p = &self.packets[packet as usize];
+            (p.created, p.head_grants)
+        };
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::RATES) {
+            t.cur.completed_packets += 1;
+        }
+        if t.on(ChannelMask::LATENCY) {
+            t.cur.latency_hist[latency_bucket(at.saturating_sub(created))] += 1;
+        }
+        if t.on(ChannelMask::SPANS) {
+            if let Some(span) = t.span_slot(packet) {
+                span.ejected_at = at;
+                span.hops = head_grants.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Appends a timeline event at the current cycle.
+    #[inline]
+    pub(super) fn tel_event(&mut self, kind: TimelineEventKind) {
+        let cycle = self.cycle;
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if t.on(ChannelMask::EVENTS) {
+            t.events.push(TimelineEvent { cycle, kind });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_cover_the_line() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(15), 0);
+        assert_eq!(latency_bucket(16), 1);
+        assert_eq!(latency_bucket(31), 1);
+        assert_eq!(latency_bucket(32), 2);
+        assert_eq!(latency_bucket(1023), 6);
+        assert_eq!(latency_bucket(1024), 7);
+        assert_eq!(latency_bucket(u64::MAX), 7);
+        for i in 0..LATENCY_BUCKETS {
+            let (lo, hi) = latency_bucket_bounds(i);
+            assert!(lo < hi);
+            assert_eq!(latency_bucket(lo), i);
+            if hi != u64::MAX {
+                assert_eq!(latency_bucket(hi - 1), i);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_mask_algebra() {
+        assert!(ChannelMask::ALL.contains(ChannelMask::LINKS));
+        assert!(ChannelMask::ALL.contains(ChannelMask::SPANS));
+        assert!(!ChannelMask::LINKS.contains(ChannelMask::SPANS));
+        let m = ChannelMask::LINKS.with(ChannelMask::STALLS);
+        assert!(m.contains(ChannelMask::LINKS) && m.contains(ChannelMask::STALLS));
+        assert!(!m.contains(ChannelMask::OCCUPANCY));
+        assert!(!ChannelMask::NONE.contains(ChannelMask::LINKS));
+    }
+
+    #[test]
+    fn flit_trace_config_defaults_off() {
+        assert!(!FlitTraceConfig::default().is_enabled());
+        assert!(FlitTraceConfig::capped(7).is_enabled());
+        assert_eq!(FlitTraceConfig::disabled(), FlitTraceConfig::default());
+    }
+}

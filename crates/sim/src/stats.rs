@@ -1,6 +1,7 @@
 //! Simulation statistics and run reports.
 
 use crate::fault::HealthReport;
+use crate::network::telemetry::TelemetryReport;
 use rfnoc_power::ActivityCounters;
 
 /// Statistics gathered over one simulation run.
@@ -67,6 +68,18 @@ pub struct RunStats {
     /// Set when the forward-progress watchdog stopped the run early with a
     /// deadlock/livelock/partition diagnosis.
     pub health: Option<HealthReport>,
+    /// Completed measured messages per source router — with
+    /// [`RunStats::per_dest`], the placement-debugging view the heatmap
+    /// bins use. Multicasts count once, at their source.
+    pub per_source: Vec<u32>,
+    /// Measured full-message/packet deliveries per destination router.
+    /// Multicasts count once per destination reached.
+    pub per_dest: Vec<u32>,
+    /// The telemetry report, when [`crate::SimConfig::telemetry`] was set
+    /// (boxed: the time series can be large and most runs don't carry
+    /// one). Excluded from the golden determinism hashes — the aggregate
+    /// fields above must be bit-identical with telemetry on or off.
+    pub telemetry: Option<Box<TelemetryReport>>,
 }
 
 impl RunStats {
@@ -93,6 +106,9 @@ impl RunStats {
             repairs: 0,
             retransmitted_flits: 0,
             health: None,
+            per_source: vec![0; routers],
+            per_dest: vec![0; routers],
+            telemetry: None,
         }
     }
 

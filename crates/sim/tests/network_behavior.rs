@@ -845,7 +845,7 @@ fn flit_trace_follows_pipeline_timing() {
     use rfnoc_sim::{FlitEvent, FlitEventKind};
     let dims = GridDims::new(4, 4);
     let mut cfg = quick_config();
-    cfg.flit_trace_limit = 256;
+    cfg.flit_trace = rfnoc_sim::FlitTraceConfig::capped(256);
     let mut network = Network::new(NetworkSpec::mesh_baseline(dims, cfg));
     let mut workload = ScriptedWorkload::new(vec![(
         0,
@@ -880,7 +880,7 @@ fn flit_trace_respects_cap_and_default_off() {
     assert!(network.flit_trace().is_empty(), "tracing defaults off");
 
     let mut cfg = quick_config();
-    cfg.flit_trace_limit = 7;
+    cfg.flit_trace = rfnoc_sim::FlitTraceConfig::capped(7);
     let mut network = Network::new(NetworkSpec::mesh_baseline(dims, cfg));
     let mut w = ScriptedWorkload::new(vec![(0, MessageSpec::unicast(0, 15, MessageClass::Memory))]);
     network.run(&mut w);

@@ -1,0 +1,331 @@
+//! Integration tests of the telemetry subsystem: interval bucketing,
+//! inertness of the hooks when enabled, span timing pinned against the
+//! router pipeline, per-endpoint completion counters, and the
+//! fault/retune event timeline.
+
+use rfnoc_sim::{
+    ChannelMask, ConfigError, DestSet, FaultEvent, FaultPlan, FlitEventKind, FlitTraceConfig,
+    MessageClass, MessageSpec, Network, NetworkSpec, RunStats, ScriptedWorkload,
+    SimConfig, SimError, TelemetryConfig, TimelineEventKind,
+};
+use rfnoc_topology::{GridDims, Shortcut};
+
+fn quick_config() -> SimConfig {
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 1_000;
+    cfg.drain_cycles = 20_000;
+    cfg
+}
+
+fn run_scripted(spec: NetworkSpec, events: Vec<(u64, MessageSpec)>) -> RunStats {
+    let mut network = Network::new(spec);
+    let mut workload = ScriptedWorkload::new(events);
+    network.run(&mut workload)
+}
+
+/// A deterministic all-to-few stream that keeps several routers busy.
+fn stream(n: usize, count: u64) -> Vec<(u64, MessageSpec)> {
+    (0..count)
+        .map(|i| {
+            let src = (i as usize * 7) % n;
+            let dst = (i as usize * 11 + 1) % n;
+            let dst = if dst == src { (dst + 1) % n } else { dst };
+            (i * 3, MessageSpec::unicast(src, dst, MessageClass::Data))
+        })
+        .collect()
+}
+
+#[test]
+fn zero_interval_rejected_at_build() {
+    let mut cfg = quick_config();
+    cfg.telemetry = Some(TelemetryConfig::every(0));
+    let spec = NetworkSpec::mesh_baseline(GridDims::new(4, 4), cfg);
+    match Network::try_new(spec) {
+        Err(SimError::Config(ConfigError::ZeroTelemetryInterval)) => {}
+        other => panic!("expected zero-interval rejection, got {other:?}"),
+    }
+}
+
+/// Samples tile the run exactly: contiguous starts, every sample but the
+/// last covers the configured interval, and the covered cycles sum to the
+/// run's end cycle even when the interval does not divide it.
+#[test]
+fn interval_bucketing_covers_the_run_exactly() {
+    let dims = GridDims::new(4, 4);
+    let mut cfg = quick_config();
+    // 300 will not divide the end cycle (measure 1 000 plus drain).
+    cfg.telemetry = Some(TelemetryConfig::every(300));
+    let stats = run_scripted(NetworkSpec::mesh_baseline(dims, cfg), stream(16, 200));
+    let report = stats.telemetry.as_ref().expect("telemetry enabled");
+
+    assert_eq!(report.interval, 300);
+    assert_eq!(report.routers, 16);
+    assert!(report.samples.len() >= 2, "run spans several intervals");
+    let mut expected_start = 0;
+    for (i, s) in report.samples.iter().enumerate() {
+        assert_eq!(s.start, expected_start, "sample {i} start");
+        if i + 1 < report.samples.len() {
+            assert_eq!(s.cycles, 300, "sample {i} covers a full interval");
+        } else {
+            assert!(s.cycles > 0 && s.cycles <= 300, "final sample is partial");
+        }
+        expected_start += s.cycles;
+    }
+    assert_eq!(expected_start, stats.end_cycle, "samples tile the whole run");
+    assert_eq!(report.sample_index_at(0), Some(0));
+    assert_eq!(report.sample_index_at(299), Some(0));
+    assert_eq!(report.sample_index_at(300), Some(1));
+    assert_eq!(report.sample_index_at(stats.end_cycle + 1000), None);
+}
+
+/// With warmup 0 every cycle is counted, so the telemetry time series must
+/// reconcile exactly with the scalar `RunStats` counters.
+#[test]
+fn samples_reconcile_with_run_totals() {
+    let dims = GridDims::new(4, 4);
+    let mut cfg = quick_config();
+    cfg.telemetry = Some(TelemetryConfig::every(128));
+    let stats = run_scripted(NetworkSpec::mesh_baseline(dims, cfg), stream(16, 300));
+    let report = stats.telemetry.as_ref().expect("telemetry enabled");
+
+    assert_eq!(report.total_port_grants(), stats.port_flits);
+    let injected: u64 = report.samples.iter().map(|s| s.injected).sum();
+    let ejected: u64 = report.samples.iter().map(|s| s.ejected_flits).sum();
+    let completed: u64 = report.samples.iter().map(|s| s.completed_packets).sum();
+    let hist: u64 =
+        report.samples.iter().map(|s| s.latency_hist.iter().sum::<u64>()).sum();
+    assert_eq!(injected, stats.injected_messages);
+    assert_eq!(ejected, stats.ejected_flits);
+    assert_eq!(completed, stats.completed_messages);
+    assert_eq!(hist, stats.completed_messages, "every completion is bucketed");
+    assert_eq!(report.samples.last().unwrap().in_flight_end, 0, "run drained");
+    let peak: u32 =
+        report.samples.iter().flat_map(|s| s.buffered_peak.iter().copied()).max().unwrap();
+    assert!(peak > 0, "traffic must buffer at least one flit somewhere");
+    // Every completed packet has a complete span whose latency matches the
+    // histogram population.
+    assert_eq!(report.spans.len(), stats.injected_messages as usize);
+    assert_eq!(report.dropped_spans, 0);
+    assert!(report.spans.iter().all(|s| s.is_complete() && s.measured));
+}
+
+/// Turning telemetry on (all channels) must not perturb the simulation:
+/// the rest of `RunStats` is bit-identical to a telemetry-off run.
+#[test]
+fn telemetry_is_a_pure_observer() {
+    let dims = GridDims::new(6, 6);
+    let shortcuts = vec![Shortcut::new(0, 35), Shortcut::new(35, 0)];
+    let events = stream(36, 500);
+
+    let off = run_scripted(
+        NetworkSpec::with_shortcuts(dims, quick_config(), shortcuts.clone()),
+        events.clone(),
+    );
+    assert!(off.telemetry.is_none(), "telemetry defaults off");
+
+    let mut cfg = quick_config();
+    cfg.telemetry = Some(TelemetryConfig::every(100));
+    let mut on =
+        run_scripted(NetworkSpec::with_shortcuts(dims, cfg, shortcuts), events);
+    assert!(on.telemetry.is_some());
+    on.telemetry = None;
+    assert_eq!(on, off, "telemetry must not change simulated behaviour");
+}
+
+/// The packet span agrees cycle-for-cycle with the flit trace and the
+/// 5-cycle head pipeline on a 3-hop unicast.
+#[test]
+fn span_timing_pins_the_pipeline() {
+    let dims = GridDims::new(4, 4);
+    let mut cfg = quick_config();
+    cfg.flit_trace = FlitTraceConfig::capped(256);
+    cfg.telemetry = Some(TelemetryConfig::every(64));
+    let mut network = Network::new(NetworkSpec::mesh_baseline(dims, cfg));
+    let mut workload = ScriptedWorkload::new(vec![(
+        0,
+        MessageSpec::unicast(0, 3, MessageClass::Request),
+    )]);
+    let stats = network.run(&mut workload);
+    let report = stats.telemetry.as_ref().expect("telemetry enabled");
+    assert_eq!(report.spans.len(), 1);
+    let span = &report.spans[0];
+
+    let trace = network.flit_trace();
+    let first_grant = trace
+        .iter()
+        .find(|e| matches!(e.kind, FlitEventKind::Granted { .. }))
+        .expect("head flit granted");
+    let ejected = trace
+        .iter()
+        .find(|e| e.kind == FlitEventKind::Ejected)
+        .expect("head flit ejected");
+
+    assert_eq!(span.src, 0);
+    assert_eq!(span.dest, 3);
+    assert_eq!(span.injected_at, 0);
+    assert_eq!(span.first_grant_at, first_grant.cycle);
+    // The local-port grant is followed by switch + link traversal before
+    // the flit lands at the destination core.
+    assert_eq!(span.ejected_at, ejected.cycle + 2);
+    assert_eq!(span.hops, 3, "0→1→2→3 traverses three links");
+    assert!(!span.took_rf, "no shortcuts on a bare mesh");
+    assert_eq!(span.latency(), Some(span.ejected_at));
+    // Head grants at routers 0,1,2 are spaced by the 5-cycle pipeline, so
+    // the whole span is pinned once its endpoints are.
+    assert_eq!(ejected.cycle - first_grant.cycle, 3 * 5);
+}
+
+/// A packet routed over an RF shortcut is flagged in its span.
+#[test]
+fn span_records_rf_traversal() {
+    let dims = GridDims::new(8, 8);
+    let mut cfg = quick_config();
+    cfg.telemetry = Some(TelemetryConfig::every(100));
+    let spec =
+        NetworkSpec::with_shortcuts(dims, cfg, vec![Shortcut::new(0, 63)]);
+    let stats =
+        run_scripted(spec, vec![(0, MessageSpec::unicast(0, 63, MessageClass::Data))]);
+    let report = stats.telemetry.as_ref().expect("telemetry enabled");
+    assert_eq!(report.spans.len(), 1);
+    assert!(report.spans[0].took_rf, "corner-to-corner traffic takes the shortcut");
+    assert_eq!(report.spans[0].hops, 1, "one shortcut hop");
+    let rf: u64 = report.samples.iter().map(|s| s.rf_grants).sum();
+    assert!(rf > 0, "RF grants show up in the link channel");
+}
+
+/// Spans past the cap are dropped and counted, never silently lost.
+#[test]
+fn span_cap_counts_dropped_spans() {
+    let dims = GridDims::new(4, 4);
+    let mut cfg = quick_config();
+    cfg.telemetry = Some(TelemetryConfig {
+        interval: 100,
+        channels: ChannelMask::ALL,
+        span_limit: 2,
+    });
+    let stats = run_scripted(NetworkSpec::mesh_baseline(dims, cfg), stream(16, 5));
+    let report = stats.telemetry.as_ref().expect("telemetry enabled");
+    assert_eq!(report.spans.len(), 2, "cap respected");
+    assert_eq!(report.dropped_spans, 3, "overflow counted");
+}
+
+/// Flit-trace truncation is observable through the dropped counter.
+#[test]
+fn flit_trace_truncation_is_counted() {
+    let dims = GridDims::new(4, 4);
+    let mut cfg = quick_config();
+    cfg.flit_trace = FlitTraceConfig::capped(7);
+    let mut network = Network::new(NetworkSpec::mesh_baseline(dims, cfg));
+    let mut w =
+        ScriptedWorkload::new(vec![(0, MessageSpec::unicast(0, 15, MessageClass::Memory))]);
+    network.run(&mut w);
+    assert_eq!(network.flit_trace().len(), 7);
+    assert!(network.flit_trace_dropped() > 0, "truncation must be visible");
+}
+
+/// Disabled channels leave their fields empty; the sample vectors do not
+/// allocate for data nobody asked for.
+#[test]
+fn channel_mask_gates_recording() {
+    let dims = GridDims::new(4, 4);
+    let mut cfg = quick_config();
+    cfg.telemetry = Some(TelemetryConfig {
+        interval: 100,
+        channels: ChannelMask::LINKS,
+        span_limit: 1 << 16,
+    });
+    let stats = run_scripted(NetworkSpec::mesh_baseline(dims, cfg), stream(16, 100));
+    let report = stats.telemetry.as_ref().expect("telemetry enabled");
+    assert!(report.samples.iter().all(|s| !s.port_grants.is_empty()));
+    assert!(report.samples.iter().all(|s| s.buffered_cycles.is_empty()));
+    assert!(report.samples.iter().all(|s| s.buffered_peak.is_empty()));
+    assert!(report.samples.iter().all(|s| s.latency_hist.iter().all(|&b| b == 0)));
+    assert!(report.samples.iter().all(|s| s.injected == 0 && s.completed_packets == 0));
+    assert!(
+        report.samples.iter().all(|s| {
+            s.va_stalls == 0 && s.sa_stalls == 0 && s.credit_stalls == 0
+        }),
+        "stall channel off"
+    );
+    assert!(report.spans.is_empty(), "span channel off");
+    assert_eq!(report.dropped_spans, 0, "disabled spans are not 'dropped'");
+}
+
+/// Per-endpoint completion counters attribute traffic to sources and
+/// destinations, including multicast deliveries and self-destinations.
+#[test]
+fn per_source_and_per_dest_count_completions() {
+    let dims = GridDims::new(4, 4);
+    let events = vec![
+        (0, MessageSpec::unicast(0, 3, MessageClass::Data)),
+        (5, MessageSpec::unicast(0, 3, MessageClass::Request)),
+        (10, MessageSpec::unicast(1, 3, MessageClass::Data)),
+        (15, MessageSpec::unicast(2, 5, MessageClass::Data)),
+    ];
+    let stats = run_scripted(NetworkSpec::mesh_baseline(dims, quick_config()), events);
+    assert_eq!(stats.completed_messages, 4);
+    assert_eq!(stats.per_source[0], 2);
+    assert_eq!(stats.per_source[1], 1);
+    assert_eq!(stats.per_source[2], 1);
+    assert_eq!(stats.per_source.iter().map(|&c| u64::from(c)).sum::<u64>(), 4);
+    assert_eq!(stats.per_dest[3], 3);
+    assert_eq!(stats.per_dest[5], 1);
+    assert_eq!(stats.per_dest.iter().map(|&c| u64::from(c)).sum::<u64>(), 4);
+
+    // A multicast counts once at its source and once per destination
+    // reached, the sender's own core included (AsUnicasts is the default
+    // multicast mode).
+    let events = vec![(
+        0,
+        MessageSpec::multicast(4, DestSet::from_nodes([0, 4, 9])),
+    )];
+    let stats = run_scripted(NetworkSpec::mesh_baseline(dims, quick_config()), events);
+    assert_eq!(stats.completed_messages, 1);
+    assert_eq!(stats.per_source[4], 1);
+    assert_eq!(stats.per_dest[0], 1);
+    assert_eq!(stats.per_dest[4], 1);
+    assert_eq!(stats.per_dest[9], 1);
+}
+
+/// A scheduled fault and its recovery land on the telemetry timeline in
+/// the interval where they occurred, so a utilization dip in the heatmap
+/// can be attributed to the event that caused it.
+#[test]
+fn fault_and_retune_events_land_on_the_timeline() {
+    let dims = GridDims::new(6, 6);
+    let shortcuts = vec![Shortcut::new(0, 35), Shortcut::new(30, 5)];
+    let mut cfg = quick_config();
+    cfg.telemetry = Some(TelemetryConfig::every(100));
+    let plan = FaultPlan::new(vec![(250, FaultEvent::ShortcutDown { src: 0 })]);
+    let spec = NetworkSpec::with_shortcuts(dims, cfg, shortcuts).with_fault_plan(plan);
+    let stats = run_scripted(spec, stream(36, 300));
+    let report = stats.telemetry.as_ref().expect("telemetry enabled");
+
+    let fault = report
+        .events
+        .iter()
+        .find(|e| matches!(e.kind, TimelineEventKind::Fault(FaultEvent::ShortcutDown { src: 0 })))
+        .expect("fault on the timeline");
+    assert_eq!(fault.cycle, 250);
+    assert_eq!(report.sample_index_at(fault.cycle), Some(2));
+    assert!(
+        report.events_in_sample(2).any(|e| e.cycle == 250),
+        "event attributed to its interval"
+    );
+    // The degradation machinery follows: a retune installing the surviving
+    // shortcut, then the table rewrite completing.
+    let retune = report
+        .events
+        .iter()
+        .find(|e| matches!(e.kind, TimelineEventKind::RetuneApplied { installed: 1 }))
+        .expect("retune follows the fault");
+    assert!(retune.cycle >= fault.cycle);
+    let rewrite = report
+        .events
+        .iter()
+        .find(|e| e.kind == TimelineEventKind::TablesRewritten)
+        .expect("table rewrite completes");
+    assert!(rewrite.cycle >= retune.cycle);
+    assert_eq!(stats.shortcut_faults, 1);
+}
