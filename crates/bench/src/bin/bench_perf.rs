@@ -215,6 +215,7 @@ fn main() {
     );
 
     let mut rows = String::new();
+    let mut trajectory: Vec<(&str, f64, f64)> = Vec::new();
     for (i, bc) in CONFIGS.iter().enumerate() {
         // Best-of-N wall time: the least-perturbed run of a deterministic
         // simulation is the most faithful throughput estimate.
@@ -231,6 +232,7 @@ fn main() {
         let grants: u64 = s.stats.port_flits.iter().sum();
         let cps = cycles as f64 / secs;
         let gps = grants as f64 / secs;
+        trajectory.push((bc.id, cps, gps));
         eprintln!(
             "  {:<22} {:>9.0} kcycles/s  {:>9.0} kgrants/s  ({} cycles in {:.1?}{})",
             bc.id,
@@ -282,5 +284,59 @@ fn main() {
     match std::fs::write(&path, &out) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("WARNING: could not write {}: {e}", path.display()),
+    }
+
+    // Telemetry-off runs also extend the dated perf trajectory, the
+    // baseline CI diffs fresh runs against with `rfnoc-cli compare`.
+    if !telemetry {
+        append_trajectory(&git, unix, quick, &trajectory);
+    }
+}
+
+/// Renders one trajectory row: provenance plus the headline throughput of
+/// each config. The row is itself a complete artifact, so a row extracted
+/// from the trajectory diffs cleanly against another row.
+fn trajectory_row(git: &str, unix: u64, quick: bool, configs: &[(&str, f64, f64)]) -> String {
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{{\"git\": {}, \"generated_unix\": {unix}, \"quick\": {quick}, \"configs\": [",
+        json_str(git)
+    );
+    for (i, (id, cps, gps)) in configs.iter().enumerate() {
+        let _ = write!(
+            row,
+            "{}{{\"id\": {}, \"cycles_per_sec\": {}, \"flit_grants_per_sec\": {}}}",
+            if i == 0 { "" } else { ", " },
+            json_str(id),
+            json_f64(*cps),
+            json_f64(*gps),
+        );
+    }
+    row.push_str("]}");
+    row
+}
+
+/// Appends a row to `results/json/BENCH_trajectory.json`, creating the
+/// file on first run. The file is a `{"rows": [...]}` object appended by
+/// string splice (no JSON reader needed: the writer owns the format).
+fn append_trajectory(git: &str, unix: u64, quick: bool, configs: &[(&str, f64, f64)]) {
+    const PATH: &str = "results/json/BENCH_trajectory.json";
+    const TAIL: &str = "\n  ]\n}\n";
+    let row = trajectory_row(git, unix, quick, configs);
+    let fresh = format!("{{\n  \"name\": \"BENCH_trajectory\",\n  \"rows\": [\n    {row}{TAIL}");
+    let content = match std::fs::read_to_string(PATH) {
+        Ok(existing) => match existing.strip_suffix(TAIL) {
+            Some(head) => format!("{head},\n    {row}{TAIL}"),
+            None => {
+                eprintln!("WARNING: {PATH} has an unexpected tail; rewriting fresh");
+                fresh
+            }
+        },
+        Err(_) => fresh,
+    };
+    match std::fs::write(PATH, content) {
+        Ok(()) => eprintln!("appended trajectory row to {PATH}"),
+        Err(e) => eprintln!("WARNING: could not write {PATH}: {e}"),
     }
 }

@@ -17,39 +17,17 @@
 //! cargo run --release -p rfnoc-bench --bin telemetry_report [--quick]
 //! ```
 
-use rfnoc::{Architecture, Experiment, SystemConfig, WorkloadSpec};
+use rfnoc::Architecture;
+use rfnoc_bench::scenarios::{
+    fault_cycle, fault_experiment, instrumented_experiment, rf_capacity, SATURATED_RATE,
+};
 use rfnoc_bench::svg::{render_link_heatmap, LinkHeatFigure};
 use rfnoc_bench::telemetry::{
     self, covered_cycles, event_label, hottest_ports, link_utilization, print_timeline,
     PORT_NAMES,
 };
-use rfnoc_power::LinkWidth;
-use rfnoc_sim::{FaultEvent, FaultPlan, TelemetryConfig, TelemetryReport};
-use rfnoc_traffic::{Placement, TraceKind, TrafficConfig};
-
-/// Simulation windows: (warmup, measure, drain, telemetry interval).
-fn windows(quick: bool) -> (u64, u64, u64, u64) {
-    if quick {
-        (500, 4_000, 10_000, 250)
-    } else {
-        (2_000, 20_000, 20_000, 1_000)
-    }
-}
-
-fn instrumented_experiment(quick: bool, injection_rate: f64) -> Experiment {
-    let (warmup, measure, drain, interval) = windows(quick);
-    let mut system = SystemConfig::new(Architecture::StaticShortcuts, LinkWidth::B16);
-    system.sim.warmup_cycles = warmup;
-    system.sim.measure_cycles = measure;
-    system.sim.drain_cycles = drain;
-    system.sim.telemetry = Some(TelemetryConfig::every(interval));
-    let traffic = TrafficConfig { injection_rate, ..TrafficConfig::default() };
-    Experiment::new(system, WorkloadSpec::Trace(TraceKind::Uniform)).with_traffic(traffic)
-}
-
-fn rf_capacity() -> u32 {
-    rfnoc_sim::SimConfig::paper_baseline().rf_flits_per_cycle()
-}
+use rfnoc_sim::TelemetryReport;
+use rfnoc_traffic::Placement;
 
 fn write_svg(name: &str, svg: &str) {
     let dir = "results/svg";
@@ -67,7 +45,8 @@ fn write_svg(name: &str, svg: &str) {
 fn congestion_scenario(quick: bool) {
     // A load comfortably past the 16B uniform saturation knee, so the
     // heatmap shows the congested steady state (fig7's saturated region).
-    let experiment = instrumented_experiment(quick, 0.14);
+    let experiment =
+        instrumented_experiment(Architecture::StaticShortcuts, quick, SATURATED_RATE, false);
     let built = experiment.build();
     eprintln!("telemetry_report: congestion run ({})", experiment.summary());
     let report = experiment.run();
@@ -132,10 +111,8 @@ fn print_hot_ports(tel: &TelemetryReport) {
 }
 
 fn fault_scenario(quick: bool) {
-    let (warmup, measure, _, _) = windows(quick);
-    let fault_at = warmup + measure / 2;
-    let experiment = instrumented_experiment(quick, 0.008)
-        .with_fault_plan(FaultPlan::new(vec![(fault_at, FaultEvent::BandDown)]));
+    let fault_at = fault_cycle(quick);
+    let experiment = fault_experiment(Architecture::StaticShortcuts, quick, false);
     eprintln!("telemetry_report: fault run (BandDown at cycle {fault_at})");
     let report = experiment.run();
     let stats = &report.stats;

@@ -12,8 +12,11 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod perfetto;
 pub mod plan;
+pub mod profile;
 pub mod runner;
+pub mod scenarios;
 pub mod suite;
 pub mod svg;
 pub mod telemetry;

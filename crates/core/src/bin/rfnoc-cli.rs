@@ -4,6 +4,9 @@
 //! rfnoc-cli run <arch> <width> <workload> [fault flags]
 //!                                            simulate one design point
 //! rfnoc-cli compare <workload>               baseline vs static vs adaptive
+//! rfnoc-cli compare <A.json> <B.json> [--threshold PCT]
+//!                                            diff two result artifacts;
+//!                                            exit 2 on a regression
 //! rfnoc-cli sweep <arch> <workload>          16B/8B/4B width sweep
 //! rfnoc-cli map <workload>                   adaptive shortcut map
 //! rfnoc-cli info                             architecture & workload names
@@ -212,7 +215,30 @@ fn cmd_run(args: &[String]) -> Option<ExitCode> {
     Some(ExitCode::SUCCESS)
 }
 
+/// `compare A.json B.json [--threshold PCT]`: diff two result artifacts
+/// metric-by-metric; exit nonzero if any metric regressed past the
+/// threshold (default 5%).
+fn cmd_compare_files(args: &[String]) -> Option<ExitCode> {
+    let [base, new, rest @ ..] = args else { return None };
+    let threshold = match rest {
+        [] => 5.0,
+        [flag, value] if flag == "--threshold" => value.parse().ok().filter(|t| *t >= 0.0)?,
+        _ => return None,
+    };
+    match rfnoc::compare::compare_files(base, new, threshold) {
+        Ok(0) => Some(ExitCode::SUCCESS),
+        Ok(_) => Some(ExitCode::from(2)),
+        Err(e) => {
+            eprintln!("compare: {e}");
+            Some(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn cmd_compare(args: &[String]) -> Option<ExitCode> {
+    if args.len() >= 2 && args[..2].iter().all(|a| a.ends_with(".json")) {
+        return cmd_compare_files(args);
+    }
     let [workload] = args else { return None };
     let workload = parse_workload(workload)?;
     let baseline = run_one(Architecture::Baseline, LinkWidth::B16, workload.clone());
@@ -289,6 +315,7 @@ fn main() -> ExitCode {
              [--fault-seed N] [--shortcut-faults F] [--mesh-faults F] \
              [--glitches F] [--repair-after C]\n  \
              rfnoc-cli compare <workload>\n  \
+             rfnoc-cli compare <base.json> <new.json> [--threshold PCT]\n  \
              rfnoc-cli sweep <arch> <workload>\n  \
              rfnoc-cli map <workload>\n  \
              rfnoc-cli info"

@@ -1,0 +1,574 @@
+//! Cross-run artifact diffing: `rfnoc-cli compare A.json B.json`.
+//!
+//! Every bench binary writes flat, hand-rolled JSON artifacts
+//! (`results/json/*.json`). This module parses two of them with a small
+//! recursive-descent JSON reader (the container has no serde), flattens
+//! each to dotted metric paths — arrays of objects carrying an `"id"`
+//! field are keyed by that id, so config lists align across runs even if
+//! reordered — and diffs every numeric metric the two runs share.
+//!
+//! Each metric's *direction* is inferred from its name: throughput-like
+//! metrics (`*_per_sec`, `*throughput*`, `*rate*`) should not fall,
+//! cost-like metrics (`*latency*`, `*stall*`, `*wait*`, `*wall_ms*`,
+//! `*dropped*`, `*fault*`) should not rise, and anything else is
+//! informational. A metric whose worsening exceeds the threshold is a
+//! **breach**; the CLI exits nonzero if any metric breaches, which is
+//! what CI uses to gate simulator-throughput regressions against the
+//! committed trajectory baseline.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value (just enough for the repo's flat artifacts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; artifact values fit easily).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key of an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse error with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What the parser expected or found.
+    pub message: String,
+    /// Byte offset into the document.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), offset: self.pos })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => self.err(format!("unexpected '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(ParseError {
+                        message: "unterminated escape".into(),
+                        offset: self.pos,
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 code point starting here.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| ParseError {
+                            message: "invalid UTF-8".into(),
+                            offset: self.pos,
+                        })?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::Num(v)),
+            Err(_) => self.err(format!("bad number '{text}'")),
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset on malformed input or
+/// trailing garbage.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage");
+    }
+    Ok(v)
+}
+
+/// Flattens a document to `dotted.path -> numeric value` metrics.
+///
+/// Arrays of objects that all carry a string `"id"` field are keyed by
+/// id (`configs[mesh10x10_low_load].cycles_per_sec`); other arrays are
+/// keyed by index. Strings, booleans, and nulls are skipped — the diff
+/// compares numbers.
+pub fn flatten(value: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &Json, path: String, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Json::Num(v) => {
+            out.insert(path, *v);
+        }
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                walk(v, sub, out);
+            }
+        }
+        Json::Arr(items) => {
+            let by_id = !items.is_empty()
+                && items.iter().all(|i| i.get("id").and_then(Json::as_str).is_some());
+            for (idx, item) in items.iter().enumerate() {
+                let key = if by_id {
+                    item.get("id").and_then(Json::as_str).unwrap().to_string()
+                } else {
+                    idx.to_string()
+                };
+                walk(item, format!("{path}[{key}]"), out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Falling is a regression (throughput-like).
+    HigherIsBetter,
+    /// Rising is a regression (latency/cost-like).
+    LowerIsBetter,
+    /// Reported but never a breach (counts, timestamps, ids).
+    Informational,
+}
+
+/// Infers a metric's direction from the last segment of its path.
+pub fn direction_of(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+    const HIGHER: &[&str] = &["per_sec", "throughput", "rate", "coverage"];
+    const LOWER: &[&str] =
+        &["latency", "stall", "wait", "wall_ms", "dropped", "fault", "retransmit"];
+    if HIGHER.iter().any(|k| leaf.contains(k)) {
+        Direction::HigherIsBetter
+    } else if LOWER.iter().any(|k| leaf.contains(k)) {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted metric path.
+    pub path: String,
+    /// Value in the baseline document.
+    pub base: f64,
+    /// Value in the new document.
+    pub new: f64,
+    /// Inferred direction.
+    pub direction: Direction,
+    /// Signed worsening in percent (positive = worse), `None` for
+    /// informational metrics or a ~zero baseline.
+    pub worsening_pct: Option<f64>,
+}
+
+impl MetricDelta {
+    /// Whether this metric regressed past `threshold_pct`.
+    pub fn breaches(&self, threshold_pct: f64) -> bool {
+        self.worsening_pct.is_some_and(|w| w > threshold_pct)
+    }
+}
+
+/// The outcome of comparing two flattened documents.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Every metric present in both documents.
+    pub deltas: Vec<MetricDelta>,
+    /// Metric paths only in the baseline.
+    pub only_base: Vec<String>,
+    /// Metric paths only in the new document.
+    pub only_new: Vec<String>,
+}
+
+impl Comparison {
+    /// Metrics breaching `threshold_pct`, worst first.
+    pub fn breaches(&self, threshold_pct: f64) -> Vec<&MetricDelta> {
+        let mut out: Vec<&MetricDelta> =
+            self.deltas.iter().filter(|d| d.breaches(threshold_pct)).collect();
+        out.sort_by(|a, b| {
+            b.worsening_pct
+                .unwrap_or(0.0)
+                .partial_cmp(&a.worsening_pct.unwrap_or(0.0))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+}
+
+/// Timestamps and provenance differ between any two runs; comparing them
+/// is noise.
+fn ignored(path: &str) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    matches!(leaf, "generated_unix")
+}
+
+/// Compares two parsed documents metric-by-metric.
+pub fn compare(base: &Json, new: &Json) -> Comparison {
+    let base = flatten(base);
+    let new = flatten(new);
+    let mut cmp = Comparison::default();
+    for (path, &b) in &base {
+        if ignored(path) {
+            continue;
+        }
+        match new.get(path) {
+            None => cmp.only_base.push(path.clone()),
+            Some(&n) => {
+                let direction = direction_of(path);
+                // A ~zero baseline makes percent change meaningless.
+                let worsening_pct = if b.abs() < 1e-9 {
+                    None
+                } else {
+                    match direction {
+                        Direction::HigherIsBetter => Some(100.0 * (b - n) / b.abs()),
+                        Direction::LowerIsBetter => Some(100.0 * (n - b) / b.abs()),
+                        Direction::Informational => None,
+                    }
+                };
+                cmp.deltas.push(MetricDelta {
+                    path: path.clone(),
+                    base: b,
+                    new: n,
+                    direction,
+                    worsening_pct,
+                });
+            }
+        }
+    }
+    for path in new.keys() {
+        if !ignored(path) && !base.contains_key(path) {
+            cmp.only_new.push(path.clone());
+        }
+    }
+    cmp
+}
+
+/// Reads, parses, and compares two artifact files, printing a report.
+/// Returns the number of metrics breaching `threshold_pct`.
+///
+/// # Errors
+///
+/// Returns a message on unreadable files or malformed JSON.
+pub fn compare_files(
+    base_path: &str,
+    new_path: &str,
+    threshold_pct: f64,
+) -> Result<usize, String> {
+    let read = |p: &str| -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let cmp = compare(&read(base_path)?, &read(new_path)?);
+    let breaches = cmp.breaches(threshold_pct);
+
+    println!("comparing {base_path} (baseline) vs {new_path} (threshold {threshold_pct}%)");
+    println!("  {} shared metrics", cmp.deltas.len());
+    // Report the largest movements, regressions first.
+    let mut moved: Vec<&MetricDelta> = cmp
+        .deltas
+        .iter()
+        .filter(|d| d.worsening_pct.is_some_and(|w| w.abs() > 0.01))
+        .collect();
+    moved.sort_by(|a, b| {
+        b.worsening_pct
+            .unwrap_or(0.0)
+            .partial_cmp(&a.worsening_pct.unwrap_or(0.0))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for d in moved.iter().take(20) {
+        let w = d.worsening_pct.unwrap_or(0.0);
+        println!(
+            "  {} {:<58} {:>14.4} -> {:>14.4}  ({:+.1}% {})",
+            if d.breaches(threshold_pct) { "BREACH" } else { "      " },
+            d.path,
+            d.base,
+            d.new,
+            w,
+            if w > 0.0 { "worse" } else { "better" },
+        );
+    }
+    if !cmp.only_base.is_empty() || !cmp.only_new.is_empty() {
+        println!(
+            "  {} metrics only in baseline, {} only in new",
+            cmp.only_base.len(),
+            cmp.only_new.len()
+        );
+    }
+    if breaches.is_empty() {
+        println!("  OK: no metric worsened by more than {threshold_pct}%");
+    } else {
+        println!("  FAIL: {} metric(s) regressed past {threshold_pct}%", breaches.len());
+    }
+    Ok(breaches.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "name": "BENCH", "git": "abc", "generated_unix": 100,
+        "configs": [
+            {"id": "mesh", "cycles_per_sec": 1000.0, "avg_latency_cycles": 40.0},
+            {"id": "rf", "cycles_per_sec": 800.0, "avg_latency_cycles": 30.0}
+        ]
+    }"#;
+
+    #[test]
+    fn parser_roundtrips_artifact_shapes() {
+        let v = parse(BASE).unwrap();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("BENCH"));
+        let flat = flatten(&v);
+        assert_eq!(flat["configs[mesh].cycles_per_sec"], 1000.0);
+        assert_eq!(flat["configs[rf].avg_latency_cycles"], 30.0);
+        assert!(!flat.contains_key("name"), "strings are not metrics");
+        assert!(parse("{\"a\": 1,}").is_err(), "trailing comma rejected");
+        assert!(parse("[1, 2] garbage").is_err());
+        assert_eq!(
+            parse(r#""aA\n""#).unwrap(),
+            Json::Str("aA\n".into()),
+            "escapes decode"
+        );
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Num(-150.0));
+    }
+
+    #[test]
+    fn id_keying_survives_reordering() {
+        let reordered = r#"{
+            "generated_unix": 200,
+            "configs": [
+                {"id": "rf", "cycles_per_sec": 800.0, "avg_latency_cycles": 30.0},
+                {"id": "mesh", "cycles_per_sec": 1000.0, "avg_latency_cycles": 40.0}
+            ]
+        }"#;
+        let cmp = compare(&parse(BASE).unwrap(), &parse(reordered).unwrap());
+        assert!(cmp.breaches(0.0).is_empty(), "same values, different order");
+        assert!(cmp.deltas.iter().all(|d| (d.base - d.new).abs() < 1e-12));
+    }
+
+    #[test]
+    fn directions_and_breaches() {
+        assert_eq!(direction_of("configs[x].cycles_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("a.avg_latency_cycles"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("runs[0].sa_wait"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("completed_messages"), Direction::Informational);
+
+        // A 30% throughput drop and a 50% latency rise.
+        let regressed = BASE
+            .replace("\"cycles_per_sec\": 1000.0", "\"cycles_per_sec\": 700.0")
+            .replace("\"avg_latency_cycles\": 30.0", "\"avg_latency_cycles\": 45.0");
+        let cmp = compare(&parse(BASE).unwrap(), &parse(&regressed).unwrap());
+        let breaches = cmp.breaches(20.0);
+        assert_eq!(breaches.len(), 2);
+        assert_eq!(breaches[0].path, "configs[rf].avg_latency_cycles", "worst first");
+        assert!(cmp.breaches(60.0).is_empty(), "generous threshold tolerates both");
+
+        // Self-compare never breaches, even at threshold 0.
+        let self_cmp = compare(&parse(BASE).unwrap(), &parse(BASE).unwrap());
+        assert!(self_cmp.breaches(0.0).is_empty());
+
+        // Improvements never breach.
+        let improved = BASE.replace("\"cycles_per_sec\": 1000.0", "\"cycles_per_sec\": 2000.0");
+        let cmp = compare(&parse(BASE).unwrap(), &parse(&improved).unwrap());
+        assert!(cmp.breaches(0.0).is_empty());
+    }
+
+    #[test]
+    fn compare_files_self_is_clean_and_regression_counts() {
+        let dir = std::env::temp_dir().join("rfnoc_compare_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, BASE).unwrap();
+        std::fs::write(&b, BASE.replace("1000.0", "100.0")).unwrap();
+        let a = a.to_str().unwrap();
+        let b = b.to_str().unwrap();
+        assert_eq!(compare_files(a, a, 5.0).unwrap(), 0, "self-compare is clean");
+        assert!(compare_files(a, b, 5.0).unwrap() > 0, "synthetic regression caught");
+        assert!(compare_files(a, "/nonexistent.json", 5.0).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

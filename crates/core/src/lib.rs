@@ -56,6 +56,7 @@
 pub mod analysis;
 mod arch;
 mod builder;
+pub mod compare;
 mod experiment;
 mod phased;
 mod workload;

@@ -61,10 +61,11 @@ pub use config::SimConfig;
 pub use error::{ConfigError, ReconfigError, SimError};
 pub use fault::{FaultEvent, FaultPlan, FaultRates, HealthDiagnosis, HealthReport};
 pub use network::{
-    latency_bucket, latency_bucket_bounds, ChannelMask, FlitEvent, FlitEventKind,
-    FlitTraceConfig, IntervalSample, MulticastMode, Network, NetworkSpec, PacketSpan,
-    RoutingKind, ScriptedWorkload, TelemetryConfig, TelemetryReport, TimelineEvent,
-    TimelineEventKind, Workload, LATENCY_BUCKETS,
+    latency_bucket, latency_bucket_bounds, ChannelMask, DelayBreakdown, FlitEvent,
+    FlitEventKind, FlitTraceConfig, HopRecord, IntervalSample, MulticastMode, Network,
+    NetworkSpec, PacketSpan, RoutingKind, ScriptedWorkload, TelemetryConfig,
+    TelemetryReport, TimelineEvent, TimelineEventKind, Workload, HOP_ROUTE_CYCLES,
+    HOP_SWITCH_CYCLES, LATENCY_BUCKETS,
 };
 pub use packet::{DestSet, Destination, MessageClass, MessageSpec};
 pub use rfmc::McConfig;

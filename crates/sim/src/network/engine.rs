@@ -227,6 +227,9 @@ impl Network {
                         self.routers[r].inputs[port].vcs[vc as usize].buffer.push_back(flit);
                         if self.telemetry.is_some() {
                             self.tel_buffer_push(r);
+                            if flit.is_head() {
+                                self.tel_hop_arrived(flit.packet, r, port, at);
+                            }
                         }
                     }
                     _ => break,
@@ -365,8 +368,12 @@ impl Network {
             }
             None => v.va_blocked += 1,
         }
-        if !granted && self.telemetry.is_some() {
-            self.tel_va_stall();
+        if self.telemetry.is_some() {
+            if granted {
+                self.tel_hop_va(packet, now);
+            } else {
+                self.tel_va_stall();
+            }
         }
     }
 
@@ -576,6 +583,11 @@ impl Network {
         if !is_ejection && self.routers[r].outputs[out].vcs[out_vc as usize].credits == 0 {
             if self.telemetry.is_some() {
                 self.tel_credit_stall();
+                // Body-flit credit stalls surface in tail serialization;
+                // only the head's count toward the hop's credit-wait.
+                if !is_mc && flit.is_head() {
+                    self.tel_hop_credit(sent_packet);
+                }
             }
             return false;
         }
@@ -609,6 +621,9 @@ impl Network {
         }
         if self.telemetry.is_some() {
             self.tel_grant(r, out, sent_packet, first_grant, now);
+            if !is_mc && flit.is_head() {
+                self.tel_hop_granted(sent_packet, r, out, now);
+            }
         }
 
         // Statistics (per payload byte; see rfnoc-power's ActivityCounters).

@@ -276,9 +276,10 @@ mod reconfig;
 pub(crate) mod telemetry;
 
 pub use telemetry::{
-    latency_bucket, latency_bucket_bounds, ChannelMask, FlitEvent, FlitEventKind,
-    FlitTraceConfig, IntervalSample, PacketSpan, TelemetryConfig, TelemetryReport,
-    TimelineEvent, TimelineEventKind, LATENCY_BUCKETS,
+    latency_bucket, latency_bucket_bounds, ChannelMask, DelayBreakdown, FlitEvent,
+    FlitEventKind, FlitTraceConfig, HopRecord, IntervalSample, PacketSpan,
+    TelemetryConfig, TelemetryReport, TimelineEvent, TimelineEventKind,
+    HOP_ROUTE_CYCLES, HOP_SWITCH_CYCLES, LATENCY_BUCKETS,
 };
 
 impl Network {

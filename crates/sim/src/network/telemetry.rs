@@ -22,6 +22,12 @@
 //! engine takes a single never-taken branch per hook site, and the
 //! golden-determinism suite proves the results are bit-identical.
 //!
+//! The opt-in [`ChannelMask::PROFILE`] channel (per-hop delay
+//! attribution, see [`HopRecord`]) adds one amortized `Vec` push per
+//! router traversal, bounded by [`TelemetryConfig::hop_limit`]; it is
+//! excluded from [`ChannelMask::ALL`] so the standard telemetry overhead
+//! envelope is unchanged.
+//!
 //! # Flit trace
 //!
 //! The older flit-level debug trace lives here too. It is configured by
@@ -120,7 +126,16 @@ impl ChannelMask {
     pub const SPANS: Self = Self(1 << 5);
     /// Fault/retune/reconfigure/watchdog timeline events.
     pub const EVENTS: Self = Self(1 << 6);
-    /// Every channel.
+    /// Per-hop delay attribution: one [`HopRecord`] per (packet, router)
+    /// traversal splitting the hop into route-compute, VA-wait, switch
+    /// traversal, SA-wait, and credit-wait cycles. Opt-in — deliberately
+    /// *not* part of [`ChannelMask::ALL`], so existing all-channel runs
+    /// keep their PR-4 overhead envelope. Requires [`ChannelMask::SPANS`]
+    /// (hop records ride on span slots); without it the channel records
+    /// nothing. Enable both with [`TelemetryConfig::profiling`].
+    pub const PROFILE: Self = Self(1 << 7);
+    /// Every standard channel. Does not include the opt-in
+    /// [`ChannelMask::PROFILE`] channel.
     pub const ALL: Self = Self(0x7f);
     /// No channels (telemetry enabled but recording nothing).
     pub const NONE: Self = Self(0);
@@ -156,13 +171,36 @@ pub struct TelemetryConfig {
     /// Maximum packet spans to record; spans past the cap are counted in
     /// [`TelemetryReport::dropped_spans`].
     pub span_limit: usize,
+    /// Maximum per-hop delay-attribution records to record
+    /// ([`ChannelMask::PROFILE`] only); hops past the cap are counted in
+    /// [`TelemetryReport::dropped_hops`].
+    pub hop_limit: usize,
 }
 
 impl TelemetryConfig {
-    /// All channels at the given sampling interval, with the default span
-    /// cap (65 536 spans ≈ 1.8 MB).
+    /// All standard channels at the given sampling interval, with the
+    /// default span cap (65 536 spans ≈ 1.8 MB). The per-hop
+    /// [`ChannelMask::PROFILE`] channel stays off; see
+    /// [`TelemetryConfig::profiling`].
     pub const fn every(interval: u64) -> Self {
-        Self { interval, channels: ChannelMask::ALL, span_limit: 1 << 16 }
+        Self {
+            interval,
+            channels: ChannelMask::ALL,
+            span_limit: 1 << 16,
+            hop_limit: 1 << 19,
+        }
+    }
+
+    /// All standard channels *plus* per-hop delay attribution
+    /// ([`ChannelMask::PROFILE`]) at the given sampling interval, with the
+    /// default span and hop caps (2^19 hops ≈ 20 MB worst case).
+    pub const fn profiling(interval: u64) -> Self {
+        Self {
+            interval,
+            channels: ChannelMask::ALL.with(ChannelMask::PROFILE),
+            span_limit: 1 << 16,
+            hop_limit: 1 << 19,
+        }
     }
 }
 
@@ -332,6 +370,136 @@ impl PacketSpan {
     }
 }
 
+/// Head-flit pipeline constants the delay attribution is built on: route
+/// computation (+ head decode) occupies the two cycles between arrival and
+/// VA eligibility…
+pub const HOP_ROUTE_CYCLES: u64 = 2;
+/// …and switch traversal occupies the one cycle between a VA grant and SA
+/// eligibility. Everything else a head flit spends inside a router is a
+/// stall, attributed by [`HopRecord::va_wait`] / [`HopRecord::sa_wait`].
+pub const HOP_SWITCH_CYCLES: u64 = 1;
+
+/// One router traversal of a profiled packet's head flit, recorded by the
+/// [`ChannelMask::PROFILE`] channel: the raw pipeline timestamps from
+/// which the RC / VA-stall / ST / SA-stall decomposition derives.
+///
+/// Only unicast packets (including RF-multicast carrier packets) get hop
+/// chains — tree-routed multicast packets fork mid-network and have no
+/// single head-flit timeline. A packet's records are stored sorted by
+/// `(packet, arrived_at)`, so one chain is a contiguous run in
+/// [`TelemetryReport::hops`] in traversal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Packet table index.
+    pub packet: u32,
+    /// Router traversed.
+    pub router: u32,
+    /// Input port the head flit arrived on (Local at the source).
+    pub port_in: u8,
+    /// Output port the head flit was granted to (Local at the
+    /// destination).
+    pub port_out: u8,
+    /// Credit-refused switch grants of the head flit at this router — a
+    /// subset of the [`HopRecord::sa_wait`] cycles, identifying stalls
+    /// caused by downstream backpressure rather than switch competition.
+    pub credit_waits: u32,
+    /// Cycle the head flit entered this router's input buffer.
+    pub arrived_at: u64,
+    /// Cycle VC allocation succeeded.
+    pub va_done_at: u64,
+    /// Cycle switch allocation granted the head flit to `port_out`.
+    pub granted_at: u64,
+}
+
+impl HopRecord {
+    /// Cycles the head flit waited for a free output VC beyond the
+    /// pipeline minimum ([`HOP_ROUTE_CYCLES`] after arrival).
+    pub fn va_wait(&self) -> u64 {
+        self.va_done_at
+            .saturating_sub(self.arrived_at + HOP_ROUTE_CYCLES)
+    }
+
+    /// Cycles the head flit waited for a switch grant beyond the pipeline
+    /// minimum ([`HOP_SWITCH_CYCLES`] after the VA grant). Includes the
+    /// [`HopRecord::credit_waits`] cycles lost to missing credits.
+    pub fn sa_wait(&self) -> u64 {
+        self.granted_at
+            .saturating_sub(self.va_done_at + HOP_SWITCH_CYCLES)
+    }
+
+    /// Total head-flit occupancy of this router (arrival to switch
+    /// grant) — the hop's span length on a Perfetto track.
+    pub fn occupancy(&self) -> u64 {
+        self.granted_at.saturating_sub(self.arrived_at)
+    }
+}
+
+/// The additive decomposition of one profiled packet's end-to-end latency,
+/// from [`TelemetryReport::attribution`]. The components partition
+/// `ejected − injected` exactly:
+///
+/// `total = source_queue + route + va_wait + switch + sa_wait + link +
+/// tail_serialization`
+///
+/// where `route`/`switch` are the fixed pipeline stages
+/// ([`HOP_ROUTE_CYCLES`] / [`HOP_SWITCH_CYCLES`] per hop), the waits are
+/// contention, `link` covers every link traversal (RF extra latency
+/// included) plus the ejection port crossing, and `tail_serialization` is
+/// the body/tail flits still streaming after the head ejected.
+/// `credit_wait` is informational — a subset of `sa_wait`, not an eighth
+/// additive term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DelayBreakdown {
+    /// Cycles between message creation and the head flit entering the
+    /// source router's local input buffer (injection VC queueing).
+    pub source_queue: u64,
+    /// Route-computation pipeline cycles over all hops.
+    pub route: u64,
+    /// VC-allocation contention cycles over all hops.
+    pub va_wait: u64,
+    /// Switch-traversal pipeline cycles over all hops.
+    pub switch: u64,
+    /// Switch-allocation contention cycles over all hops.
+    pub sa_wait: u64,
+    /// Of [`DelayBreakdown::sa_wait`], the cycles refused for missing
+    /// downstream credits (informational subset, not additive).
+    pub credit_wait: u64,
+    /// Link-traversal cycles: inter-router crossings (RF shortcut extra
+    /// latency included) plus the final ejection-port crossing.
+    pub link: u64,
+    /// Cycles after the head flit ejected until the packet's last flit
+    /// ejected (body/tail serialization and their contention).
+    pub tail_serialization: u64,
+    /// End-to-end latency, `ejected_at − injected_at`; equals the sum of
+    /// the seven additive components above.
+    pub total: u64,
+    /// Router traversals in the chain.
+    pub hops: u32,
+    /// Whether any hop exited through an RF shortcut port.
+    pub took_rf: bool,
+}
+
+impl DelayBreakdown {
+    /// Sum of the additive components — equals
+    /// [`DelayBreakdown::total`]; the reconciliation the profiler
+    /// guarantees and the integration tests assert.
+    pub fn component_sum(&self) -> u64 {
+        self.source_queue
+            + self.route
+            + self.va_wait
+            + self.switch
+            + self.sa_wait
+            + self.link
+            + self.tail_serialization
+    }
+
+    /// Contention cycles (VA + SA waits) — the blame the packet assigns
+    /// to the links it crossed.
+    pub fn contention(&self) -> u64 {
+        self.va_wait + self.sa_wait
+    }
+}
+
 /// A non-traffic event on the telemetry timeline, so degradation can be
 /// correlated with the interval where utilization changed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -380,6 +548,13 @@ pub struct TelemetryReport {
     pub dropped_spans: u64,
     /// Fault/retune/watchdog events, in cycle order.
     pub events: Vec<TimelineEvent>,
+    /// Per-hop delay-attribution records, sorted by `(packet,
+    /// arrived_at)` so each packet's chain is contiguous and in traversal
+    /// order. Empty unless [`ChannelMask::PROFILE`] was on.
+    pub hops: Vec<HopRecord>,
+    /// Hop records not recorded because [`TelemetryConfig::hop_limit`]
+    /// was reached.
+    pub dropped_hops: u64,
 }
 
 impl TelemetryReport {
@@ -414,6 +589,104 @@ impl TelemetryReport {
         };
         self.events.iter().filter(move |e| e.cycle >= start && e.cycle < end)
     }
+
+    /// Whole-run completion-latency histogram: the per-interval
+    /// [`IntervalSample::latency_hist`] summed over every sample. Bucket
+    /// `i` spans [`latency_bucket_bounds`]`(i)`; bucket counts sum to the
+    /// total completed-packet count when the latency channel was on.
+    pub fn total_latency_histogram(&self) -> [u64; LATENCY_BUCKETS] {
+        let mut hist = [0u64; LATENCY_BUCKETS];
+        for s in &self.samples {
+            for (h, &v) in hist.iter_mut().zip(&s.latency_hist) {
+                *h += v;
+            }
+        }
+        hist
+    }
+
+    /// The recorded span of `packet`, if any. Spans are stored in packet-id
+    /// order, so this is a binary search.
+    pub fn span_of_packet(&self, packet: u32) -> Option<&PacketSpan> {
+        self.spans
+            .binary_search_by_key(&packet, |s| s.packet)
+            .ok()
+            .map(|i| &self.spans[i])
+    }
+
+    /// The hop chain of `packet` in traversal order (empty unless the
+    /// profile channel recorded it).
+    pub fn hops_of(&self, packet: u32) -> &[HopRecord] {
+        let lo = self.hops.partition_point(|h| h.packet < packet);
+        let hi = self.hops.partition_point(|h| h.packet <= packet);
+        &self.hops[lo..hi]
+    }
+
+    /// Per-output-port contention blame (`router * 6 + port`): the total
+    /// VA + SA wait cycles packets spent acquiring each output link or RF
+    /// band. Each stalled packet-cycle is attributed to exactly *one*
+    /// port — the one the packet was ultimately granted at that hop — so
+    /// summing blame over ports equals summing contention over packets
+    /// (no double counting). A packet that waited on a busy RF port and
+    /// then adaptively detoured to the mesh blames the mesh port it took;
+    /// the approximation is documented in DESIGN.md. Empty unless the
+    /// profile channel was on.
+    pub fn contention_blame(&self) -> Vec<u64> {
+        if self.hops.is_empty() {
+            return Vec::new();
+        }
+        let mut blame = vec![0u64; self.routers * NUM_PORTS];
+        for h in &self.hops {
+            blame[h.router as usize * NUM_PORTS + h.port_out as usize] +=
+                h.va_wait() + h.sa_wait();
+        }
+        blame
+    }
+
+    /// The delay attribution of one profiled packet, or `None` when the
+    /// packet has no complete span + hop chain (profile channel off, span
+    /// or hop cap hit, still in flight, or a tree-multicast packet).
+    ///
+    /// The returned components partition the packet's end-to-end latency
+    /// exactly — see [`DelayBreakdown`].
+    pub fn attribution(&self, packet: u32) -> Option<DelayBreakdown> {
+        let span = self.span_of_packet(packet)?;
+        if !span.is_complete() {
+            return None;
+        }
+        let chain = self.hops_of(packet);
+        // A complete unicast chain has exactly hops+1 router traversals
+        // (span.hops counts routers minus one); anything shorter was
+        // truncated by the hop cap.
+        if chain.is_empty() || chain.len() != span.hops as usize + 1 {
+            return None;
+        }
+        let mut b = DelayBreakdown {
+            source_queue: chain[0].arrived_at.saturating_sub(span.injected_at),
+            hops: chain.len() as u32,
+            took_rf: span.took_rf,
+            total: span.ejected_at - span.injected_at,
+            ..DelayBreakdown::default()
+        };
+        for (i, h) in chain.iter().enumerate() {
+            b.route += HOP_ROUTE_CYCLES;
+            b.switch += HOP_SWITCH_CYCLES;
+            b.va_wait += h.va_wait();
+            b.sa_wait += h.sa_wait();
+            b.credit_wait += h.credit_waits as u64;
+            // Link traversal to the next router; the destination hop ends
+            // with the 2-cycle ejection-port crossing instead.
+            b.link += match chain.get(i + 1) {
+                Some(next) => next.arrived_at.saturating_sub(h.granted_at),
+                None => 2,
+            };
+        }
+        // Body/tail flits stream behind the head: ejection completes the
+        // head 2 cycles after its final grant, the packet when the last
+        // flit lands.
+        let head_ejected = chain.last().map_or(0, |h| h.granted_at + 2);
+        b.tail_serialization = span.ejected_at.saturating_sub(head_ejected);
+        Some(b)
+    }
 }
 
 /// Live telemetry accumulator state, attached to the network when
@@ -438,9 +711,34 @@ pub(super) struct TelemetryState {
     spans: Vec<PacketSpan>,
     dropped_spans: u64,
     events: Vec<TimelineEvent>,
+    /// The in-progress hop of each span's packet (parallel to `spans`,
+    /// profile channel only): timestamps accumulate here between the
+    /// head's arrival and its switch grant, then flush into `hops`.
+    open_hops: Vec<OpenHop>,
+    hops: Vec<HopRecord>,
+    dropped_hops: u64,
 }
 
 const NO_SPAN: u32 = u32::MAX;
+
+/// Scratch for the hop a profiled packet currently occupies.
+#[derive(Debug, Clone, Copy)]
+struct OpenHop {
+    router: u32,
+    port_in: u8,
+    credit_waits: u32,
+    /// `u64::MAX` = no hop open.
+    arrived_at: u64,
+    va_done_at: u64,
+}
+
+const NO_HOP: OpenHop = OpenHop {
+    router: 0,
+    port_in: 0,
+    credit_waits: 0,
+    arrived_at: u64::MAX,
+    va_done_at: u64::MAX,
+};
 
 impl TelemetryState {
     pub(super) fn new(cfg: TelemetryConfig, routers: usize) -> Self {
@@ -456,11 +754,35 @@ impl TelemetryState {
             spans: Vec::new(),
             dropped_spans: 0,
             events: Vec::new(),
+            open_hops: Vec::new(),
+            hops: Vec::new(),
+            dropped_hops: 0,
         }
     }
 
     fn on(&self, channel: ChannelMask) -> bool {
         self.cfg.channels.contains(channel)
+    }
+
+    /// Whether per-hop attribution is recording (needs both the profile
+    /// channel and the span slots it rides on).
+    fn profiling(&self) -> bool {
+        self.cfg
+            .channels
+            .contains(ChannelMask::PROFILE.with(ChannelMask::SPANS))
+    }
+
+    /// The open-hop scratch slot of `packet`, when the profile channel is
+    /// on and the packet holds a span slot.
+    fn open_hop(&mut self, packet: u32) -> Option<&mut OpenHop> {
+        if !self.profiling() {
+            return None;
+        }
+        let idx = *self.span_of.get(packet as usize)?;
+        if idx == NO_SPAN {
+            return None;
+        }
+        self.open_hops.get_mut(idx as usize)
     }
 
     /// Closes the current interval at `end` cycles covered and opens the
@@ -545,6 +867,9 @@ impl Network {
         if covered > 0 {
             t.flush_interval(covered, in_flight);
         }
+        // Hop records land in switch-grant order; each packet's chain is
+        // made contiguous here so report queries are range lookups.
+        t.hops.sort_unstable_by_key(|h| (h.packet, h.arrived_at));
         let report = TelemetryReport {
             interval: t.cfg.interval,
             channels: t.cfg.channels,
@@ -553,8 +878,11 @@ impl Network {
             spans: std::mem::take(&mut t.spans),
             dropped_spans: std::mem::take(&mut t.dropped_spans),
             events: std::mem::take(&mut t.events),
+            hops: std::mem::take(&mut t.hops),
+            dropped_hops: std::mem::take(&mut t.dropped_hops),
         };
         t.span_of.clear();
+        t.open_hops.clear();
         self.stats.telemetry = Some(Box::new(report));
     }
 
@@ -574,6 +902,9 @@ impl Network {
             return;
         }
         t.span_of[packet as usize] = t.spans.len() as u32;
+        if t.profiling() {
+            t.open_hops.push(NO_HOP);
+        }
         t.spans.push(PacketSpan {
             packet,
             src: p.src,
@@ -708,6 +1039,76 @@ impl Network {
                 span.hops = head_grants.saturating_sub(1);
             }
         }
+    }
+
+    /// Opens a hop record: a profiled unicast head flit entered router
+    /// `r`'s input buffer on `port` at cycle `at`.
+    #[inline]
+    pub(super) fn tel_hop_arrived(&mut self, packet: u32, r: usize, port: usize, at: u64) {
+        // Tree-multicast packets fork mid-network; only unicast packets
+        // (RF-multicast carriers included) get hop chains.
+        if !matches!(self.packets[packet as usize].dest, PacketDest::Unicast(_)) {
+            return;
+        }
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if let Some(h) = t.open_hop(packet) {
+            *h = OpenHop {
+                router: r as u32,
+                port_in: port as u8,
+                credit_waits: 0,
+                arrived_at: at,
+                va_done_at: u64::MAX,
+            };
+        }
+    }
+
+    /// Stamps the open hop's VC-allocation success cycle.
+    #[inline]
+    pub(super) fn tel_hop_va(&mut self, packet: u32, now: u64) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if let Some(h) = t.open_hop(packet) {
+            if h.arrived_at != u64::MAX {
+                h.va_done_at = now;
+            }
+        }
+    }
+
+    /// Counts one credit-refused head-flit switch grant on the open hop.
+    #[inline]
+    pub(super) fn tel_hop_credit(&mut self, packet: u32) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        if let Some(h) = t.open_hop(packet) {
+            if h.arrived_at != u64::MAX {
+                h.credit_waits += 1;
+            }
+        }
+    }
+
+    /// Closes the open hop on a head-flit switch grant at router `r`
+    /// toward `out`, flushing the [`HopRecord`] (hop-cap permitting).
+    #[inline]
+    pub(super) fn tel_hop_granted(&mut self, packet: u32, r: usize, out: usize, now: u64) {
+        let Some(t) = self.telemetry.as_deref_mut() else { return };
+        let Some(h) = t.open_hop(packet) else { return };
+        if h.arrived_at == u64::MAX || h.va_done_at == u64::MAX || h.router != r as u32 {
+            return;
+        }
+        let done = *h;
+        *h = NO_HOP;
+        if t.hops.len() >= t.cfg.hop_limit {
+            t.dropped_hops += 1;
+            return;
+        }
+        t.hops.push(HopRecord {
+            packet,
+            router: done.router,
+            port_in: done.port_in,
+            port_out: out as u8,
+            credit_waits: done.credit_waits,
+            arrived_at: done.arrived_at,
+            va_done_at: done.va_done_at,
+            granted_at: now,
+        });
     }
 
     /// Appends a timeline event at the current cycle.

@@ -3,10 +3,12 @@
 //! router pipeline, per-endpoint completion counters, and the
 //! fault/retune event timeline.
 
+use proptest::prelude::*;
 use rfnoc_sim::{
-    ChannelMask, ConfigError, DestSet, FaultEvent, FaultPlan, FlitEventKind, FlitTraceConfig,
-    MessageClass, MessageSpec, Network, NetworkSpec, RunStats, ScriptedWorkload,
-    SimConfig, SimError, TelemetryConfig, TimelineEventKind,
+    latency_bucket, latency_bucket_bounds, ChannelMask, ConfigError, DestSet, FaultEvent,
+    FaultPlan, FlitEventKind, FlitTraceConfig, MessageClass, MessageSpec, Network,
+    NetworkSpec, RunStats, ScriptedWorkload, SimConfig, SimError, TelemetryConfig,
+    TimelineEventKind, LATENCY_BUCKETS,
 };
 use rfnoc_topology::{GridDims, Shortcut};
 
@@ -203,6 +205,7 @@ fn span_cap_counts_dropped_spans() {
         interval: 100,
         channels: ChannelMask::ALL,
         span_limit: 2,
+        ..TelemetryConfig::every(100)
     });
     let stats = run_scripted(NetworkSpec::mesh_baseline(dims, cfg), stream(16, 5));
     let report = stats.telemetry.as_ref().expect("telemetry enabled");
@@ -233,7 +236,7 @@ fn channel_mask_gates_recording() {
     cfg.telemetry = Some(TelemetryConfig {
         interval: 100,
         channels: ChannelMask::LINKS,
-        span_limit: 1 << 16,
+        ..TelemetryConfig::every(100)
     });
     let stats = run_scripted(NetworkSpec::mesh_baseline(dims, cfg), stream(16, 100));
     let report = stats.telemetry.as_ref().expect("telemetry enabled");
@@ -328,4 +331,86 @@ fn fault_and_retune_events_land_on_the_timeline() {
         .expect("table rewrite completes");
     assert!(rewrite.cycle >= retune.cycle);
     assert_eq!(stats.shortcut_faults, 1);
+}
+
+/// The log2 bucket edges at and around every boundary map to the
+/// documented bucket: bucket 0 is `< 16`, bucket i is `[16·2^(i-1),
+/// 16·2^i)`, and the last bucket is unbounded.
+#[test]
+fn latency_bucket_edges_match_documented_bounds() {
+    assert_eq!(latency_bucket(0), 0);
+    assert_eq!(latency_bucket(1), 0);
+    assert_eq!(latency_bucket(15), 0);
+    assert_eq!(latency_bucket(16), 1);
+    for i in 1..LATENCY_BUCKETS {
+        let (lo, hi) = latency_bucket_bounds(i);
+        assert_eq!(lo, 16u64 << (i - 1));
+        assert_eq!(latency_bucket(lo), i);
+        assert_eq!(latency_bucket(lo - 1), i - 1);
+        if i + 1 == LATENCY_BUCKETS {
+            assert_eq!(hi, u64::MAX);
+            assert_eq!(latency_bucket(u64::MAX), i, "last bucket is unbounded");
+        } else {
+            assert_eq!(latency_bucket(hi - 1), i);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The 8 log2 buckets partition the latency axis: every latency lands
+    /// in exactly one bucket, and that bucket's bounds contain it. Each
+    /// case checks an arbitrary latency, a small one, and one hugging a
+    /// power-of-two edge where an off-by-one would hide.
+    #[test]
+    fn latency_buckets_partition_all_latencies(
+        raw in any::<u64>(),
+        small in 0u64..2048,
+        shift in 0u32..40,
+        nudge in 0u64..3,
+    ) {
+        let edge = (1u64 << shift).saturating_sub(1).saturating_add(nudge);
+        for latency in [raw, small, edge] {
+            let holders: Vec<usize> = (0..LATENCY_BUCKETS)
+                .filter(|&i| {
+                    let (lo, hi) = latency_bucket_bounds(i);
+                    lo <= latency && (latency < hi || hi == u64::MAX)
+                })
+                .collect();
+            prop_assert_eq!(holders.len(), 1, "exactly one bucket holds {}", latency);
+            prop_assert_eq!(holders[0], latency_bucket(latency));
+        }
+    }
+}
+
+/// The run-total histogram reconciles three ways: against the per-sample
+/// histograms it sums, against a histogram rebuilt from the recorded
+/// spans, and against the completed-message count.
+#[test]
+fn total_latency_histogram_reconciles_with_spans_and_completions() {
+    let dims = GridDims::new(6, 6);
+    let mut cfg = quick_config();
+    cfg.telemetry = Some(TelemetryConfig::every(100));
+    let stats = run_scripted(NetworkSpec::mesh_baseline(dims, cfg), stream(36, 400));
+    let report = stats.telemetry.as_ref().expect("telemetry enabled");
+    assert_eq!(report.dropped_spans, 0, "all spans retained for this run");
+
+    let total = report.total_latency_histogram();
+    assert_eq!(total.iter().sum::<u64>(), stats.completed_messages);
+
+    let mut from_samples = [0u64; LATENCY_BUCKETS];
+    for s in &report.samples {
+        for (t, &v) in from_samples.iter_mut().zip(&s.latency_hist) {
+            *t += v;
+        }
+    }
+    assert_eq!(total, from_samples);
+
+    let mut from_spans = [0u64; LATENCY_BUCKETS];
+    for span in report.spans.iter().filter(|s| s.measured) {
+        from_spans[latency_bucket(span.latency().expect("run drained"))] += 1;
+    }
+    assert_eq!(total, from_spans, "histogram and spans bucket identically");
+    assert!(total.iter().filter(|&&b| b > 0).count() >= 2, "traffic spreads over buckets");
 }

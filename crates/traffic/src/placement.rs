@@ -145,6 +145,23 @@ impl Placement {
         Self { dims, kind, cores, caches, memories, cluster_of, cluster_centers }
     }
 
+    /// A degenerate placement with a core on every router and no caches
+    /// or memory ports — for tiny test grids (below the 6×6 floor of
+    /// [`Self::quadrant_clusters`]) and rendering fixtures where only the
+    /// geometry matters.
+    pub fn cores_only(dims: GridDims) -> Self {
+        let n = dims.nodes();
+        Self {
+            dims,
+            kind: vec![ComponentKind::Core; n],
+            cores: (0..n).collect(),
+            caches: Vec::new(),
+            memories: Vec::new(),
+            cluster_of: vec![None; n],
+            cluster_centers: Vec::new(),
+        }
+    }
+
     /// Grid dimensions.
     pub fn dims(&self) -> GridDims {
         self.dims
