@@ -1,0 +1,11 @@
+//! Resilience campaign: seeded traffic profiles (expected / stress /
+//! adversarial) crossed with offered loads and correlated fault storms,
+//! summarised into `results/json/RESILIENCE_resilience.json`.
+//!
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::campaign`. Flags: `--jobs N`, `--quick`,
+//! `--quiet`.
+
+fn main() {
+    rfnoc_bench::suite::main_for("resilience");
+}

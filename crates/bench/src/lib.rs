@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod campaign;
 pub mod perfetto;
 pub mod plan;
 pub mod profile;

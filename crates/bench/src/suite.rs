@@ -7,6 +7,7 @@
 //! ([`run_all_main`]).
 
 use crate::artifact;
+use crate::campaign;
 use crate::plan::{labeled, BaselineSel, Design, Labeled, Plan, SweepSpec};
 use crate::runner::{run_plan, PlanResults, RunnerConfig};
 use crate::{geomean, multicast_workload, print_table};
@@ -120,6 +121,13 @@ pub fn figures() -> Vec<Figure> {
             render: render_fault_sweep,
         },
         Figure {
+            name: "resilience",
+            title: "Resilience campaign: seeded profiles under correlated fault storms",
+            in_suite: true,
+            build: build_resilience,
+            render: render_resilience,
+        },
+        Figure {
             name: "tune_load",
             title: "Load-tuning probe: injection rate and hotspot intensity",
             in_suite: false,
@@ -157,7 +165,12 @@ fn default_sim(opts: &SuiteOptions) -> Vec<Labeled<SimConfig>> {
 }
 
 /// Applies (warmup, measure) windows, quartered in quick mode.
-fn windows(opts: &SuiteOptions, mut sim: SimConfig, warmup: u64, measure: u64) -> SimConfig {
+pub(crate) fn windows(
+    opts: &SuiteOptions,
+    mut sim: SimConfig,
+    warmup: u64,
+    measure: u64,
+) -> SimConfig {
     let div = if opts.quick { 4 } else { 1 };
     sim.warmup_cycles = warmup / div;
     sim.measure_cycles = measure / div;
@@ -862,17 +875,11 @@ fn base_fault_rates() -> FaultRates {
 }
 
 fn build_fault_sweep(opts: &SuiteOptions) -> Plan {
-    let faults = fault_factors(opts)
-        .into_iter()
-        .map(|factor| {
-            let spec = if factor > 0.0 {
-                FaultSpec::Random { seed: FAULT_SEED, rates: base_fault_rates().scaled(factor) }
-            } else {
-                FaultSpec::None
-            };
-            labeled(format!("{factor:.1}"), spec)
-        })
-        .collect();
+    // The fault dimension rides the campaign machinery: factor 0.0 is the
+    // fault-free baseline, positive factors scale the random-rate plan.
+    let faults = campaign::fault_dimension(&fault_factors(opts), |factor| {
+        FaultSpec::Random { seed: FAULT_SEED, rates: base_fault_rates().scaled(factor) }
+    });
     SweepSpec::new("fault_sweep")
         .designs(vec![
             Design::new("static", Architecture::StaticShortcuts, LinkWidth::B16),
@@ -884,7 +891,7 @@ fn build_fault_sweep(opts: &SuiteOptions) -> Plan {
             windows(opts, SimConfig::paper_baseline(), 2_000, 30_000),
         )])
         .faults(faults)
-        .baseline(BaselineSel::fault("0.0"))
+        .baseline(BaselineSel::fault(campaign::intensity_label(0.0)))
         .expand()
 }
 
@@ -932,6 +939,16 @@ fn render_fault_sweep(results: &PlanResults, _opts: &SuiteOptions) {
         "\nThe full per-point data (tail latencies, wall times, provenance) \
          is in results/json/fault_sweep.json."
     );
+}
+
+// --------------------------------------------------------- resilience
+
+fn build_resilience(opts: &SuiteOptions) -> Plan {
+    campaign::CampaignSpec::resilience(opts).plan()
+}
+
+fn render_resilience(results: &PlanResults, opts: &SuiteOptions) {
+    campaign::render_campaign(results, opts);
 }
 
 // ---------------------------------------------------------- tune_load

@@ -104,6 +104,9 @@ pub fn event_label(kind: &TimelineEventKind) -> String {
         }
         TimelineEventKind::TablesRewritten => "tables_rewritten".into(),
         TimelineEventKind::WatchdogFired => "watchdog_fired".into(),
+        TimelineEventKind::RecoveryConverged { fault_cycle, after } => {
+            format!("recovery_converged(fault@{fault_cycle} after {after})")
+        }
     }
 }
 

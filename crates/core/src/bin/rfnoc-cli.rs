@@ -149,6 +149,9 @@ fn print_timeline(report: &TelemetryReport) {
         }
         TimelineEventKind::TablesRewritten => "tables_rewritten".into(),
         TimelineEventKind::WatchdogFired => "watchdog_fired".into(),
+        TimelineEventKind::RecoveryConverged { fault_cycle, after } => {
+            format!("recovery_converged(fault@{fault_cycle} after {after})")
+        }
     };
     println!(
         "  {:>16} {:>8} {:>8} {:>8} {:>8} {:>18}  events",

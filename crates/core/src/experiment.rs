@@ -44,6 +44,17 @@ pub enum FaultSpec {
         /// Expected event counts.
         rates: FaultRates,
     },
+    /// A deterministic *correlated* storm generated against the built
+    /// system's shortcut set (see [`FaultPlan::correlated`]): a regional
+    /// mesh-link storm, a glitch burst scaled by the experiment's offered
+    /// load, and a band-down-during-retune race — the fault shapes a
+    /// resilience campaign sweeps.
+    Correlated {
+        /// PRNG seed; the same seed and system always yield the same plan.
+        seed: u64,
+        /// Event-count scale; 0 disables the storm entirely.
+        intensity: f64,
+    },
 }
 
 /// A complete experiment: a system configuration exercised by a workload.
@@ -114,6 +125,15 @@ impl Experiment {
         self
     }
 
+    /// Injects a seed-driven correlated fault storm (regional mesh-link
+    /// storm, load-scaled glitch burst, band-down-during-retune race),
+    /// generated against the built system's shortcut set.
+    #[must_use]
+    pub fn with_correlated_faults(mut self, seed: u64, intensity: f64) -> Self {
+        self.faults = FaultSpec::Correlated { seed, intensity };
+        self
+    }
+
     /// One-line description of the design point without building or
     /// running anything — used by sweep runners for progress reporting.
     pub fn summary(&self) -> String {
@@ -164,6 +184,22 @@ impl Experiment {
                     start..end,
                 )
             }
+            FaultSpec::Correlated { seed, intensity } => {
+                let sim = &self.system.sim;
+                let start = sim.warmup_cycles;
+                let end = start + sim.measure_cycles.max(1);
+                // The glitch burst scales with the offered load, relative
+                // to the paper-default injection rate.
+                let offered = self.traffic.injection_rate / 0.008;
+                FaultPlan::correlated(
+                    *seed,
+                    self.placement.dims(),
+                    &built.shortcuts,
+                    *intensity,
+                    offered,
+                    start..end,
+                )
+            }
         }
     }
 
@@ -210,7 +246,10 @@ impl Experiment {
         let built = self.build();
         let spec = built.network.clone().with_fault_plan(self.resolve_faults(&built));
         let mut network = Network::new(spec);
-        let mut workload = self.workload.instantiate(&placement, &self.traffic);
+        // Instantiate against the *built* shortcut set so the adversarial
+        // campaign profile targets the overlay actually selected.
+        let mut workload =
+            self.workload.instantiate_for(&placement, &self.traffic, &built.shortcuts);
         let stats = network.run(workload.as_mut());
         let model = NocPowerModel::paper_32nm();
         let power = model.power(&built.design, &stats.activity);

@@ -1,10 +1,10 @@
 //! Workload specifications: constructible, profilable traffic sources.
 
 use rfnoc_sim::{Destination, Workload};
-use rfnoc_topology::PairWeights;
+use rfnoc_topology::{PairWeights, Shortcut};
 use rfnoc_traffic::{
     AppProfile, AppWorkload, CombinedWorkload, MulticastConfig, MulticastTraffic, Placement,
-    ProbabilisticWorkload, TraceKind, TrafficConfig,
+    ProbabilisticWorkload, ProfileSpec, ProfileWorkload, TraceKind, TrafficConfig,
 };
 
 /// A recipe for a traffic source. Unlike a live [`Workload`] (which is
@@ -29,6 +29,13 @@ pub enum WorkloadSpec {
         /// Mean multicasts per cache bank per cycle.
         rate_per_cache: f64,
     },
+    /// A seeded resilience-campaign profile (expected / stress /
+    /// adversarial). The adversarial shape targets the *built* system's
+    /// shortcut set, which only [`crate::Experiment::run`] knows — so
+    /// [`WorkloadSpec::instantiate`] realises it against an empty overlay
+    /// (degrading to the stress shape) and experiments use
+    /// [`WorkloadSpec::instantiate_for`] with the selected shortcuts.
+    Profile(ProfileSpec),
 }
 
 impl WorkloadSpec {
@@ -40,6 +47,7 @@ impl WorkloadSpec {
             WorkloadSpec::TraceWithMulticast { base, locality, .. } => {
                 format!("{}+MC{}", base.name(), (locality * 100.0).round() as u32)
             }
+            WorkloadSpec::Profile(spec) => spec.profile.label().to_string(),
         }
     }
 
@@ -48,6 +56,26 @@ impl WorkloadSpec {
         &self,
         placement: &Placement,
         traffic: &TrafficConfig,
+    ) -> Box<dyn Workload> {
+        self.instantiate_for(placement, traffic, &[])
+    }
+
+    /// Builds a fresh workload instance against the selected RF-I
+    /// shortcut set. Only [`WorkloadSpec::Profile`] reads `shortcuts`
+    /// (its adversarial shape concentrates load on them); every other
+    /// spec ignores it, so this is identical to
+    /// [`WorkloadSpec::instantiate`] for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`WorkloadSpec::Profile`] spec fails validation —
+    /// validate with [`rfnoc_traffic::ProfileSpec::validate`] first when
+    /// handling untrusted configs.
+    pub fn instantiate_for(
+        &self,
+        placement: &Placement,
+        traffic: &TrafficConfig,
+        shortcuts: &[Shortcut],
     ) -> Box<dyn Workload> {
         match self {
             WorkloadSpec::Trace(kind) => Box::new(ProbabilisticWorkload::new(
@@ -78,6 +106,15 @@ impl WorkloadSpec {
                 );
                 Box::new(CombinedWorkload::new().with(Box::new(unicast)).with(Box::new(mc)))
             }
+            WorkloadSpec::Profile(spec) => Box::new(
+                ProfileWorkload::new(
+                    placement.clone(),
+                    spec.clone(),
+                    traffic.clone(),
+                    shortcuts,
+                )
+                .expect("invalid profile spec"),
+            ),
         }
     }
 
@@ -161,5 +198,35 @@ mod tests {
             rate_per_cache: 0.01,
         };
         assert_eq!(mc.name(), "1Hotspot+MC20");
+        let adv = WorkloadSpec::Profile(ProfileSpec::new(
+            rfnoc_traffic::Profile::Adversarial,
+            7,
+        ));
+        assert_eq!(adv.name(), "adversarial");
+    }
+
+    #[test]
+    fn profile_spec_targets_given_shortcuts() {
+        let placement = Placement::paper_10x10();
+        let spec = WorkloadSpec::Profile(ProfileSpec::new(
+            rfnoc_traffic::Profile::Adversarial,
+            11,
+        ));
+        let shortcuts = [Shortcut::new(0, 99)];
+        let traffic = TrafficConfig::default();
+        let mut w = spec.instantiate_for(&placement, &traffic, &shortcuts);
+        let mut out = Vec::new();
+        for c in 0..20_000 {
+            w.messages_at(c, &mut out);
+        }
+        let to_sink = out
+            .iter()
+            .filter(|m| matches!(m.dest, Destination::Unicast(99)))
+            .count();
+        assert!(
+            to_sink * 3 > out.len(),
+            "shortcut sink draws the bulk of adversarial traffic ({to_sink}/{})",
+            out.len()
+        );
     }
 }

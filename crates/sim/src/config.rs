@@ -1,6 +1,7 @@
 //! Simulator configuration (paper Figure 5a parameters).
 
 use crate::error::ConfigError;
+use crate::fault::RecoveryConfig;
 use crate::network::telemetry::{FlitTraceConfig, TelemetryConfig};
 use rfnoc_power::LinkWidth;
 
@@ -80,6 +81,13 @@ pub struct SimConfig {
     /// upstream buffer. The glitched flit (and the link behind it) is
     /// delayed by this much; credits are unaffected.
     pub link_retry_cycles: u64,
+    /// Per-fault recovery-SLO tracking: `Some` opens a
+    /// [`crate::RecoveryRecord`] for every applied fault (drain, rewrite,
+    /// and latency re-convergence timings, returned through
+    /// `RunStats::recovery`); `None` (the default) keeps the engine
+    /// free of the observer — like telemetry, enabling it never changes
+    /// simulated behaviour.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl SimConfig {
@@ -102,6 +110,7 @@ impl SimConfig {
             adaptive_shortcut_routing: true,
             watchdog_cycles: 10_000,
             link_retry_cycles: 6,
+            recovery: None,
         }
     }
 
@@ -143,6 +152,13 @@ impl SimConfig {
         self
     }
 
+    /// Returns a copy with per-fault recovery tracking enabled.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
     /// Validates internal consistency, rejecting degenerate parameters
     /// (zero VCs, zero buffers, an empty measurement window, or a watchdog
     /// window a routing-table rewrite would trip).
@@ -176,6 +192,14 @@ impl SimConfig {
         if let Some(t) = &self.telemetry {
             if t.interval == 0 {
                 return Err(ConfigError::ZeroTelemetryInterval);
+            }
+        }
+        if let Some(r) = &self.recovery {
+            if r.window == 0 {
+                return Err(ConfigError::ZeroRecoveryWindow);
+            }
+            if r.epsilon <= 0.0 {
+                return Err(ConfigError::NonPositiveRecoveryEpsilon);
             }
         }
         Ok(())
@@ -262,6 +286,17 @@ mod tests {
         cfg.telemetry = Some(TelemetryConfig { interval: 0, ..TelemetryConfig::every(1) });
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroTelemetryInterval));
         cfg.telemetry = Some(TelemetryConfig::every(1_000));
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn degenerate_recovery_config_rejected() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.recovery = Some(RecoveryConfig { window: 0, ..RecoveryConfig::slo() });
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroRecoveryWindow));
+        cfg.recovery = Some(RecoveryConfig { epsilon: 0.0, ..RecoveryConfig::slo() });
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveRecoveryEpsilon));
+        cfg = cfg.with_recovery(RecoveryConfig::slo());
         assert_eq!(cfg.validate(), Ok(()));
     }
 

@@ -38,6 +38,31 @@ pub enum ConfigError {
     },
     /// Telemetry was enabled with a zero sampling interval.
     ZeroTelemetryInterval,
+    /// Recovery tracking was enabled with a zero-completion window.
+    ZeroRecoveryWindow,
+    /// Recovery tracking was enabled with a non-positive convergence
+    /// tolerance.
+    NonPositiveRecoveryEpsilon,
+    /// A fault event names a router outside the grid.
+    FaultRouterOutOfRange {
+        /// The offending router id.
+        router: usize,
+        /// Number of routers in the grid.
+        nodes: usize,
+    },
+    /// A mesh-link fault names two routers that are not mesh neighbours.
+    FaultLinkNotAdjacent {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// A repair event precedes any failure of the same resource, so the
+    /// plan would silently no-op (or worse, double-repair).
+    FaultRepairBeforeFail {
+        /// Cycle of the premature repair.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -60,6 +85,21 @@ impl fmt::Display for ConfigError {
             ),
             Self::ZeroTelemetryInterval => {
                 write!(f, "telemetry sampling interval must be non-zero")
+            }
+            Self::ZeroRecoveryWindow => {
+                write!(f, "recovery tracking needs a non-zero completion window")
+            }
+            Self::NonPositiveRecoveryEpsilon => {
+                write!(f, "recovery convergence tolerance must be positive")
+            }
+            Self::FaultRouterOutOfRange { router, nodes } => {
+                write!(f, "fault event names router {router}, but the grid has {nodes} routers")
+            }
+            Self::FaultLinkNotAdjacent { a, b } => {
+                write!(f, "mesh-link fault between non-adjacent routers {a} and {b}")
+            }
+            Self::FaultRepairBeforeFail { cycle } => {
+                write!(f, "repair at cycle {cycle} precedes any failure of that resource")
             }
         }
     }

@@ -13,6 +13,7 @@
 //! link behind it) is delayed by [`crate::SimConfig::link_retry_cycles`],
 //! leaving credits untouched.
 
+use crate::error::ConfigError;
 use rfnoc_topology::{GridDims, Shortcut};
 
 /// One scheduled fault or repair.
@@ -116,6 +117,86 @@ impl FaultPlan {
     pub fn new(mut events: Vec<(u64, FaultEvent)>) -> Self {
         events.sort_by_key(|(c, _)| *c);
         Self { events, pos: 0 }
+    }
+
+    /// A plan from `(cycle, event)` pairs, validated against a `dims`
+    /// grid. Unlike [`FaultPlan::new`] (which trusts its caller and lets
+    /// the network silently ignore impossible events at apply time), this
+    /// rejects plans that could only no-op:
+    ///
+    /// * any event naming a router outside the grid;
+    /// * [`FaultEvent::MeshLinkDown`]/[`FaultEvent::MeshLinkUp`] between
+    ///   routers that are not mesh neighbours;
+    /// * a repair ([`FaultEvent::ShortcutUp`], [`FaultEvent::MeshLinkUp`])
+    ///   firing before any failure of the same resource (a
+    ///   [`FaultEvent::BandDown`] counts as failing every transmitter).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConfigError`] in firing order.
+    pub fn validated(
+        events: Vec<(u64, FaultEvent)>,
+        dims: GridDims,
+    ) -> Result<Self, ConfigError> {
+        let plan = Self::new(events);
+        let nodes = dims.nodes();
+        let check_router = |router: usize| {
+            if router >= nodes {
+                Err(ConfigError::FaultRouterOutOfRange { router, nodes })
+            } else {
+                Ok(())
+            }
+        };
+        let mut tx_failed = vec![false; nodes];
+        let mut band_down_seen = false;
+        let mut links_failed: Vec<(usize, usize)> = Vec::new();
+        for &(cycle, event) in &plan.events {
+            match event {
+                FaultEvent::ShortcutDown { src } => {
+                    check_router(src)?;
+                    tx_failed[src] = true;
+                }
+                FaultEvent::BandDown => band_down_seen = true,
+                FaultEvent::ShortcutUp { src, dst } => {
+                    check_router(src)?;
+                    check_router(dst)?;
+                    if !tx_failed[src] && !band_down_seen {
+                        return Err(ConfigError::FaultRepairBeforeFail { cycle });
+                    }
+                    tx_failed[src] = false;
+                }
+                FaultEvent::MeshLinkDown { a, b } => {
+                    check_router(a)?;
+                    check_router(b)?;
+                    if dims.manhattan(a, b) != 1 {
+                        return Err(ConfigError::FaultLinkNotAdjacent { a, b });
+                    }
+                    let key = (a.min(b), a.max(b));
+                    if !links_failed.contains(&key) {
+                        links_failed.push(key);
+                    }
+                }
+                FaultEvent::MeshLinkUp { a, b } => {
+                    check_router(a)?;
+                    check_router(b)?;
+                    if dims.manhattan(a, b) != 1 {
+                        return Err(ConfigError::FaultLinkNotAdjacent { a, b });
+                    }
+                    let key = (a.min(b), a.max(b));
+                    let Some(idx) = links_failed.iter().position(|&l| l == key) else {
+                        return Err(ConfigError::FaultRepairBeforeFail { cycle });
+                    };
+                    links_failed.swap_remove(idx);
+                }
+                // Glitches may strike mesh or RF links, so adjacency is
+                // not required; only the ids must name routers.
+                FaultEvent::LinkGlitch { a, b } => {
+                    check_router(a)?;
+                    check_router(b)?;
+                }
+            }
+        }
+        Ok(plan)
     }
 
     /// The scheduled events, in firing order.
@@ -228,6 +309,104 @@ impl FaultPlan {
 
         Self::new(events)
     }
+
+    /// Generates a deterministic *correlated* fault plan — the storm
+    /// shapes a resilience campaign throws at the network, as opposed to
+    /// the independent events of [`FaultPlan::random`]:
+    ///
+    /// 1. **Regional mesh-link storm** — a random region of the grid
+    ///    loses several mesh links within a ~200-cycle burst (surviving
+    ///    mesh kept connected); the region heals after a hold period.
+    /// 2. **Glitch burst** — a cluster of transient glitches whose count
+    ///    scales with both `intensity` and `offered_load` (a loaded link
+    ///    has more flits in flight to corrupt).
+    /// 3. **Band-down-during-retune race** — one shortcut fails, and
+    ///    while its drain/retune is still in flight the whole band goes
+    ///    down, exercising the pending-target path of the reconfiguration
+    ///    state machine; the band is repaired later in the window.
+    ///
+    /// `intensity` scales event counts (0 disables the plan entirely);
+    /// `offered_load` is the workload's injection rate relative to
+    /// nominal (1.0 = nominal). Same arguments, same plan.
+    pub fn correlated(
+        seed: u64,
+        dims: GridDims,
+        shortcuts: &[Shortcut],
+        intensity: f64,
+        offered_load: f64,
+        window: std::ops::Range<u64>,
+    ) -> Self {
+        if intensity <= 0.0 {
+            return Self::default();
+        }
+        let mut rng = SplitMix64::new(seed ^ 0xC0_44E1A7ED);
+        let span = window.end.saturating_sub(window.start).max(8);
+        let mut events: Vec<(u64, FaultEvent)> = Vec::new();
+
+        // 1. Regional storm in the first half of the window.
+        let storm_start = window.start + span / 8 + rng.below(span / 8);
+        let storm_burst = 200.min(span / 4).max(1);
+        let storm_hold = (span / 4).clamp(200, 5_000);
+        let center = dims.coord_of(rng.below(dims.nodes() as u64) as usize);
+        let radius = (1.0 + intensity).round() as i64;
+        let in_region = |r: usize| {
+            let c = dims.coord_of(r);
+            (i64::from(c.x) - i64::from(center.x)).abs() <= radius
+                && (i64::from(c.y) - i64::from(center.y)).abs() <= radius
+        };
+        let region_links: Vec<(usize, usize)> = undirected_mesh_links(dims)
+            .into_iter()
+            .filter(|&(a, b)| in_region(a) && in_region(b))
+            .collect();
+        let n_storm = round_count(2.0 * intensity).min(region_links.len());
+        let mut failed: Vec<(usize, usize)> = Vec::new();
+        let mut attempts = 0usize;
+        while failed.len() < n_storm && attempts < n_storm * 64 + 64 {
+            attempts += 1;
+            let (a, b) = region_links[rng.below(region_links.len() as u64) as usize];
+            if failed.contains(&(a, b)) {
+                continue;
+            }
+            failed.push((a, b));
+            if !mesh_connected(dims, &failed) {
+                failed.pop();
+                continue;
+            }
+            let t = storm_start + rng.below(storm_burst);
+            events.push((t, FaultEvent::MeshLinkDown { a, b }));
+            events.push((t + storm_hold, FaultEvent::MeshLinkUp { a, b }));
+        }
+
+        // 2. Glitch burst shortly after the storm peaks, scaled by load:
+        // glitches only matter when flits are in flight.
+        let burst_start = storm_start + storm_burst + rng.below(span / 8 + 1);
+        let burst_span = 300.min(span / 4).max(1);
+        let all_links = undirected_mesh_links(dims);
+        let n_glitch = round_count(6.0 * intensity * offered_load.max(0.25));
+        for _ in 0..n_glitch {
+            let t = burst_start + rng.below(burst_span);
+            let (a, b) = all_links[rng.below(all_links.len() as u64) as usize];
+            let (a, b) = if rng.below(2) == 0 { (a, b) } else { (b, a) };
+            events.push((t, FaultEvent::LinkGlitch { a, b }));
+        }
+
+        // 3. Band-down-during-retune race in the second half, repaired
+        // well before the window closes so convergence is observable.
+        if !shortcuts.is_empty() {
+            let race_t = window.start + span / 2 + rng.below(span / 8 + 1);
+            let victim = shortcuts[rng.below(shortcuts.len() as u64) as usize];
+            events.push((race_t, FaultEvent::ShortcutDown { src: victim.src }));
+            // 40 cycles later the drain (or the 99-cycle table rewrite)
+            // of the victim's retune is still in flight.
+            events.push((race_t + 40, FaultEvent::BandDown));
+            let repair_t = race_t + 40 + (span / 8).clamp(500, 10_000);
+            for s in shortcuts {
+                events.push((repair_t, FaultEvent::ShortcutUp { src: s.src, dst: s.dst }));
+            }
+        }
+
+        Self::new(events)
+    }
 }
 
 /// Why a run was flagged unhealthy.
@@ -270,6 +449,10 @@ pub struct HealthReport {
     /// Cycles since the last measured message completed (or since the
     /// network last went busy).
     pub since_completion: u64,
+    /// Fault recoveries still open (fault applied, windowed latency not
+    /// yet re-converged) when the report was taken. Always 0 unless
+    /// recovery tracking ([`crate::SimConfig::recovery`]) is enabled.
+    pub recovering_faults: u32,
 }
 
 impl std::fmt::Display for HealthReport {
@@ -279,6 +462,87 @@ impl std::fmt::Display for HealthReport {
             "{} at cycle {}: {} messages outstanding, no grant for {} cycles, \
              no completion for {} cycles",
             self.diagnosis, self.cycle, self.outstanding, self.stalled_for, self.since_completion
+        )?;
+        if self.recovering_faults > 0 {
+            write!(f, ", {} fault recoveries open", self.recovering_faults)?;
+        }
+        Ok(())
+    }
+}
+
+/// Opt-in recovery-SLO tracking ([`crate::SimConfig::recovery`]).
+///
+/// When enabled, every applied fault opens a [`RecoveryRecord`] that
+/// measures how long the network takes to re-converge: the windowed mean
+/// message latency (over the last `window` completions) must return to
+/// within `1 + epsilon` times its pre-fault value. Purely observational —
+/// enabling it changes no routing or timing decision, so the simulated
+/// behaviour stays bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Completions per sliding window used to estimate the mean latency.
+    pub window: u32,
+    /// Relative tolerance: converged once the windowed mean is at most
+    /// `(1 + epsilon) *` the pre-fault baseline.
+    pub epsilon: f64,
+}
+
+impl RecoveryConfig {
+    /// The default campaign SLO: a 64-completion window within 10% of the
+    /// pre-fault mean.
+    pub const fn slo() -> Self {
+        Self { window: 64, epsilon: 0.10 }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self::slo()
+    }
+}
+
+/// Recovery timings of one applied fault (see [`RecoveryConfig`]).
+///
+/// Cycle spans are `None` when the phase never completed within the run
+/// (or does not apply: mesh faults rebuild detour tables in place and
+/// have no drain/rewrite phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// The fault this record measures.
+    pub event: FaultEvent,
+    /// Cycle the fault was applied.
+    pub fault_cycle: u64,
+    /// Fault → RF ports retuned (in-flight wormholes drained), for faults
+    /// that trigger the drain/retune machinery.
+    pub drain_cycles: Option<u64>,
+    /// Retune applied → routing-table rewrite complete.
+    pub rewrite_cycles: Option<u64>,
+    /// Fault → windowed mean latency back within tolerance of the
+    /// pre-fault baseline. `None` means the run ended unconverged.
+    pub convergence_cycles: Option<u64>,
+}
+
+impl RecoveryRecord {
+    /// Whether the latency SLO was met within the run.
+    pub fn converged(&self) -> bool {
+        self.convergence_cycles.is_some()
+    }
+}
+
+impl std::fmt::Display for RecoveryRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let opt = |v: Option<u64>| match v {
+            Some(c) => c.to_string(),
+            None => "-".to_string(),
+        };
+        write!(
+            f,
+            "{:?} @{}: drain {}, rewrite {}, converged {}",
+            self.event,
+            self.fault_cycle,
+            opt(self.drain_cycles),
+            opt(self.rewrite_cycles),
+            opt(self.convergence_cycles),
         )
     }
 }
@@ -458,15 +722,151 @@ mod tests {
 
     #[test]
     fn health_report_displays() {
-        let report = HealthReport {
+        let mut report = HealthReport {
             diagnosis: HealthDiagnosis::Deadlock,
             cycle: 1234,
             outstanding: 3,
             stalled_for: 200,
             since_completion: 900,
+            recovering_faults: 0,
         };
         let text = report.to_string();
         assert!(text.contains("deadlock"));
         assert!(text.contains("1234"));
+        assert!(!text.contains("recoveries"));
+        report.recovering_faults = 2;
+        assert!(report.to_string().contains("2 fault recoveries open"));
+    }
+
+    #[test]
+    fn validated_accepts_well_formed_plans() {
+        let dims = GridDims::new(4, 4);
+        let plan = FaultPlan::validated(
+            vec![
+                (10, FaultEvent::ShortcutDown { src: 2 }),
+                (50, FaultEvent::ShortcutUp { src: 2, dst: 9 }),
+                (20, FaultEvent::MeshLinkDown { a: 0, b: 1 }),
+                (80, FaultEvent::MeshLinkUp { a: 1, b: 0 }),
+                (30, FaultEvent::LinkGlitch { a: 0, b: 15 }),
+            ],
+            dims,
+        )
+        .expect("valid plan");
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn validated_rejects_out_of_range_routers() {
+        let dims = GridDims::new(4, 4);
+        let err = FaultPlan::validated(
+            vec![(10, FaultEvent::ShortcutDown { src: 16 })],
+            dims,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::FaultRouterOutOfRange { router: 16, nodes: 16 });
+        let err = FaultPlan::validated(
+            vec![(10, FaultEvent::LinkGlitch { a: 0, b: 99 })],
+            dims,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::FaultRouterOutOfRange { router: 99, nodes: 16 });
+    }
+
+    #[test]
+    fn validated_rejects_non_adjacent_mesh_links() {
+        let dims = GridDims::new(4, 4);
+        let err = FaultPlan::validated(
+            vec![(10, FaultEvent::MeshLinkDown { a: 0, b: 5 })],
+            dims,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::FaultLinkNotAdjacent { a: 0, b: 5 });
+    }
+
+    #[test]
+    fn validated_rejects_repair_before_fail() {
+        let dims = GridDims::new(4, 4);
+        let err = FaultPlan::validated(
+            vec![(10, FaultEvent::ShortcutUp { src: 2, dst: 9 })],
+            dims,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::FaultRepairBeforeFail { cycle: 10 });
+        let err = FaultPlan::validated(
+            vec![
+                (10, FaultEvent::MeshLinkDown { a: 0, b: 1 }),
+                (20, FaultEvent::MeshLinkUp { a: 1, b: 2 }),
+            ],
+            dims,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::FaultRepairBeforeFail { cycle: 20 });
+        // A BandDown fails every transmitter, so any later ShortcutUp is
+        // a legitimate repair.
+        assert!(FaultPlan::validated(
+            vec![
+                (10, FaultEvent::BandDown),
+                (50, FaultEvent::ShortcutUp { src: 2, dst: 9 }),
+            ],
+            dims,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn correlated_plans_are_deterministic_and_validated() {
+        let dims = GridDims::new(6, 6);
+        let shortcuts = vec![Shortcut::new(0, 35), Shortcut::new(30, 5)];
+        let a = FaultPlan::correlated(9, dims, &shortcuts, 2.0, 1.0, 1_000..40_000);
+        let b = FaultPlan::correlated(9, dims, &shortcuts, 2.0, 1.0, 1_000..40_000);
+        assert_eq!(a, b, "same arguments, same plan");
+        assert!(!a.is_empty());
+        // Every correlated plan passes its own validation rules.
+        FaultPlan::validated(a.events().to_vec(), dims).expect("self-consistent");
+        // The race phase is present: a ShortcutDown strictly before a
+        // BandDown, and a repair after.
+        let t_down = a.events().iter().find(|(_, e)| matches!(e, FaultEvent::ShortcutDown { .. }));
+        let t_band = a.events().iter().find(|(_, e)| matches!(e, FaultEvent::BandDown));
+        let t_up = a.events().iter().find(|(_, e)| matches!(e, FaultEvent::ShortcutUp { .. }));
+        let (td, tb, tu) = (t_down.unwrap().0, t_band.unwrap().0, t_up.unwrap().0);
+        assert!(td < tb && tb < tu, "race orders down < band-down < repair");
+        assert_eq!(tb - td, 40, "band drops mid-retune");
+    }
+
+    #[test]
+    fn correlated_glitches_scale_with_load_and_intensity_zero_is_empty() {
+        let dims = GridDims::new(6, 6);
+        let count = |load: f64| {
+            FaultPlan::correlated(3, dims, &[], 2.0, load, 0..30_000)
+                .events()
+                .iter()
+                .filter(|(_, e)| matches!(e, FaultEvent::LinkGlitch { .. }))
+                .count()
+        };
+        assert!(count(2.0) > count(0.5), "loaded links glitch more");
+        assert!(FaultPlan::correlated(3, dims, &[], 0.0, 1.0, 0..30_000).is_empty());
+    }
+
+    #[test]
+    fn correlated_storm_keeps_mesh_connected_and_heals() {
+        let dims = GridDims::new(6, 6);
+        for seed in 0..10 {
+            let plan = FaultPlan::correlated(seed, dims, &[], 3.0, 1.0, 0..50_000);
+            let downs: Vec<(usize, usize)> = plan
+                .events()
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    FaultEvent::MeshLinkDown { a, b } => Some((*a.min(b), *a.max(b))),
+                    _ => None,
+                })
+                .collect();
+            assert!(mesh_connected(dims, &downs), "seed {seed} partitioned the mesh");
+            let ups = plan
+                .events()
+                .iter()
+                .filter(|(_, e)| matches!(e, FaultEvent::MeshLinkUp { .. }))
+                .count();
+            assert_eq!(ups, downs.len(), "every storm link heals");
+        }
     }
 }

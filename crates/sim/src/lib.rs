@@ -59,7 +59,10 @@ mod vct;
 
 pub use config::SimConfig;
 pub use error::{ConfigError, ReconfigError, SimError};
-pub use fault::{FaultEvent, FaultPlan, FaultRates, HealthDiagnosis, HealthReport};
+pub use fault::{
+    FaultEvent, FaultPlan, FaultRates, HealthDiagnosis, HealthReport, RecoveryConfig,
+    RecoveryRecord,
+};
 pub use network::{
     latency_bucket, latency_bucket_bounds, ChannelMask, DelayBreakdown, FlitEvent,
     FlitEventKind, FlitTraceConfig, HopRecord, IntervalSample, MulticastMode, Network,

@@ -188,6 +188,7 @@ impl Network {
                 .config
                 .telemetry
                 .map(|t| Box::new(telemetry::TelemetryState::new(t, n))),
+            recovery: spec.config.recovery.map(|r| Box::new(faults::RecoveryState::new(r))),
             reconfig: ReconfigState::Idle,
             reconfigurations: 0,
             active_shortcuts: spec.shortcuts,

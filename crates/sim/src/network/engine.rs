@@ -46,8 +46,10 @@ impl Network {
             self.cycle.saturating_sub(self.config.warmup_cycles).max(1);
         self.stats.finalize();
         // Telemetry closes its partial final interval and hands the report
-        // to the outgoing stats before the move below.
+        // to the outgoing stats before the move below; recovery tracking
+        // drains its per-fault records the same way.
         self.finish_telemetry();
+        self.finish_recovery();
         // Return the accumulated statistics by move — the per-message
         // latency and per-router activity vectors can run to megabytes
         // and were previously cloned once per experiment. The network
@@ -76,6 +78,9 @@ impl Network {
         self.stats.per_source[src as usize] += 1;
         self.measured_outstanding -= 1;
         self.last_completion = at;
+        if self.recovery.is_some() {
+            self.recovery_note_completion(latency, at);
+        }
     }
 
     pub(super) fn complete_parent_part(&mut self, parent: u32, covered: u32, at: u64) {

@@ -4,9 +4,186 @@
 
 #[allow(clippy::wildcard_imports)]
 use super::*;
-use crate::fault::HealthDiagnosis;
+use crate::fault::{HealthDiagnosis, RecoveryConfig, RecoveryRecord};
+
+/// One fault whose recovery is still being measured.
+#[derive(Debug, Clone)]
+struct OpenRecovery {
+    record: RecoveryRecord,
+    /// Pre-fault windowed mean latency; `None` when the fault struck
+    /// before any measured completion.
+    baseline: Option<f64>,
+    /// Waiting for the drain/retune the fault triggered (RF faults).
+    awaiting_drain: bool,
+    /// Waiting for the table rewrite after the retune.
+    awaiting_rewrite: bool,
+    /// Cycle the retune was applied (rewrite latency base).
+    retune_cycle: u64,
+    /// Measured completions observed since the fault — the convergence
+    /// test only runs once a full post-fault window exists, so a window
+    /// still dominated by pre-fault completions cannot "converge".
+    completions_after: u32,
+}
+
+/// Live per-fault recovery tracker (see [`crate::SimConfig::recovery`]).
+///
+/// Purely observational: it reads completion latencies and
+/// reconfiguration milestones, and never feeds anything back into the
+/// engine, so enabling it is bit-identical to running without it.
+#[derive(Debug)]
+pub(super) struct RecoveryState {
+    config: RecoveryConfig,
+    /// Sliding window of the last `config.window` completion latencies.
+    recent: VecDeque<u64>,
+    sum: u64,
+    open: Vec<OpenRecovery>,
+    done: Vec<RecoveryRecord>,
+}
+
+impl RecoveryState {
+    pub(super) fn new(config: RecoveryConfig) -> Self {
+        Self {
+            config,
+            recent: VecDeque::with_capacity(config.window as usize),
+            sum: 0,
+            open: Vec::new(),
+            done: Vec::new(),
+        }
+    }
+
+    fn windowed_mean(&self) -> Option<f64> {
+        if self.recent.is_empty() {
+            None
+        } else {
+            Some(self.sum as f64 / self.recent.len() as f64)
+        }
+    }
+
+    fn on_fault(&mut self, event: FaultEvent, cycle: u64) {
+        self.open.push(OpenRecovery {
+            record: RecoveryRecord {
+                event,
+                fault_cycle: cycle,
+                drain_cycles: None,
+                rewrite_cycles: None,
+                convergence_cycles: None,
+            },
+            baseline: self.windowed_mean(),
+            awaiting_drain: event.rf_only(),
+            awaiting_rewrite: false,
+            retune_cycle: 0,
+            completions_after: 0,
+        });
+    }
+
+    fn on_retune_applied(&mut self, cycle: u64) {
+        for o in &mut self.open {
+            if o.awaiting_drain {
+                o.record.drain_cycles = Some(cycle - o.record.fault_cycle);
+                o.awaiting_drain = false;
+                o.awaiting_rewrite = true;
+                o.retune_cycle = cycle;
+            }
+        }
+    }
+
+    fn on_tables_rewritten(&mut self, cycle: u64) {
+        for o in &mut self.open {
+            if o.awaiting_rewrite {
+                o.record.rewrite_cycles = Some(cycle - o.retune_cycle);
+                o.awaiting_rewrite = false;
+            }
+        }
+    }
+
+    /// Feeds one measured completion into the window and closes every
+    /// open record whose post-fault windowed mean is back within
+    /// tolerance. Returns the newly-converged records (usually empty —
+    /// `Vec::new` does not allocate).
+    fn on_completion(&mut self, latency: u64, at: u64) -> Vec<RecoveryRecord> {
+        let window = self.config.window as usize;
+        self.recent.push_back(latency);
+        self.sum += latency;
+        if self.recent.len() > window {
+            self.sum -= self.recent.pop_front().expect("non-empty window");
+        }
+        if self.open.is_empty() || self.recent.len() < window {
+            for o in &mut self.open {
+                o.completions_after += 1;
+            }
+            return Vec::new();
+        }
+        let mean = self.sum as f64 / self.recent.len() as f64;
+        let mut converged = Vec::new();
+        let epsilon = self.config.epsilon;
+        self.open.retain_mut(|o| {
+            o.completions_after += 1;
+            if o.completions_after < self.config.window {
+                return true;
+            }
+            // A fault that struck before any completion has no baseline
+            // to return to; a full post-fault window counts as recovery.
+            let ok = o.baseline.is_none_or(|b| mean <= b * (1.0 + epsilon));
+            if ok {
+                o.record.convergence_cycles = Some(at - o.record.fault_cycle);
+                converged.push(o.record);
+            }
+            !ok
+        });
+        self.done.extend(converged.iter().copied());
+        converged
+    }
+
+    fn open_count(&self) -> u32 {
+        self.open.len() as u32
+    }
+
+    /// Drains every record — converged and not — in fault order.
+    fn finish(&mut self) -> Vec<RecoveryRecord> {
+        let mut out = std::mem::take(&mut self.done);
+        out.extend(self.open.drain(..).map(|o| o.record));
+        out.sort_by_key(|r| r.fault_cycle);
+        out
+    }
+}
 
 impl Network {
+
+    /// Recovery hook: a retune was applied (drain phase over).
+    pub(super) fn recovery_note_retune_applied(&mut self) {
+        let cycle = self.cycle;
+        if let Some(r) = self.recovery.as_deref_mut() {
+            r.on_retune_applied(cycle);
+        }
+    }
+
+    /// Recovery hook: the routing-table rewrite completed.
+    pub(super) fn recovery_note_tables_rewritten(&mut self) {
+        let cycle = self.cycle;
+        if let Some(r) = self.recovery.as_deref_mut() {
+            r.on_tables_rewritten(cycle);
+        }
+    }
+
+    /// Recovery hook: one measured message completed at `at` with the
+    /// given latency. Emits a timeline event per newly-converged fault.
+    pub(super) fn recovery_note_completion(&mut self, latency: u64, at: u64) {
+        let Some(r) = self.recovery.as_deref_mut() else { return };
+        let converged = r.on_completion(latency, at);
+        for rec in converged {
+            self.tel_event(telemetry::TimelineEventKind::RecoveryConverged {
+                fault_cycle: rec.fault_cycle,
+                after: rec.convergence_cycles.unwrap_or(0),
+            });
+        }
+    }
+
+    /// Drains the recovery records into the outgoing stats (end of run).
+    pub(super) fn finish_recovery(&mut self) {
+        if let Some(r) = self.recovery.as_deref_mut() {
+            self.stats.recovery = r.finish();
+        }
+    }
 
     /// Applies every fault event due this cycle.
     pub(super) fn step_faults(&mut self) {
@@ -53,6 +230,10 @@ impl Network {
         // to idle routers are no-ops) against missing a wakeup.
         self.mark_all_active();
         self.tel_event(telemetry::TimelineEventKind::Fault(event));
+        let cycle = self.cycle;
+        if let Some(r) = self.recovery.as_deref_mut() {
+            r.on_fault(event, cycle);
+        }
         match event {
             FaultEvent::ShortcutDown { src } => self.fail_shortcut(src),
             FaultEvent::BandDown => {
@@ -266,6 +447,7 @@ impl Network {
             outstanding: self.measured_outstanding,
             stalled_for,
             since_completion,
+            recovering_faults: self.recovery.as_deref().map_or(0, RecoveryState::open_count),
         }
     }
 }

@@ -258,6 +258,9 @@ pub struct Network {
     /// Telemetry accumulator, present when [`SimConfig::telemetry`] is
     /// set. Boxed so the disabled case costs one null-check per hook.
     telemetry: Option<Box<telemetry::TelemetryState>>,
+    /// Per-fault recovery tracker, present when [`SimConfig::recovery`]
+    /// is set. Boxed for the same reason as `telemetry`.
+    recovery: Option<Box<faults::RecoveryState>>,
     // Active-router scheduling (see DESIGN.md, "Engine performance"):
     // `step_routers` visits only routers that can possibly make progress.
     /// Sweep counter: bumped once per `step_routers` call. A router is

@@ -514,6 +514,15 @@ pub enum TimelineEventKind {
     },
     /// A routing-table rewrite completed and injection resumed.
     TablesRewritten,
+    /// A tracked fault's windowed mean latency re-converged to its
+    /// pre-fault baseline (see [`crate::RecoveryRecord`]); only emitted
+    /// when [`crate::SimConfig::recovery`] is enabled.
+    RecoveryConverged {
+        /// Cycle the fault was applied.
+        fault_cycle: u64,
+        /// Cycles from fault to convergence.
+        after: u64,
+    },
     /// The forward-progress watchdog stopped the run (see
     /// [`crate::RunStats::health`] for the diagnosis).
     WatchdogFired,

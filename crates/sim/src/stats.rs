@@ -1,6 +1,6 @@
 //! Simulation statistics and run reports.
 
-use crate::fault::HealthReport;
+use crate::fault::{HealthReport, RecoveryRecord};
 use crate::network::telemetry::TelemetryReport;
 use rfnoc_power::ActivityCounters;
 
@@ -80,6 +80,12 @@ pub struct RunStats {
     /// one). Excluded from the golden determinism hashes — the aggregate
     /// fields above must be bit-identical with telemetry on or off.
     pub telemetry: Option<Box<TelemetryReport>>,
+    /// Per-fault recovery timings, when [`crate::SimConfig::recovery`]
+    /// was set (empty otherwise), in fault-application order. Like
+    /// `telemetry`, a pure observation: excluded from the golden
+    /// determinism hashes, and the aggregate fields above must be
+    /// bit-identical with recovery tracking on or off.
+    pub recovery: Vec<RecoveryRecord>,
 }
 
 impl RunStats {
@@ -109,6 +115,7 @@ impl RunStats {
             per_source: vec![0; routers],
             per_dest: vec![0; routers],
             telemetry: None,
+            recovery: Vec::new(),
         }
     }
 

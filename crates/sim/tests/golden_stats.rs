@@ -309,6 +309,9 @@ fn golden_stats_match_seed_engine() {
     let mut failures = Vec::new();
     for &(name, expected) in GOLDEN {
         let stats = run_case(name);
+        // Campaigns off: no recovery tracker was configured, so no records
+        // may leak into the stats (and none are hashed above).
+        assert!(stats.recovery.is_empty(), "{name}: recovery records without a tracker");
         let actual = hash_stats(&stats);
         if bless {
             println!("    (\"{name}\", {actual:#018x}),");

@@ -12,6 +12,10 @@
 //! * [`MulticastTraffic`] — the §5.2 multicast augmentation with 20%/50%
 //!   destination-set locality, combinable with any unicast workload via
 //!   [`CombinedWorkload`].
+//! * [`ProfileWorkload`] — the seeded expected/stress/adversarial
+//!   resilience-campaign profiles (see [`Profile`] and
+//!   [`compile_profiles`]); the adversarial shape reads the selected
+//!   shortcut set and concentrates bursty, self-similar load on it.
 //!
 //! # Example
 //!
@@ -36,10 +40,15 @@ mod apps;
 mod multicast;
 mod patterns;
 mod placement;
+mod profiles;
 mod trace;
 
 pub use apps::{AppProfile, AppWorkload};
 pub use multicast::{CombinedWorkload, MulticastConfig, MulticastTraffic};
 pub use patterns::{class_for, ProbabilisticWorkload, TraceKind, TrafficConfig};
+pub use profiles::{
+    compile_profiles, derive_seed, CompiledTrace, Profile, ProfileBundle, ProfileError,
+    ProfileSpec, ProfileWorkload,
+};
 pub use placement::{staggered_rf_routers, ComponentKind, Placement};
 pub use trace::{ReadTraceError, Trace, TraceWorkload, TRACE_HEADER};

@@ -1,0 +1,486 @@
+//! Seeded workload profiles for resilience campaigns.
+//!
+//! A campaign exercises the network under three standard load shapes,
+//! each compiled from one master seed:
+//!
+//! * [`Profile::Expected`] — smooth Bernoulli arrivals at the configured
+//!   injection rate between placement endpoints; the benign operating
+//!   point the rest of the suite measures.
+//! * [`Profile::Stress`] — the same endpoints driven by bursty,
+//!   self-similar on/off sources (Pareto-distributed burst and gap
+//!   lengths), which raises queueing variance without changing the mean
+//!   offered load much.
+//! * [`Profile::Adversarial`] — the stress arrival process aimed at the
+//!   selected RF-I shortcut set: sources that own a shortcut transmitter
+//!   fire down it, and everyone else piles onto the shortcut sinks. This
+//!   concentrates load exactly where a fault (a `BandDown`, a regional
+//!   storm) hurts the most — the worst-case shape for the paper's
+//!   graceful-degradation claim.
+//!
+//! Per-profile streams are decorrelated by [`derive_seed`]: one campaign
+//! seed plus the profile label yields the stream seed, so the three
+//! profiles of one campaign never share a random sequence, while the
+//! same campaign seed always reproduces the same three streams bit for
+//! bit.
+
+use crate::placement::Placement;
+use crate::patterns::{class_for, TrafficConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfnoc_sim::{MessageSpec, Workload};
+use rfnoc_topology::{NodeId, Shortcut};
+use std::fmt;
+
+/// The three campaign traffic profiles, mildest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// Smooth arrivals at the nominal rate.
+    Expected,
+    /// Bursty self-similar arrivals, uniform destinations.
+    Stress,
+    /// Bursty self-similar arrivals concentrated on shortcut endpoints.
+    Adversarial,
+}
+
+impl Profile {
+    /// All profiles, mildest first.
+    pub fn all() -> [Profile; 3] {
+        [Profile::Expected, Profile::Stress, Profile::Adversarial]
+    }
+
+    /// Stable lowercase label used for seed derivation and artifact ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            Profile::Expected => "expected",
+            Profile::Stress => "stress",
+            Profile::Adversarial => "adversarial",
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Derives a per-profile stream seed from one master campaign seed and a
+/// profile label: FNV-1a over the label folded into the master seed,
+/// finished with a splitmix avalanche so that labels differing in one
+/// byte land in unrelated streams.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master.rotate_left(17);
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A profile config that failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProfileError {
+    /// `burst_gain` must be at least 1 (bursts amplify, never mute).
+    BurstGainBelowOne,
+    /// `pareto_alpha` must lie in `(1, 2]`: above 1 so burst lengths have
+    /// a finite mean, at most 2 so the process stays self-similar.
+    AlphaOutOfRange,
+    /// Mean burst and gap lengths must be at least one cycle.
+    DegenerateBurstShape,
+    /// `target_fraction` must lie in `[0, 1]`.
+    TargetFractionOutOfRange,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::BurstGainBelowOne => write!(f, "burst_gain must be >= 1"),
+            ProfileError::AlphaOutOfRange => {
+                write!(f, "pareto_alpha must lie in (1, 2] for a finite-mean self-similar process")
+            }
+            ProfileError::DegenerateBurstShape => {
+                write!(f, "mean_on and mean_off must be at least one cycle")
+            }
+            ProfileError::TargetFractionOutOfRange => {
+                write!(f, "target_fraction must lie in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Validated parameters of one profile stream.
+///
+/// Construct with [`ProfileSpec::new`] (per-profile defaults) and
+/// customise the public fields; every constructor of a live workload
+/// re-validates, so an out-of-range hand-edit is caught at build time
+/// rather than silently generating nonsense traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSpec {
+    /// Which load shape this stream realises.
+    pub profile: Profile,
+    /// Master campaign seed; the stream seed is derived per profile.
+    pub seed: u64,
+    /// Injection multiplier while a source is bursting (≥ 1).
+    pub burst_gain: f64,
+    /// Pareto tail index of burst/gap lengths, in `(1, 2]`; lower is
+    /// burstier.
+    pub pareto_alpha: f64,
+    /// Mean burst length in cycles.
+    pub mean_on: f64,
+    /// Mean gap length in cycles.
+    pub mean_off: f64,
+    /// Adversarial only: fraction of messages aimed at shortcut
+    /// endpoints (ignored by the other profiles).
+    pub target_fraction: f64,
+}
+
+impl ProfileSpec {
+    /// Per-profile defaults for master seed `seed`.
+    ///
+    /// The duty cycle (`mean_on / (mean_on + mean_off)` = 1/5) and burst
+    /// gain of 5 are chosen so the stress profiles offer roughly the
+    /// same *mean* load as the expected profile — degradation under
+    /// stress is then attributable to burstiness, not to extra bytes.
+    pub fn new(profile: Profile, seed: u64) -> Self {
+        Self {
+            profile,
+            seed,
+            burst_gain: 5.0,
+            pareto_alpha: 1.5,
+            mean_on: 60.0,
+            mean_off: 240.0,
+            target_fraction: 0.7,
+        }
+    }
+
+    /// Checks the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProfileError`] violated.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.burst_gain < 1.0 {
+            return Err(ProfileError::BurstGainBelowOne);
+        }
+        if !(self.pareto_alpha > 1.0 && self.pareto_alpha <= 2.0) {
+            return Err(ProfileError::AlphaOutOfRange);
+        }
+        if self.mean_on < 1.0 || self.mean_off < 1.0 {
+            return Err(ProfileError::DegenerateBurstShape);
+        }
+        if !(0.0..=1.0).contains(&self.target_fraction) {
+            return Err(ProfileError::TargetFractionOutOfRange);
+        }
+        Ok(())
+    }
+
+    /// The derived seed of this profile's stream.
+    pub fn stream_seed(&self) -> u64 {
+        derive_seed(self.seed, self.profile.label())
+    }
+}
+
+/// Per-source on/off phase of the bursty profiles.
+#[derive(Debug, Clone, Copy)]
+struct SourcePhase {
+    bursting: bool,
+    /// First cycle of the *next* phase.
+    until: u64,
+}
+
+/// A live traffic source realising one [`ProfileSpec`].
+///
+/// Implements [`Workload`]; the same spec, traffic config, and shortcut
+/// set always generate the same message stream. When the shortcut set is
+/// empty (a pure-mesh design) the adversarial profile degrades to the
+/// stress shape — there is no express path to gang up on.
+#[derive(Debug, Clone)]
+pub struct ProfileWorkload {
+    spec: ProfileSpec,
+    traffic: TrafficConfig,
+    placement: Placement,
+    rng: StdRng,
+    /// All injecting routers.
+    endpoints: Vec<NodeId>,
+    /// Shortcut destination of each router owning an RF transmitter.
+    shortcut_dst: Vec<Option<NodeId>>,
+    /// Shortcut receivers (the sinks everyone else piles onto).
+    sinks: Vec<NodeId>,
+    phase: Vec<SourcePhase>,
+}
+
+impl ProfileWorkload {
+    /// Builds a live source; `shortcuts` is the selected RF-I shortcut
+    /// set of the design under test (pass `&[]` for mesh baselines).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProfileError`] if the spec fails validation.
+    pub fn new(
+        placement: Placement,
+        spec: ProfileSpec,
+        traffic: TrafficConfig,
+        shortcuts: &[Shortcut],
+    ) -> Result<Self, ProfileError> {
+        spec.validate()?;
+        let endpoints: Vec<NodeId> = placement.all().collect();
+        let mut shortcut_dst = vec![None; placement.dims().nodes()];
+        let mut sinks = Vec::new();
+        for s in shortcuts {
+            shortcut_dst[s.src] = Some(s.dst);
+            if !sinks.contains(&s.dst) {
+                sinks.push(s.dst);
+            }
+        }
+        let rng = StdRng::seed_from_u64(spec.stream_seed());
+        let phase = vec![SourcePhase { bursting: false, until: 0 }; endpoints.len()];
+        Ok(Self { spec, traffic, placement, rng, endpoints, shortcut_dst, sinks, phase })
+    }
+
+    /// The spec this workload realises.
+    pub fn spec(&self) -> &ProfileSpec {
+        &self.spec
+    }
+
+    /// Samples a Pareto-distributed phase length with the given mean,
+    /// clamped to `[1, 100 * mean]` so one extreme draw cannot freeze a
+    /// source for a whole run.
+    fn phase_len(&mut self, mean: f64) -> u64 {
+        let alpha = self.spec.pareto_alpha;
+        let scale = mean * (alpha - 1.0) / alpha;
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        let len = scale * u.powf(-1.0 / alpha);
+        len.clamp(1.0, mean * 100.0).round() as u64
+    }
+
+    /// Whether source index `i` injects this cycle, advancing its on/off
+    /// phase machine. The expected profile has no phases — it is plain
+    /// Bernoulli at the nominal rate.
+    fn arrives(&mut self, i: usize, cycle: u64) -> bool {
+        let rate = self.traffic.injection_rate;
+        if self.spec.profile == Profile::Expected {
+            return rate >= 1.0 || self.rng.gen_bool(rate);
+        }
+        if cycle >= self.phase[i].until {
+            let bursting = !self.phase[i].bursting;
+            let mean = if bursting { self.spec.mean_on } else { self.spec.mean_off };
+            let len = self.phase_len(mean);
+            self.phase[i] = SourcePhase { bursting, until: cycle + len };
+        }
+        if !self.phase[i].bursting {
+            return false;
+        }
+        let burst_rate = (rate * self.spec.burst_gain).min(1.0);
+        burst_rate >= 1.0 || self.rng.gen_bool(burst_rate)
+    }
+
+    /// Picks a uniform endpoint other than `src`.
+    fn uniform_dest(&mut self, src: NodeId) -> NodeId {
+        loop {
+            let pick = self.endpoints[self.rng.gen_range(0..self.endpoints.len())];
+            if pick != src {
+                return pick;
+            }
+        }
+    }
+
+    /// Picks the destination for a message from `src`: adversarial
+    /// sources target the shortcut overlay, everything else is uniform.
+    fn dest_for(&mut self, src: NodeId) -> NodeId {
+        if self.spec.profile != Profile::Adversarial || self.sinks.is_empty() {
+            return self.uniform_dest(src);
+        }
+        if !self.rng.gen_bool(self.spec.target_fraction) {
+            return self.uniform_dest(src);
+        }
+        // A source owning an RF transmitter fires straight down its own
+        // shortcut; everyone else converges on a shortcut sink.
+        if let Some(dst) = self.shortcut_dst[src] {
+            if dst != src {
+                return dst;
+            }
+        }
+        loop {
+            let pick = self.sinks[self.rng.gen_range(0..self.sinks.len())];
+            if pick != src {
+                return pick;
+            }
+            if self.sinks.len() == 1 {
+                return self.uniform_dest(src);
+            }
+        }
+    }
+}
+
+impl Workload for ProfileWorkload {
+    fn messages_at(&mut self, cycle: u64, out: &mut Vec<MessageSpec>) {
+        for i in 0..self.endpoints.len() {
+            if !self.arrives(i, cycle) {
+                continue;
+            }
+            let src = self.endpoints[i];
+            let dst = self.dest_for(src);
+            let class = class_for(self.placement.kind(src), self.placement.kind(dst));
+            out.push(MessageSpec::unicast(src, dst, class));
+        }
+    }
+}
+
+/// One compiled message trace: `(cycle, message)` in generation order.
+pub type CompiledTrace = Vec<(u64, MessageSpec)>;
+
+/// The three compiled traces of one campaign seed — the
+/// expected/stress/adversarial bundle a resilience campaign replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileBundle {
+    /// The benign profile's trace.
+    pub expected: CompiledTrace,
+    /// The bursty profile's trace.
+    pub stress: CompiledTrace,
+    /// The shortcut-targeting profile's trace.
+    pub adversarial: CompiledTrace,
+}
+
+impl ProfileBundle {
+    /// The trace of `profile`.
+    pub fn trace(&self, profile: Profile) -> &CompiledTrace {
+        match profile {
+            Profile::Expected => &self.expected,
+            Profile::Stress => &self.stress,
+            Profile::Adversarial => &self.adversarial,
+        }
+    }
+}
+
+/// Compiles all three profile traces for `cycles` cycles from one master
+/// seed. Validation happens once up front; the per-profile streams are
+/// decorrelated by [`derive_seed`] and reproducible bit for bit.
+///
+/// # Errors
+///
+/// Returns a [`ProfileError`] if any derived spec fails validation.
+pub fn compile_profiles(
+    placement: &Placement,
+    traffic: &TrafficConfig,
+    shortcuts: &[Shortcut],
+    master_seed: u64,
+    cycles: u64,
+) -> Result<ProfileBundle, ProfileError> {
+    let compile = |profile: Profile| -> Result<CompiledTrace, ProfileError> {
+        let spec = ProfileSpec::new(profile, master_seed);
+        let mut workload =
+            ProfileWorkload::new(placement.clone(), spec, traffic.clone(), shortcuts)?;
+        let mut trace = Vec::new();
+        let mut buf = Vec::new();
+        for cycle in 0..cycles {
+            buf.clear();
+            workload.messages_at(cycle, &mut buf);
+            trace.extend(buf.iter().map(|m| (cycle, *m)));
+        }
+        Ok(trace)
+    };
+    Ok(ProfileBundle {
+        expected: compile(Profile::Expected)?,
+        stress: compile(Profile::Stress)?,
+        adversarial: compile(Profile::Adversarial)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Placement, TrafficConfig, Vec<Shortcut>) {
+        let placement = Placement::paper_10x10();
+        let traffic = TrafficConfig::default();
+        let shortcuts = vec![Shortcut::new(0, 99), Shortcut::new(90, 9)];
+        (placement, traffic, shortcuts)
+    }
+
+    #[test]
+    fn derive_seed_separates_labels_and_masters() {
+        assert_ne!(derive_seed(1, "expected"), derive_seed(1, "stress"));
+        assert_ne!(derive_seed(1, "expected"), derive_seed(2, "expected"));
+        assert_eq!(derive_seed(7, "adversarial"), derive_seed(7, "adversarial"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut spec = ProfileSpec::new(Profile::Stress, 1);
+        spec.burst_gain = 0.5;
+        assert_eq!(spec.validate(), Err(ProfileError::BurstGainBelowOne));
+        let mut spec = ProfileSpec::new(Profile::Stress, 1);
+        spec.pareto_alpha = 1.0;
+        assert_eq!(spec.validate(), Err(ProfileError::AlphaOutOfRange));
+        let mut spec = ProfileSpec::new(Profile::Stress, 1);
+        spec.mean_off = 0.0;
+        assert_eq!(spec.validate(), Err(ProfileError::DegenerateBurstShape));
+        let mut spec = ProfileSpec::new(Profile::Adversarial, 1);
+        spec.target_fraction = 1.5;
+        assert_eq!(spec.validate(), Err(ProfileError::TargetFractionOutOfRange));
+        assert!(ProfileSpec::new(Profile::Expected, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn adversarial_concentrates_on_shortcut_endpoints() {
+        let (placement, traffic, shortcuts) = setup();
+        let bundle =
+            compile_profiles(&placement, &traffic, &shortcuts, 0xCA_FE, 20_000).unwrap();
+        let sink_share = |trace: &CompiledTrace| {
+            let hits = trace
+                .iter()
+                .filter(|(_, m)| {
+                    matches!(m.dest, rfnoc_sim::Destination::Unicast(d)
+                        if shortcuts.iter().any(|s| s.dst == d))
+                })
+                .count();
+            hits as f64 / trace.len().max(1) as f64
+        };
+        assert!(
+            sink_share(&bundle.adversarial) > 5.0 * sink_share(&bundle.expected),
+            "adversarial sink share {:.3} vs expected {:.3}",
+            sink_share(&bundle.adversarial),
+            sink_share(&bundle.expected),
+        );
+    }
+
+    #[test]
+    fn adversarial_without_shortcuts_degrades_to_stress_shape() {
+        let (placement, traffic, _) = setup();
+        let spec = ProfileSpec::new(Profile::Adversarial, 3);
+        let mut w =
+            ProfileWorkload::new(placement, spec, traffic, &[]).unwrap();
+        let mut out = Vec::new();
+        for c in 0..5_000 {
+            w.messages_at(c, &mut out);
+        }
+        assert!(!out.is_empty(), "still injects without an overlay");
+    }
+
+    #[test]
+    fn bundles_are_reproducible_and_profiles_distinct() {
+        let (placement, traffic, shortcuts) = setup();
+        let a = compile_profiles(&placement, &traffic, &shortcuts, 42, 3_000).unwrap();
+        let b = compile_profiles(&placement, &traffic, &shortcuts, 42, 3_000).unwrap();
+        assert_eq!(a, b, "same master seed, same bundle");
+        assert_ne!(a.expected, a.stress, "profiles draw distinct streams");
+        assert_ne!(a.stress, a.adversarial);
+    }
+
+    #[test]
+    fn stress_mean_load_tracks_expected() {
+        let (placement, traffic, shortcuts) = setup();
+        let bundle =
+            compile_profiles(&placement, &traffic, &shortcuts, 9, 50_000).unwrap();
+        let ratio = bundle.stress.len() as f64 / bundle.expected.len().max(1) as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "stress offers a comparable mean load (ratio {ratio:.2})"
+        );
+    }
+}
