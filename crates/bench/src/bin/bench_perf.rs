@@ -16,7 +16,7 @@
 //!                cycles/sec against the telemetry-off run to bound the
 //!                observation overhead
 
-use rfnoc_bench::artifact::{git_describe, json_f64, json_str};
+use rfnoc_bench::artifact::{append_trajectory, git_describe, json_f64, json_str};
 use rfnoc_sim::{
     McConfig, MessageClass, MessageSpec, MulticastMode, Network, NetworkSpec, RunStats, SimConfig,
     TelemetryConfig, Workload,
@@ -290,53 +290,5 @@ fn main() {
     // baseline CI diffs fresh runs against with `rfnoc-cli compare`.
     if !telemetry {
         append_trajectory(&git, unix, quick, &trajectory);
-    }
-}
-
-/// Renders one trajectory row: provenance plus the headline throughput of
-/// each config. The row is itself a complete artifact, so a row extracted
-/// from the trajectory diffs cleanly against another row.
-fn trajectory_row(git: &str, unix: u64, quick: bool, configs: &[(&str, f64, f64)]) -> String {
-    let mut row = String::new();
-    let _ = write!(
-        row,
-        "{{\"git\": {}, \"generated_unix\": {unix}, \"quick\": {quick}, \"configs\": [",
-        json_str(git)
-    );
-    for (i, (id, cps, gps)) in configs.iter().enumerate() {
-        let _ = write!(
-            row,
-            "{}{{\"id\": {}, \"cycles_per_sec\": {}, \"flit_grants_per_sec\": {}}}",
-            if i == 0 { "" } else { ", " },
-            json_str(id),
-            json_f64(*cps),
-            json_f64(*gps),
-        );
-    }
-    row.push_str("]}");
-    row
-}
-
-/// Appends a row to `results/json/BENCH_trajectory.json`, creating the
-/// file on first run. The file is a `{"rows": [...]}` object appended by
-/// string splice (no JSON reader needed: the writer owns the format).
-fn append_trajectory(git: &str, unix: u64, quick: bool, configs: &[(&str, f64, f64)]) {
-    const PATH: &str = "results/json/BENCH_trajectory.json";
-    const TAIL: &str = "\n  ]\n}\n";
-    let row = trajectory_row(git, unix, quick, configs);
-    let fresh = format!("{{\n  \"name\": \"BENCH_trajectory\",\n  \"rows\": [\n    {row}{TAIL}");
-    let content = match std::fs::read_to_string(PATH) {
-        Ok(existing) => match existing.strip_suffix(TAIL) {
-            Some(head) => format!("{head},\n    {row}{TAIL}"),
-            None => {
-                eprintln!("WARNING: {PATH} has an unexpected tail; rewriting fresh");
-                fresh
-            }
-        },
-        Err(_) => fresh,
-    };
-    match std::fs::write(PATH, content) {
-        Ok(()) => eprintln!("appended trajectory row to {PATH}"),
-        Err(e) => eprintln!("WARNING: could not write {PATH}: {e}"),
     }
 }

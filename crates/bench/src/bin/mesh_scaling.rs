@@ -1,0 +1,9 @@
+//! Scaling sweep: {10x10..64x64} x {mesh, ring-mesh} x {mesh-only, RF
+//! overlay}, recording per-size build time and simulator throughput.
+//!
+//! Thin wrapper over the suite harness: the plan builder and renderer
+//! live in `rfnoc_bench::suite`. Flags: `--jobs N`, `--quick`, `--quiet`.
+
+fn main() {
+    rfnoc_bench::suite::main_for("mesh_scaling");
+}

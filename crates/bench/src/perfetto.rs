@@ -11,7 +11,7 @@
 //! as 1 simulated cycle.
 
 use crate::artifact::json_str;
-use crate::telemetry::{event_label, PORT_NAMES};
+use crate::telemetry::{event_label, port_name};
 use rfnoc_sim::TelemetryReport;
 use rfnoc_topology::{GridDims, Shortcut};
 use std::path::PathBuf;
@@ -80,14 +80,16 @@ pub fn render_trace(report: &TelemetryReport, spec: &TraceSpec<'_>) -> String {
             h.occupancy().max(1),
             &format!(
                 "pkt {} {}->{}",
-                h.packet, PORT_NAMES[h.port_in as usize], PORT_NAMES[h.port_out as usize]
+                h.packet,
+                port_name(report, h.port_in as usize),
+                port_name(report, h.port_out as usize)
             ),
             h.va_wait(),
             h.sa_wait(),
             h.credit_waits,
         );
         push(&mut out, span);
-        if h.port_out == 5 {
+        if h.port_out as usize == report.ports - 1 {
             if let Some(b) = spec.band_of(h.router) {
                 let band_span = span_event(
                     PID_BANDS,

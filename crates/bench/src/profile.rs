@@ -11,7 +11,7 @@
 //! actually took a shortcut in the RF run, measured in both runs.
 
 use crate::artifact::{git_describe, json_f64, json_str};
-use crate::telemetry::{NUM_PORTS, PORT_NAMES};
+use crate::telemetry::port_name;
 use rfnoc_sim::{RunStats, TelemetryReport};
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -169,7 +169,7 @@ pub fn top_blame(report: &TelemetryReport, k: usize) -> Vec<(usize, usize, u64)>
         .iter()
         .enumerate()
         .filter(|&(_, &b)| b > 0)
-        .map(|(i, &b)| (i / NUM_PORTS, i % NUM_PORTS, b))
+        .map(|(i, &b)| (i / report.ports, i % report.ports, b))
         .collect();
     ports.sort_by_key(|&(_, _, b)| std::cmp::Reverse(b));
     ports.truncate(k);
@@ -234,7 +234,7 @@ pub fn render_json(name: &str, injection_rate: f64, runs: &[ProfiledRun<'_>]) ->
             let _ = write!(
                 out,
                 "{{\"router\": {r}, \"port\": {}, \"stall_cycles\": {b}}}",
-                json_str(PORT_NAMES[p])
+                json_str(&port_name(run.report, p))
             );
         }
         out.push_str("]}");

@@ -14,7 +14,7 @@ use crate::{geomean, multicast_workload, print_table};
 use rfnoc::{Architecture, FaultSpec, WorkloadSpec};
 use rfnoc_power::LinkWidth;
 use rfnoc_sim::{FaultRates, SimConfig};
-use rfnoc_topology::GridDims;
+use rfnoc_topology::{FabricSpec, GridDims};
 use rfnoc_traffic::{AppProfile, Placement, TraceKind, TrafficConfig};
 
 /// Options shared by every figure builder.
@@ -107,11 +107,11 @@ pub fn figures() -> Vec<Figure> {
             render: render_ablation_adaptive_routing,
         },
         Figure {
-            name: "ablation_mesh_scaling",
-            title: "Ablation: RF-I benefit vs mesh size (fixed 256B RF budget)",
+            name: "mesh_scaling",
+            title: "Scaling: fabrics x RF overlay from 10x10 to 64x64",
             in_suite: true,
-            build: build_ablation_mesh_scaling,
-            render: render_ablation_mesh_scaling,
+            build: build_mesh_scaling,
+            render: render_mesh_scaling,
         },
         Figure {
             name: "fault_sweep",
@@ -759,29 +759,48 @@ fn render_ablation_adaptive_routing(results: &PlanResults, opts: &SuiteOptions) 
     );
 }
 
-// ---------------------------------------------- ablation_mesh_scaling
+// ------------------------------------------------------- mesh_scaling
 
-fn mesh_sides(opts: &SuiteOptions) -> Vec<usize> {
+/// Grid sides of the scaling sweep. Quick mode keeps the paper size plus
+/// 32x32 — large enough to exercise the incremental selector and the
+/// ring-mesh gateways end-to-end, small enough for CI.
+fn scaling_sides(opts: &SuiteOptions) -> Vec<usize> {
     if opts.quick {
-        vec![8, 10]
+        vec![10, 32]
     } else {
-        vec![8, 10, 12, 14]
+        vec![10, 16, 32, 64]
     }
 }
 
-fn build_ablation_mesh_scaling(opts: &SuiteOptions) -> Plan {
-    let plans = mesh_sides(opts).into_iter().map(|side| {
-        let dims = GridDims::new(side, side);
-        let nodes = dims.nodes();
-        SweepSpec::new(format!("ablation_mesh_scaling/{side}x{side}"))
+/// Ring-mesh tile edge for a given side: 5 divides the paper's 10, every
+/// other swept side is a multiple of 4.
+fn ring_tile(side: usize) -> usize {
+    if side.is_multiple_of(4) {
+        4
+    } else {
+        5
+    }
+}
+
+/// Both fabrics at one size, labelled for the placement dimension.
+fn scaling_fabrics(side: usize) -> Vec<(String, FabricSpec)> {
+    let dims = GridDims::new(side, side);
+    vec![
+        (format!("{side}x{side}-mesh"), FabricSpec::mesh(dims)),
+        (format!("{side}x{side}-ring"), FabricSpec::ring_mesh(dims, ring_tile(side))),
+    ]
+}
+
+fn build_mesh_scaling(opts: &SuiteOptions) -> Plan {
+    let plans = scaling_sides(opts).into_iter().map(|side| {
+        let nodes = side * side;
+        SweepSpec::new(format!("mesh_scaling/{side}x{side}"))
             .designs(vec![
-                Design::new("Baseline", Architecture::Baseline, LinkWidth::B16),
-                Design::new("Static", Architecture::StaticShortcuts, LinkWidth::B16),
-                Design::new(
-                    "Adaptive",
-                    Architecture::AdaptiveShortcuts { access_points: nodes / 2 },
-                    LinkWidth::B16,
-                ),
+                Design::new("mesh-only", Architecture::Baseline, LinkWidth::B16),
+                // Static rather than adaptive: it runs the same
+                // shortcut selection without the O(n^2) pair-weight
+                // profiling pass, which is what keeps 64x64 tractable.
+                Design::new("RF overlay", Architecture::StaticShortcuts, LinkWidth::B16),
             ])
             .workloads(vec![labeled("Uniform", WorkloadSpec::Trace(TraceKind::Uniform))])
             .sims(vec![labeled(
@@ -790,66 +809,181 @@ fn build_ablation_mesh_scaling(opts: &SuiteOptions) -> Plan {
             )])
             .traffics(vec![labeled(
                 "scaled",
-                // Keep total offered load roughly constant as the mesh grows.
+                // Keep total offered load roughly constant as the fabric
+                // grows, so large grids measure distance, not saturation.
                 TrafficConfig {
                     injection_rate: 0.008 * 100.0 / nodes as f64,
                     ..TrafficConfig::default()
                 },
             )])
-            .placements(vec![labeled(
-                format!("{side}x{side}"),
-                Placement::quadrant_clusters(dims),
-            )])
-            .profile_cycles(8_000)
-            .baseline(BaselineSel::design("Baseline"))
+            .placements(
+                scaling_fabrics(side)
+                    .into_iter()
+                    .map(|(label, fabric)| {
+                        labeled(label, Placement::quadrant_clusters_on(fabric))
+                    })
+                    .collect(),
+            )
+            .baseline(BaselineSel::design("mesh-only"))
             .expand()
     });
     Plan::merge(plans)
 }
 
-fn render_ablation_mesh_scaling(results: &PlanResults, opts: &SuiteOptions) {
+fn render_mesh_scaling(results: &PlanResults, opts: &SuiteOptions) {
     let mut rows = Vec::new();
-    for side in mesh_sides(opts) {
-        let placement = format!("{side}x{side}");
-        let find = |design: &str| {
-            results
-                .iter()
-                .find(|r| {
-                    r.point.labels.placement == placement && r.point.labels.design == design
-                })
-                .expect("full cross product")
-        };
-        let base = find("Baseline");
-        let norm_lat = |design: &str| {
-            find(design).normalized.map_or_else(|| "-".into(), |(lat, _)| format!("{lat:.2}"))
-        };
-        rows.push(vec![
-            format!("{side}x{side} ({} routers)", side * side),
-            format!("{:.1}", base.report.avg_latency()),
-            norm_lat("Static"),
-            norm_lat("Adaptive"),
-            format!("{:.2}", base.report.stats.avg_hops()),
-            format!("{:.2}", find("Adaptive").report.stats.avg_hops()),
-        ]);
+    let mut csv = Vec::new();
+    let mut points = Vec::new();
+    let mut trajectory: Vec<(String, f64, f64)> = Vec::new();
+    for side in scaling_sides(opts) {
+        for (placement, _) in scaling_fabrics(side) {
+            let fabric_kind = placement.split('-').next_back().unwrap_or("mesh");
+            let find = |design: &str| {
+                results
+                    .iter()
+                    .find(|r| {
+                        r.point.labels.placement == placement
+                            && r.point.labels.design == design
+                    })
+                    .expect("full cross product")
+            };
+            let base = find("mesh-only");
+            let rf = find("RF overlay");
+
+            // Build time is not part of the runner's report (it measures
+            // the simulated window), so rebuild the RF design's system
+            // here and time it — this is the shortcut-selection path the
+            // incremental selector has to keep in seconds at 64x64.
+            let started = std::time::Instant::now();
+            let built = rf.point.experiment.build();
+            let build_ms = started.elapsed().as_secs_f64() * 1e3;
+            let shortcuts = built.shortcuts.len();
+
+            let throughput = |r: &crate::runner::PointResult| {
+                let wall = r.wall.as_secs_f64().max(1e-9);
+                let grants: u64 = r.report.stats.port_flits.iter().sum();
+                (r.report.stats.end_cycle as f64 / wall, grants as f64 / wall)
+            };
+            let (cps, gps) = throughput(rf);
+            let norm_lat = rf
+                .normalized
+                .map_or_else(|| "-".into(), |(lat, _)| format!("{lat:.2}"));
+            rows.push(vec![
+                format!("{side}x{side}"),
+                fabric_kind.to_string(),
+                format!("{:.1}", base.report.avg_latency()),
+                norm_lat.clone(),
+                format!("{:.2}", base.report.stats.avg_hops()),
+                format!("{:.2}", rf.report.stats.avg_hops()),
+                format!("{build_ms:.0}"),
+                format!("{:.0}k", cps / 1e3),
+            ]);
+            csv.push(vec![
+                side.to_string(),
+                fabric_kind.to_string(),
+                format!("{:.3}", base.report.avg_latency()),
+                format!("{:.3}", rf.report.avg_latency()),
+                norm_lat,
+                format!("{:.3}", base.report.stats.avg_hops()),
+                format!("{:.3}", rf.report.stats.avg_hops()),
+                shortcuts.to_string(),
+                format!("{build_ms:.1}"),
+                format!("{cps:.0}"),
+            ]);
+            for (label, r) in [("mesh-only", base), ("rf", rf)] {
+                let (cps, gps) = throughput(r);
+                points.push(format!(
+                    "{{\"side\": {side}, \"fabric\": {}, \"design\": {}, \
+                     \"avg_latency_cycles\": {}, \"avg_hops\": {}, \
+                     \"saturated\": {}, \"shortcuts\": {shortcuts}, \
+                     \"build_ms\": {}, \"sim_wall_ms\": {}, \
+                     \"cycles_per_sec\": {}, \"flit_grants_per_sec\": {}}}",
+                    artifact::json_str(fabric_kind),
+                    artifact::json_str(label),
+                    artifact::json_f64(r.report.avg_latency()),
+                    artifact::json_f64(r.report.stats.avg_hops()),
+                    r.report.stats.saturated,
+                    artifact::json_f64(build_ms),
+                    artifact::json_f64(r.wall.as_secs_f64() * 1e3),
+                    artifact::json_f64(cps),
+                    artifact::json_f64(gps),
+                ));
+            }
+            trajectory.push((format!("mesh_scaling_{side}x{side}_{fabric_kind}_rf"), cps, gps));
+        }
     }
     print_table(
-        "Uniform trace, 16B links, 16 shortcuts",
+        "Uniform trace, 16B links, load scaled to keep total injection constant",
         &[
-            "mesh",
+            "grid",
+            "fabric",
             "base lat (cyc)",
-            "static lat (norm)",
-            "adaptive lat (norm)",
+            "rf lat (norm)",
             "base hops",
-            "adaptive hops",
+            "rf hops",
+            "rf build (ms)",
+            "sim cyc/s",
         ],
         &rows,
     );
-    println!(
-        "\nExpectation: the normalised latency of the RF-I designs falls as\n\
-         the mesh grows — single-cycle shortcuts replace ever-longer\n\
-         multi-hop paths, which is the scaling argument of the paper's\n\
-         introduction."
+    artifact::write_csv_logged(
+        "results/csv/mesh_scaling.csv",
+        &[
+            "side",
+            "fabric",
+            "base_latency",
+            "rf_latency",
+            "rf_latency_norm",
+            "base_hops",
+            "rf_hops",
+            "shortcuts",
+            "rf_build_ms",
+            "sim_cycles_per_sec",
+        ],
+        &csv,
     );
+    write_scaling_artifact(opts, &points);
+    let refs: Vec<(&str, f64, f64)> =
+        trajectory.iter().map(|(id, c, g)| (id.as_str(), *c, *g)).collect();
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    artifact::append_trajectory(&artifact::git_describe(), unix, opts.quick, &refs);
+    println!(
+        "\nExpectation: normalised RF latency falls as the grid grows\n\
+         (single-cycle shortcuts replace ever-longer multi-hop paths), the\n\
+         ring-mesh trades a few extra hops for half the base links, and the\n\
+         RF build column stays in seconds even at 64x64 thanks to the\n\
+         incremental selector."
+    );
+}
+
+/// Writes `results/json/BENCH_mesh_scaling.json`: the build-time and
+/// simulator-throughput record of the scaling sweep, validated by the CI
+/// `scaling-smoke` job.
+fn write_scaling_artifact(opts: &SuiteOptions, points: &[String]) {
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut out = String::from("{\n  \"name\": \"BENCH_mesh_scaling\",\n");
+    out.push_str(&format!("  \"git\": {},\n", artifact::json_str(&artifact::git_describe())));
+    out.push_str(&format!("  \"generated_unix\": {unix},\n"));
+    out.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(p);
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let path = "results/json/BENCH_mesh_scaling.json";
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("artifact: wrote {path}"),
+        Err(e) => eprintln!("artifact: cannot write {path}: {e}"),
+    }
 }
 
 // -------------------------------------------------------- fault_sweep

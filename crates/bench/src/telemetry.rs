@@ -14,16 +14,35 @@ use rfnoc_sim::{
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// Output ports per router (N, S, E, W, Local, RF) — mirrors the
-/// simulator's router port order.
+/// Output ports per router on the plain mesh (N, S, E, W, Local, RF) —
+/// mirrors the simulator's mesh port order. Reports from other fabrics
+/// carry their own stride in [`TelemetryReport::ports`]; use
+/// [`port_name`] instead of indexing [`PORT_NAMES`] directly.
 pub const NUM_PORTS: usize = 6;
 
-/// Display names of the six output ports.
+/// Display names of the six mesh output ports.
 pub const PORT_NAMES: [&str; NUM_PORTS] = ["N", "S", "E", "W", "Local", "RF"];
 
-/// Index of the first non-mesh port (Local); ports `0..MESH_PORTS` are
-/// the four conventional mesh links.
+/// Index of the first non-mesh port (Local) on the plain mesh; ports
+/// `0..MESH_PORTS` are the four conventional mesh links.
 pub const MESH_PORTS: usize = 4;
+
+/// Display name of output port `port` for a report's fabric: the mesh
+/// names when the stride matches the mesh, generic `p<N>` slots otherwise
+/// (ring-mesh routers have per-router degrees, so flat slots have no
+/// single global meaning).
+pub fn port_name(report: &TelemetryReport, port: usize) -> String {
+    if report.ports == NUM_PORTS && port < NUM_PORTS {
+        PORT_NAMES[port].to_string()
+    } else {
+        format!("p{port}")
+    }
+}
+
+/// Number of fabric (non local/RF) port slots in a report's stride.
+fn fabric_slots(report: &TelemetryReport) -> usize {
+    report.ports.saturating_sub(2)
+}
 
 /// Cycles covered by the report's samples (the whole run, warmup and
 /// drain included).
@@ -40,25 +59,27 @@ pub fn port_utilization(report: &TelemetryReport, r: usize, port: usize, capacit
     if cycles == 0 || totals.is_empty() {
         return 0.0;
     }
-    totals[r * NUM_PORTS + port] as f64 / (cycles as f64 * f64::from(capacity.max(1)))
+    totals[r * report.ports + port] as f64 / (cycles as f64 * f64::from(capacity.max(1)))
 }
 
 /// Per-router mean mesh-link utilization — the heat vector for
 /// [`crate::svg::render_topology`], scaled so ~35% saturates the colour.
 pub fn mesh_heat(report: &TelemetryReport) -> Vec<f64> {
+    let slots = fabric_slots(report).max(1);
     (0..report.routers)
         .map(|r| {
-            let mesh: f64 = (0..MESH_PORTS)
+            let mesh: f64 = (0..slots)
                 .map(|p| port_utilization(report, r, p, 1))
                 .sum::<f64>()
-                / MESH_PORTS as f64;
+                / slots as f64;
             (mesh / 0.35).min(1.0)
         })
         .collect()
 }
 
-/// Flattened directed per-port utilization (`router * 6 + port`, capacity
-/// 1) for the link heatmap. Empty when the links channel was off.
+/// Flattened directed per-port utilization (`router * report.ports +
+/// port`, capacity 1) for the link heatmap. Empty when the links channel
+/// was off.
 pub fn link_utilization(report: &TelemetryReport) -> Vec<f64> {
     let cycles = covered_cycles(report).max(1) as f64;
     report
@@ -75,7 +96,7 @@ pub fn hottest_ports(report: &TelemetryReport, k: usize) -> Vec<(usize, usize, u
     let mut ports: Vec<(usize, usize, u64)> = totals
         .iter()
         .enumerate()
-        .map(|(i, &g)| (i / NUM_PORTS, i % NUM_PORTS, g))
+        .map(|(i, &g)| (i / report.ports, i % report.ports, g))
         .collect();
     ports.sort_by_key(|&(_, _, g)| std::cmp::Reverse(g));
     ports.truncate(k);
@@ -89,10 +110,12 @@ pub fn sample_mesh_utilization(report: &TelemetryReport, i: usize) -> f64 {
     if s.cycles == 0 || s.port_grants.is_empty() {
         return 0.0;
     }
+    let slots = fabric_slots(report).max(1);
+    let ports = report.ports;
     let mesh: u64 = (0..report.routers)
-        .flat_map(|r| (0..MESH_PORTS).map(move |p| s.port_grants[r * NUM_PORTS + p]))
+        .flat_map(|r| (0..slots).map(move |p| s.port_grants[r * ports + p]))
         .sum();
-    mesh as f64 / (s.cycles as f64 * (report.routers * MESH_PORTS) as f64)
+    mesh as f64 / (s.cycles as f64 * (report.routers * slots) as f64)
 }
 
 /// A short stable label for a timeline event, used in JSON and tables.
@@ -330,7 +353,8 @@ mod tests {
         let report = stats.telemetry.as_ref().expect("telemetry on");
         assert_eq!(covered_cycles(report), stats.end_cycle);
         let util = link_utilization(report);
-        assert_eq!(util.len(), report.routers * NUM_PORTS);
+        assert_eq!(report.ports, NUM_PORTS, "mesh run has the mesh stride");
+        assert_eq!(util.len(), report.routers * report.ports);
         assert!(util.iter().all(|&u| u >= 0.0));
         assert!(util.iter().sum::<f64>() > 0.0, "traffic must show up");
         let hot = hottest_ports(report, 5);

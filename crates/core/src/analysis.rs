@@ -88,38 +88,54 @@ mod tests {
     use rfnoc_sim::{
         MessageClass, MessageSpec, Network, NetworkSpec, ScriptedWorkload, SimConfig,
     };
-    use rfnoc_topology::{GridDims, GridGraph, Shortcut};
+    use rfnoc_topology::{FabricSpec, GridDims, GridGraph, Shortcut};
 
-    fn simulated_single(src: usize, dst: usize, class: MessageClass, width: LinkWidth) -> f64 {
+    /// Simulates a single message on `fabric` and returns the measured
+    /// latency together with the fabric's base-route hop count — one
+    /// source of truth for both, so the simulated network and the model's
+    /// hop input can never silently diverge.
+    fn simulated_single(
+        fabric: FabricSpec,
+        src: usize,
+        dst: usize,
+        class: MessageClass,
+        width: LinkWidth,
+    ) -> (f64, u32) {
         let mut cfg = SimConfig::paper_baseline().with_link_width(width);
         cfg.warmup_cycles = 0;
         cfg.measure_cycles = 100;
-        let spec = NetworkSpec::mesh_baseline(GridDims::new(10, 10), cfg);
+        let hops = fabric.base_route_len(src, dst);
+        let spec = NetworkSpec::with_fabric(fabric, cfg, Vec::new());
         let mut network = Network::new(spec);
         let stats = network
             .run(&mut ScriptedWorkload::new(vec![(0, MessageSpec::unicast(src, dst, class))]));
         assert_eq!(stats.completed_messages, 1);
-        stats.avg_message_latency()
+        (stats.avg_message_latency(), hops)
     }
 
     #[test]
     fn model_matches_simulator_zero_load() {
         let model = ZeroLoadModel::default();
-        let dims = GridDims::new(10, 10);
-        for (src, dst, class, width) in [
-            (0usize, 99usize, MessageClass::Data, LinkWidth::B16),
-            (0, 9, MessageClass::Request, LinkWidth::B16),
-            (5, 87, MessageClass::Memory, LinkWidth::B4),
-            (22, 23, MessageClass::Data, LinkWidth::B8),
+        for fabric in [
+            FabricSpec::mesh(GridDims::new(10, 10)),
+            FabricSpec::ring_mesh(GridDims::new(8, 8), 4),
         ] {
-            let sim = simulated_single(src, dst, class, width);
-            let hops = dims.manhattan(src, dst);
-            let predicted = model.message_latency(hops, class.bytes(), width);
-            let err = (sim - predicted).abs();
-            assert!(
-                err <= 3.0,
-                "{src}->{dst} {class:?} @{width}: sim {sim}, model {predicted}"
-            );
+            let n = fabric.dims().nodes();
+            for (src, dst, class, width) in [
+                (0usize, n - 1, MessageClass::Data, LinkWidth::B16),
+                (0, 9, MessageClass::Request, LinkWidth::B16),
+                (5, n - 13, MessageClass::Memory, LinkWidth::B4),
+                (22, 23, MessageClass::Data, LinkWidth::B8),
+            ] {
+                let (sim, hops) = simulated_single(fabric, src, dst, class, width);
+                let predicted = model.message_latency(hops, class.bytes(), width);
+                let err = (sim - predicted).abs();
+                assert!(
+                    err <= 3.0,
+                    "{} {src}->{dst} {class:?} @{width}: sim {sim}, model {predicted}",
+                    fabric.name()
+                );
+            }
         }
     }
 

@@ -38,17 +38,18 @@ pub struct BuiltSystem {
     pub rf_enabled: Vec<NodeId>,
 }
 
-/// Number of directed mesh links in a grid.
+/// Number of directed base-fabric links (each undirected link counts
+/// twice). On a W×H mesh this is `2·((W−1)·H + (H−1)·W)`; a ring-mesh
+/// additionally carries its ring wrap edges and gateway chains.
 fn directed_mesh_links(placement: &Placement) -> usize {
-    let w = placement.dims().width();
-    let h = placement.dims().height();
-    2 * ((w - 1) * h + (h - 1) * w)
+    let fabric = placement.fabric();
+    (0..fabric.dims().nodes()).map(|r| fabric.neighbors(r).len()).sum()
 }
 
 /// Selects the architecture-specific (design-time) shortcut set: uniform
 /// weights, max-cost heuristic (Figure 3b), corners excluded (§3.2.1).
 pub fn static_shortcuts(placement: &Placement, budget: usize) -> Vec<Shortcut> {
-    let graph = GridGraph::mesh(placement.dims());
+    let graph = GridGraph::from_fabric(&placement.fabric(), &[]);
     let n = graph.node_count();
     let weights = PairWeights::uniform(n);
     let constraints =
@@ -64,7 +65,7 @@ pub fn adaptive_shortcuts(
     profile: &PairWeights,
     budget: usize,
 ) -> Vec<Shortcut> {
-    let graph = GridGraph::mesh(placement.dims());
+    let graph = GridGraph::from_fabric(&placement.fabric(), &[]);
     let n = graph.node_count();
     let constraints = SelectionConstraints::for_enabled(n, budget, rf_enabled)
         .excluding_corners(&graph);
@@ -136,7 +137,7 @@ pub fn build_system(
     let sim = system.sim.clone().with_link_width(width);
     let clock = 2.0e9;
 
-    let mut network = NetworkSpec::mesh_baseline(dims, sim);
+    let mut network = NetworkSpec::with_fabric(placement.fabric(), sim, Vec::new());
     let mut shortcuts = Vec::new();
     let mut rf_enabled: Vec<NodeId> = Vec::new();
     let mut design = DesignSpec::mesh_baseline(dims.nodes(), mesh_links, width);
@@ -160,9 +161,13 @@ pub fn build_system(
             network.wire_shortcut_cycles_per_hop = Some(WIRE_SHORTCUT_CYCLES_PER_HOP);
             design.routers = router_configs(placement, &shortcuts, &[], &[]);
             // Wire shortcuts add repeated-wire area/leakage proportional to
-            // their Manhattan length (counted as extra directed links).
-            let wire_hops: usize =
-                shortcuts.iter().map(|s| dims.manhattan(s.src, s.dst) as usize).sum();
+            // the base-route length they replace (counted as extra directed
+            // links).
+            let fabric = placement.fabric();
+            let wire_hops: usize = shortcuts
+                .iter()
+                .map(|s| fabric.base_route_len(s.src, s.dst) as usize)
+                .sum();
             design.mesh_links += wire_hops;
         }
         Architecture::AdaptiveShortcuts { access_points } => {

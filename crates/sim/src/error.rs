@@ -168,8 +168,12 @@ impl Error for ReconfigError {}
 pub enum SimError {
     /// The microarchitectural configuration is degenerate.
     Config(ConfigError),
+    /// The fabric topology is degenerate (see [`rfnoc_topology::TopologyError`]).
+    Fabric(rfnoc_topology::TopologyError),
     /// The shortcut set violates the one-in/one-out port constraint.
     Shortcuts(ReconfigError),
+    /// RF broadcast multicast on a fabric without the mesh-wide RF medium.
+    RfMulticastNeedsMesh,
     /// Shortcuts were supplied to an XY-routed network.
     ShortcutsOnXy,
     /// RF multicast mode without an [`crate::McConfig`].
@@ -194,7 +198,11 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Config(e) => write!(f, "{e}"),
+            Self::Fabric(e) => write!(f, "{e}"),
             Self::Shortcuts(e) => write!(f, "{e}"),
+            Self::RfMulticastNeedsMesh => {
+                write!(f, "RF broadcast multicast requires the mesh fabric")
+            }
             Self::ShortcutsOnXy => {
                 write!(f, "XY routing cannot use shortcuts; use ShortestPath")
             }
@@ -219,6 +227,12 @@ impl From<ConfigError> for SimError {
 impl From<ReconfigError> for SimError {
     fn from(e: ReconfigError) -> Self {
         Self::Shortcuts(e)
+    }
+}
+
+impl From<rfnoc_topology::TopologyError> for SimError {
+    fn from(e: rfnoc_topology::TopologyError) -> Self {
+        Self::Fabric(e)
     }
 }
 

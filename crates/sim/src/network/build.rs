@@ -9,10 +9,10 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the specification is inconsistent: invalid config, more
-    /// than one inbound or outbound shortcut per router (or a self-loop),
-    /// shortcuts present in XY mode, an invalid fault plan, or a
-    /// missing/invalid multicast configuration. Prefer
+    /// Panics if the specification is inconsistent: invalid config,
+    /// degenerate fabric, more than one inbound or outbound shortcut per
+    /// router (or a self-loop), shortcuts present in XY mode, an invalid
+    /// fault plan, or a missing/invalid multicast configuration. Prefer
     /// [`Network::try_new`] where a structured error is wanted.
     pub fn new(spec: NetworkSpec) -> Self {
         Self::try_new(spec).unwrap_or_else(|e| panic!("{e}"))
@@ -23,17 +23,29 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns a [`SimError`] for a degenerate config, an illegal shortcut
-    /// set (out-of-range endpoint, self-loop, or more than one inbound or
-    /// outbound shortcut per router), shortcuts on an XY-routed network, a
-    /// fault plan naming resources outside the network, or RF multicast
-    /// without an [`McConfig`].
+    /// Returns a [`SimError`] for a degenerate config or fabric, an illegal
+    /// shortcut set (out-of-range endpoint, self-loop, or more than one
+    /// inbound or outbound shortcut per router), shortcuts on an XY-routed
+    /// network, a fault plan naming resources outside the network, RF
+    /// multicast without an [`McConfig`], or RF broadcast multicast on a
+    /// non-mesh fabric (the broadcast medium spans the mesh only).
     pub fn try_new(spec: NetworkSpec) -> Result<Self, SimError> {
         spec.config.validate()?;
-        let dims = spec.dims;
+        let fabric = spec.fabric;
+        fabric.validate()?;
+        let dims = fabric.dims();
         let n = dims.nodes();
         let vcs = spec.config.total_vcs();
         let depth = spec.config.buffer_depth as u32;
+        let max_base = fabric.max_base_slots();
+        let max_ports = max_base + 2;
+        assert!(
+            max_ports <= crate::router::MAX_ROUTER_PORTS,
+            "fabric {fabric} needs {max_ports} ports per router, \
+             above the engine cap of {}",
+            crate::router::MAX_ROUTER_PORTS
+        );
+        let base_ports: Vec<u8> = (0..n).map(|r| fabric.base_slot_count(r) as u8).collect();
 
         if spec.routing == RoutingKind::Xy && !spec.shortcuts.is_empty() {
             return Err(SimError::ShortcutsOnXy);
@@ -44,9 +56,14 @@ impl Network {
             // at least one adaptive VC (vcs_escape < total_vcs).
             return Err(SimError::Config(crate::error::ConfigError::NoAdaptiveVcs));
         }
-        validate_fault_plan(&spec.faults, dims)?;
-        if matches!(spec.multicast, MulticastMode::Rf) && spec.mc.is_none() {
-            return Err(SimError::MissingMcConfig);
+        validate_fault_plan(&spec.faults, &fabric)?;
+        if matches!(spec.multicast, MulticastMode::Rf) {
+            if spec.mc.is_none() {
+                return Err(SimError::MissingMcConfig);
+            }
+            if !fabric.is_mesh() {
+                return Err(SimError::RfMulticastNeedsMesh);
+            }
         }
         let mut rf_out: Vec<Option<NodeId>> = vec![None; n];
         let mut rf_in: Vec<Option<NodeId>> = vec![None; n];
@@ -55,26 +72,48 @@ impl Network {
             rf_in[s.dst] = Some(s.src);
         }
 
+        // Precompute the base-route port table for non-mesh fabrics; the
+        // mesh keeps deriving its base route with the literal XY
+        // computation (no table lookup on the escape path).
+        let base_table: Option<Vec<u8>> = if fabric.is_mesh() {
+            None
+        } else {
+            let mut bt = vec![0u8; n * n];
+            for r in 0..n {
+                for d in 0..n {
+                    bt[r * n + d] =
+                        if r == d { base_ports[r] } else { fabric.base_port(r, d) };
+                }
+            }
+            Some(bt)
+        };
+
         let (port_table, sp_dist) = match spec.routing {
             RoutingKind::Xy => (None, None),
             RoutingKind::ShortestPath => {
-                let graph = GridGraph::with_shortcuts(dims, &spec.shortcuts);
+                let graph = GridGraph::from_fabric(&fabric, &spec.shortcuts);
                 let dist = graph.distances();
                 let tables = RoutingTables::from_distances(&graph, &dist);
-                let mut pt = vec![PORT_LOCAL as u8; n * n];
+                let mut pt = vec![0u8; n * n];
                 let mut dm = vec![0u32; n * n];
                 for r in 0..n {
                     for d in 0..n {
                         dm[r * n + d] = dist.get(r, d);
                         if r == d {
+                            pt[r * n + d] = base_ports[r];
                             continue;
                         }
                         let next = tables.next_hop(r, d);
-                        pt[r * n + d] = if dims.manhattan(r, next) == 1 {
-                            mesh_port(dims, r, next)
-                        } else {
-                            debug_assert_eq!(rf_out[r], Some(next), "non-adjacent hop without shortcut");
-                            PORT_RF as u8
+                        pt[r * n + d] = match fabric.port_between(r, next) {
+                            Some(slot) => slot,
+                            None => {
+                                debug_assert_eq!(
+                                    rf_out[r],
+                                    Some(next),
+                                    "non-adjacent hop without shortcut"
+                                );
+                                base_ports[r] + 1
+                            }
                         };
                     }
                 }
@@ -82,61 +121,67 @@ impl Network {
             }
         };
 
-        // Wire up routers.
+        // Wire up routers, sized to each router's own degree.
         let mut routers = Vec::with_capacity(n);
         for r in 0..n {
-            let mut inputs = vec![InputPort::default(); NUM_PORTS];
-            let mut outputs = vec![OutputPort::default(); NUM_PORTS];
-            for port in [PORT_N, PORT_S, PORT_E, PORT_W] {
-                if let Some(nb) = mesh_neighbor(dims, r, port) {
-                    inputs[port].exists = true;
-                    inputs[port].vcs = vec![Default::default(); vcs];
-                    inputs[port].upstream = Some((nb, opposite_port(port) as u8));
-                    outputs[port].exists = true;
-                    outputs[port].target = Some((nb, opposite_port(port) as u8));
-                    outputs[port].capacity = 1;
-                    outputs[port].vcs = vec![Default::default(); vcs];
-                    for v in &mut outputs[port].vcs {
+            let base = base_ports[r] as usize;
+            let mut inputs = vec![InputPort::default(); base + 2];
+            let mut outputs = vec![OutputPort::default(); base + 2];
+            for slot in 0..base {
+                if let Some(nb) = fabric.port_neighbor(r, slot as u8) {
+                    let back = fabric
+                        .port_between(nb, r)
+                        .expect("base fabric links are bidirectional");
+                    inputs[slot].exists = true;
+                    inputs[slot].vcs = vec![Default::default(); vcs];
+                    inputs[slot].upstream = Some((nb, back));
+                    outputs[slot].exists = true;
+                    outputs[slot].target = Some((nb, back));
+                    outputs[slot].capacity = 1;
+                    outputs[slot].vcs = vec![Default::default(); vcs];
+                    for v in &mut outputs[slot].vcs {
                         v.credits = depth;
                     }
                 }
             }
             // Local port: injection in, ejection out.
-            inputs[PORT_LOCAL].exists = true;
-            inputs[PORT_LOCAL].vcs = vec![Default::default(); vcs];
-            inputs[PORT_LOCAL].upstream = None;
-            outputs[PORT_LOCAL].exists = true;
-            outputs[PORT_LOCAL].target = None;
-            outputs[PORT_LOCAL].capacity = spec.config.local_port_speedup;
-            outputs[PORT_LOCAL].vcs = vec![Default::default(); vcs];
+            let local = base;
+            inputs[local].exists = true;
+            inputs[local].vcs = vec![Default::default(); vcs];
+            inputs[local].upstream = None;
+            outputs[local].exists = true;
+            outputs[local].target = None;
+            outputs[local].capacity = spec.config.local_port_speedup;
+            outputs[local].vcs = vec![Default::default(); vcs];
             // RF port.
+            let rf = base + 1;
             if let Some(dst) = rf_out[r] {
-                let hops = dims.manhattan(r, dst);
-                outputs[PORT_RF].exists = true;
-                outputs[PORT_RF].target = Some((dst, PORT_RF as u8));
-                outputs[PORT_RF].shortcut_hops = hops;
+                let hops = fabric.base_route_len(r, dst);
+                outputs[rf].exists = true;
+                outputs[rf].target = Some((dst, base_ports[dst] + 1));
+                outputs[rf].shortcut_hops = hops;
                 match spec.wire_shortcut_cycles_per_hop {
                     Some(cph) => {
                         // Conventional buffered wire: multi-cycle traversal,
                         // same width as the mesh links it replaces.
-                        outputs[PORT_RF].capacity = 1;
-                        outputs[PORT_RF].is_wire = true;
-                        outputs[PORT_RF].extra_latency =
+                        outputs[rf].capacity = 1;
+                        outputs[rf].is_wire = true;
+                        outputs[rf].extra_latency =
                             ((cph * hops as f64).ceil() as u64).saturating_sub(1);
                     }
                     None => {
-                        outputs[PORT_RF].capacity = spec.config.rf_flits_per_cycle();
+                        outputs[rf].capacity = spec.config.rf_flits_per_cycle();
                     }
                 }
-                outputs[PORT_RF].vcs = vec![Default::default(); vcs];
-                for v in &mut outputs[PORT_RF].vcs {
+                outputs[rf].vcs = vec![Default::default(); vcs];
+                for v in &mut outputs[rf].vcs {
                     v.credits = depth;
                 }
             }
             if let Some(src) = rf_in[r] {
-                inputs[PORT_RF].exists = true;
-                inputs[PORT_RF].vcs = vec![Default::default(); vcs];
-                inputs[PORT_RF].upstream = Some((src, PORT_RF as u8));
+                inputs[rf].exists = true;
+                inputs[rf].vcs = vec![Default::default(); vcs];
+                inputs[rf].upstream = Some((src, base_ports[src] + 1));
             }
             routers.push(Router {
                 inputs,
@@ -155,13 +200,17 @@ impl Network {
             MulticastMode::AsUnicasts => (Vec::new(), None),
         };
 
-        let max_dist = (dims.width() - 1 + dims.height() - 1).max(1);
-        let mut stats = RunStats::new(n, max_dist);
+        let max_dist = fabric.max_route_len().max(1) as usize;
+        let mut stats = RunStats::with_ports(n, max_dist, max_ports);
         if spec.config.collect_pair_counts {
             stats.pair_counts = vec![0; n * n];
         }
         Ok(Self {
             dims,
+            fabric,
+            base_ports,
+            max_ports,
+            base_table,
             routing: spec.routing,
             port_table,
             routers,
@@ -180,23 +229,25 @@ impl Network {
             credit_returns: Vec::new(),
             mc_enqueues: Vec::new(),
             pending_inj: Vec::new(),
-            sa_requests: vec![Vec::new(); NUM_PORTS],
+            sa_requests: vec![Vec::new(); max_ports],
             sp_dist,
+            detour_dist: None,
             flit_trace: Vec::new(),
             flit_trace_dropped: 0,
             telemetry: spec
                 .config
                 .telemetry
-                .map(|t| Box::new(telemetry::TelemetryState::new(t, n))),
+                .map(|t| Box::new(telemetry::TelemetryState::new(t, n, max_ports))),
             recovery: spec.config.recovery.map(|r| Box::new(faults::RecoveryState::new(r))),
             reconfig: ReconfigState::Idle,
             reconfigurations: 0,
             active_shortcuts: spec.shortcuts,
             pending_target: None,
             failed_rf_tx: vec![false; n],
-            link_failed: vec![false; n * 4],
+            link_failed: vec![false; n * max_base],
             mesh_link_failures: 0,
             escape_table: None,
+            escape_dist: None,
             faults: spec.faults,
             last_progress: 0,
             last_completion: 0,
@@ -208,8 +259,8 @@ impl Network {
 }
 
 /// Checks every scheduled fault event against the network's topology.
-fn validate_fault_plan(plan: &FaultPlan, dims: GridDims) -> Result<(), SimError> {
-    let n = dims.nodes();
+fn validate_fault_plan(plan: &FaultPlan, fabric: &FabricSpec) -> Result<(), SimError> {
+    let n = fabric.nodes();
     let invalid = |cycle: u64, reason: String| SimError::InvalidFault { cycle, reason };
     for &(cycle, event) in plan.events() {
         match event {
@@ -228,8 +279,8 @@ fn validate_fault_plan(plan: &FaultPlan, dims: GridDims) -> Result<(), SimError>
                 }
             }
             FaultEvent::MeshLinkDown { a, b } | FaultEvent::MeshLinkUp { a, b } => {
-                if a >= n || b >= n || dims.manhattan(a, b) != 1 {
-                    return Err(invalid(cycle, format!("no mesh link between {a} and {b}")));
+                if a >= n || b >= n || fabric.port_between(a, b).is_none() {
+                    return Err(invalid(cycle, format!("no base link between {a} and {b}")));
                 }
             }
             FaultEvent::LinkGlitch { a, b } => {

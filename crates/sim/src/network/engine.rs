@@ -58,7 +58,7 @@ impl Network {
         // stays readable through [`Network::health`].
         let n = self.routers.len();
         let max_dist = self.stats.distance_histogram.len().saturating_sub(1);
-        let mut fresh = RunStats::new(n, max_dist);
+        let mut fresh = RunStats::with_ports(n, max_dist, self.max_ports);
         if self.config.collect_pair_counts {
             fresh.pair_counts = vec![0; n * n];
         }
@@ -137,7 +137,7 @@ impl Network {
     /// The output port toward `dest` under the active routing mode.
     pub(super) fn route_port(&self, router: NodeId, dest: NodeId) -> u8 {
         if router == dest {
-            return PORT_LOCAL as u8;
+            return self.local_port(router) as u8;
         }
         match &self.port_table {
             Some(pt) => pt[router * self.dims.nodes() + dest],
@@ -145,15 +145,16 @@ impl Network {
         }
     }
 
-    /// The escape (mesh-only) output port toward `dest`: plain XY on an
-    /// intact mesh, the mesh-only detour table when links have failed.
+    /// The escape (base-fabric-only) output port toward `dest`: the
+    /// fabric's base route on an intact fabric, the detour table when
+    /// links have failed.
     pub(super) fn escape_port(&self, router: NodeId, dest: NodeId) -> u8 {
         if router == dest {
-            PORT_LOCAL as u8
+            self.local_port(router) as u8
         } else if let Some(table) = &self.escape_table {
             table[router * self.dims.nodes() + dest]
         } else {
-            xy_port(self.dims, router, dest)
+            self.base_port_toward(router, dest)
         }
     }
 
@@ -220,7 +221,7 @@ impl Network {
 
     pub(super) fn deliver_arrivals(&mut self, r: usize) {
         let now = self.cycle;
-        for port in 0..NUM_PORTS {
+        for port in 0..self.num_ports(r) {
             loop {
                 let front = self.routers[r].inputs[port].arrivals.front().copied();
                 match front {
@@ -252,9 +253,10 @@ impl Network {
         // router from an initial offset of `r`, so it is a pure function
         // of (router, cycle). Deriving it here instead of storing and
         // rotating a field keeps idle-router visits side-effect free.
-        let rr_base = ((r as u64 + now) % NUM_PORTS as u64) as usize;
-        for port_off in 0..NUM_PORTS {
-            let port = (rr_base + port_off) % NUM_PORTS;
+        let np = self.num_ports(r);
+        let rr_base = ((r as u64 + now) % np as u64) as usize;
+        for port_off in 0..np {
+            let port = (rr_base + port_off) % np;
             if !self.routers[r].inputs[port].exists {
                 continue;
             }
@@ -317,7 +319,7 @@ impl Network {
             };
             // A draining reconfiguration closes the RF ports to new
             // packets; route over the mesh instead.
-            if out == PORT_RF && !self.rf_accepting() {
+            if out == self.rf_port(r) && !self.rf_accepting() {
                 out = self.escape_port(r, dest) as usize;
             }
             let mut grant =
@@ -328,14 +330,14 @@ impl Network {
             // once the wait already exceeds the estimated extra cost of the
             // mesh detour (≈3 cycles per extra hop); it then commits to XY
             // so the detour cannot loop back.
-            if grant.is_none() && out == PORT_RF && self.config.adaptive_shortcut_routing {
+            if grant.is_none() && out == self.rf_port(r) && self.config.adaptive_shortcut_routing {
                 let blocked = self.routers[r].inputs[port].vcs[vci].va_blocked;
                 let extra_hops = self
                     .sp_dist
                     .as_ref()
                     .map(|dm| {
                         let n = self.dims.nodes();
-                        self.dims.manhattan(r, dest).saturating_sub(dm[r * n + dest])
+                        self.fabric.base_route_len(r, dest).saturating_sub(dm[r * n + dest])
                     })
                     .unwrap_or(0);
                 if blocked >= 3 * extra_hops {
@@ -395,14 +397,19 @@ impl Network {
         now: u64,
     ) {
         let total = self.config.total_vcs();
-        // Compute the XY-tree partition once.
+        // Compute the base-route tree partition once.
         if !self.routers[r].inputs[port].vcs[vci].mc_routed {
-            let (groups, glen) = partition_tree(self.dims, r, &set);
+            let (groups, glen) = partition_tree(
+                r,
+                self.local_port(r) as u8,
+                |d| self.base_port_toward(r, d),
+                &set,
+            );
             debug_assert!(glen > 0, "tree packet with no progress");
             // Child packets first (needs `&mut self`), then the branch
             // list is rebuilt in place so its capacity is reused. A
             // single-group tree keeps forwarding the original packet.
-            let mut children: [u32; NUM_PORTS] = [packet; NUM_PORTS];
+            let mut children: [u32; MAX_ROUTER_PORTS] = [packet; MAX_ROUTER_PORTS];
             if glen > 1 {
                 let (created, measured, flits, bytes, parent) = {
                     let p = &self.packets[packet as usize];
@@ -437,7 +444,8 @@ impl Network {
             v.mc_routed = true;
         }
         // Allocate remaining branches (adaptive class first, escape
-        // fallback — tree hops follow XY so escape semantics hold).
+        // fallback — tree hops follow the base route so escape semantics
+        // hold).
         let branch_count = self.routers[r].inputs[port].vcs[vci].mc_branches.len();
         let had_allocation = self.routers[r].inputs[port].vcs[vci]
             .mc_branches
@@ -482,7 +490,8 @@ impl Network {
         for reqs in &mut self.sa_requests {
             reqs.clear();
         }
-        for port in 0..NUM_PORTS {
+        let np = self.num_ports(r);
+        for port in 0..np {
             if !self.routers[r].inputs[port].exists {
                 continue;
             }
@@ -507,8 +516,8 @@ impl Network {
                 }
             }
         }
-        let mut used_input: [Option<(u8, u16)>; NUM_PORTS] = [None; NUM_PORTS];
-        for out in 0..NUM_PORTS {
+        let mut used_input: [Option<(u8, u16)>; MAX_ROUTER_PORTS] = [None; MAX_ROUTER_PORTS];
+        for out in 0..np {
             if !self.routers[r].outputs[out].exists {
                 continue;
             }
@@ -625,7 +634,7 @@ impl Network {
             self.trace_event(sent_packet, flit.idx, r, kind);
         }
         if self.telemetry.is_some() {
-            self.tel_grant(r, out, sent_packet, first_grant, now);
+            self.tel_grant(r, out, out == self.rf_port(r), sent_packet, first_grant, now);
             if !is_mc && flit.is_head() {
                 self.tel_hop_granted(sent_packet, r, out, now);
             }
@@ -634,9 +643,9 @@ impl Network {
         // Statistics (per payload byte; see rfnoc-power's ActivityCounters).
         if self.counting {
             self.stats.activity.router_bytes[r] += flit_bytes;
-            self.stats.port_flits[r * NUM_PORTS + out] += 1;
+            self.stats.port_flits[r * self.max_ports + out] += 1;
             if !is_ejection {
-                if out == PORT_RF {
+                if out == self.rf_port(r) {
                     let op = &self.routers[r].outputs[out];
                     if op.is_wire {
                         // Wire shortcuts burn repeated-wire energy over

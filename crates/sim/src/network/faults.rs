@@ -260,8 +260,9 @@ impl Network {
         }
         self.failed_rf_tx[src] = true;
         self.stats.shortcut_faults += 1;
-        if self.routers[src].outputs[PORT_RF].exists {
-            self.routers[src].outputs[PORT_RF].failed = true;
+        let rf = self.rf_port(src);
+        if self.routers[src].outputs[rf].exists {
+            self.routers[src].outputs[rf].failed = true;
             self.request_retune(self.rf_intent());
         }
     }
@@ -282,33 +283,35 @@ impl Network {
     }
 
     fn fail_mesh_link(&mut self, a: usize, b: usize) {
-        let port_ab = mesh_port(self.dims, a, b) as usize;
-        let port_ba = mesh_port(self.dims, b, a) as usize;
-        if self.link_failed[a * 4 + port_ab] {
+        let port_ab = self.fabric.port_between(a, b).expect("validated base link") as usize;
+        let port_ba = self.fabric.port_between(b, a).expect("validated base link") as usize;
+        let mb = self.max_base();
+        if self.link_failed[a * mb + port_ab] {
             return;
         }
-        self.link_failed[a * 4 + port_ab] = true;
-        self.link_failed[b * 4 + port_ba] = true;
+        self.link_failed[a * mb + port_ab] = true;
+        self.link_failed[b * mb + port_ba] = true;
         self.routers[a].outputs[port_ab].failed = true;
         self.routers[b].outputs[port_ba].failed = true;
         self.mesh_link_failures += 1;
         self.stats.mesh_link_faults += 1;
-        self.refresh_detour_state();
+        self.refresh_detour_state(a, b, true);
     }
 
     fn repair_mesh_link(&mut self, a: usize, b: usize) {
-        let port_ab = mesh_port(self.dims, a, b) as usize;
-        let port_ba = mesh_port(self.dims, b, a) as usize;
-        if !self.link_failed[a * 4 + port_ab] {
+        let port_ab = self.fabric.port_between(a, b).expect("validated base link") as usize;
+        let port_ba = self.fabric.port_between(b, a).expect("validated base link") as usize;
+        let mb = self.max_base();
+        if !self.link_failed[a * mb + port_ab] {
             return;
         }
-        self.link_failed[a * 4 + port_ab] = false;
-        self.link_failed[b * 4 + port_ba] = false;
+        self.link_failed[a * mb + port_ab] = false;
+        self.link_failed[b * mb + port_ba] = false;
         self.routers[a].outputs[port_ab].failed = false;
         self.routers[b].outputs[port_ba].failed = false;
         self.mesh_link_failures -= 1;
         self.stats.repairs += 1;
-        self.refresh_detour_state();
+        self.refresh_detour_state(a, b, false);
     }
 
     /// A transient glitch corrupts the flit in flight from `a` to `b`: the
@@ -318,13 +321,14 @@ impl Network {
     /// upstream buffer slot is only freed when the retransmitted flit
     /// finally lands. No effect on an idle link.
     fn glitch_link(&mut self, a: usize, b: usize) {
-        let port = if self.dims.manhattan(a, b) == 1 {
-            mesh_port(self.dims, b, a) as usize
-        } else if self.routers[b].inputs[PORT_RF]
+        let rf = self.rf_port(b);
+        let port = if let Some(slot) = self.fabric.port_between(b, a) {
+            slot as usize
+        } else if self.routers[b].inputs[rf]
             .upstream
             .is_some_and(|(src, _)| src == a)
         {
-            PORT_RF
+            rf
         } else {
             return;
         };
@@ -336,38 +340,70 @@ impl Network {
         }
     }
 
-    /// Recomputes the detour tables after a mesh link failure or repair.
-    /// With an intact mesh the escape table is dropped entirely, restoring
-    /// the exact XY escape behaviour of the fault-free simulator.
-    fn refresh_detour_state(&mut self) {
+    /// Recomputes the detour tables after the base link between `a` and
+    /// `b` failed (`removed`) or was repaired. With an intact fabric the
+    /// escape table is dropped entirely, restoring the exact base-route
+    /// escape behaviour of the fault-free simulator. While faults persist,
+    /// the rebuild is *incremental*: only the destination columns whose
+    /// reverse-BFS trees actually ride the changed link are re-swept, so a
+    /// fault storm on a 64×64 fabric costs a handful of column sweeps
+    /// instead of `n` full-grid rebuilds. The incremental result is
+    /// bit-identical to a from-scratch build (per-destination BFS columns
+    /// are independent and deterministic).
+    fn refresh_detour_state(&mut self, a: usize, b: usize, removed: bool) {
         if self.mesh_link_failures == 0 {
             self.escape_table = None;
+            self.escape_dist = None;
+        } else if self.escape_dist.is_some() {
+            let mut pt = self.escape_table.take().expect("escape tables travel together");
+            let mut td = self.escape_dist.take().expect("checked above");
+            self.detour_tables_update(&[], &mut pt, None, &mut td, a, b, removed);
+            self.escape_table = Some(pt);
+            self.escape_dist = Some(td);
         } else {
-            self.escape_table = Some(self.detour_tables(&[]).0);
+            let (pt, _, td) = self.detour_tables(&[]);
+            self.escape_table = Some(pt);
+            self.escape_dist = Some(td);
         }
         if self.port_table.is_some() {
-            self.rebuild_unicast_tables();
+            self.rebuild_unicast_tables_after_link_change(a, b, removed);
         }
     }
 
-    /// Per-destination reverse BFS over the surviving mesh links plus the
-    /// given (directed) shortcuts. Returns the out-port table and the hop
-    /// distances (`router * n + dest`). Unreachable pairs fall back to the
-    /// XY port at their Manhattan distance: such a packet blocks at a
-    /// failed link, where the watchdog will flag the partition rather than
-    /// let it misroute.
-    pub(super) fn detour_tables(&self, shortcuts: &[Shortcut]) -> (Vec<u8>, Vec<u32>) {
-        let n = self.dims.nodes();
-        let mut pt = vec![PORT_LOCAL as u8; n * n];
-        let mut dm = vec![0u32; n * n];
-        for r in 0..n {
-            for d in 0..n {
-                if r != d {
-                    pt[r * n + d] = xy_port(self.dims, r, d);
-                    dm[r * n + d] = self.dims.manhattan(r, d);
-                }
-            }
+    /// Incremental counterpart of
+    /// [`rebuild_unicast_tables`](Network::rebuild_unicast_tables) for a
+    /// single base-link failure or repair. Falls back to the full rebuild
+    /// when the fabric just became intact again (back to the
+    /// [`GridGraph`] tie-breaks) or when the installed tables were not
+    /// detour-built (first intact→faulty transition).
+    fn rebuild_unicast_tables_after_link_change(&mut self, a: usize, b: usize, removed: bool) {
+        if self.mesh_link_failures == 0 || self.detour_dist.is_none() {
+            self.rebuild_unicast_tables();
+            return;
         }
+        let mut pt = self.port_table.take().expect("table-routed network");
+        let mut dm = self.sp_dist.take().expect("sp_dist accompanies port_table");
+        let mut td = self.detour_dist.take().expect("checked above");
+        let shortcuts = self.active_shortcuts.clone();
+        self.detour_tables_update(&shortcuts, &mut pt, Some(&mut dm), &mut td, a, b, removed);
+        self.port_table = Some(pt);
+        self.sp_dist = Some(dm);
+        self.detour_dist = Some(td);
+    }
+
+    /// Per-destination reverse BFS over the surviving base links plus the
+    /// given (directed) shortcuts. Returns the out-port table, the hop
+    /// distances (`router * n + dest`, falling back to the base-route
+    /// length for unreachable pairs), and the *true* BFS distances
+    /// (`u32::MAX` when unreachable) that drive incremental updates.
+    /// An unreachable pair keeps its base-route port: such a packet blocks
+    /// at a failed link, where the watchdog will flag the partition rather
+    /// than let it misroute.
+    pub(super) fn detour_tables(&self, shortcuts: &[Shortcut]) -> (Vec<u8>, Vec<u32>, Vec<u32>) {
+        let n = self.dims.nodes();
+        let mut pt = vec![0u8; n * n];
+        let mut dm = vec![0u32; n * n];
+        let mut td = vec![0u32; n * n];
         let mut rf_srcs_of: Vec<Vec<usize>> = vec![Vec::new(); n];
         for s in shortcuts {
             rf_srcs_of[s.dst].push(s.src);
@@ -375,47 +411,147 @@ impl Network {
         let mut dist = vec![u32::MAX; n];
         let mut queue = VecDeque::new();
         for d in 0..n {
-            dist.fill(u32::MAX);
-            queue.clear();
-            dist[d] = 0;
-            queue.push_back(d);
-            while let Some(v) = queue.pop_front() {
-                // Incoming surviving mesh links u -> v.
-                for port in [PORT_N, PORT_S, PORT_E, PORT_W] {
-                    let Some(u) = mesh_neighbor(self.dims, v, port) else { continue };
-                    let out_at_u = mesh_port(self.dims, u, v) as usize;
-                    if self.link_failed[u * 4 + out_at_u] || dist[u] != u32::MAX {
-                        continue;
-                    }
-                    dist[u] = dist[v] + 1;
-                    pt[u * n + d] = out_at_u as u8;
-                    dm[u * n + d] = dist[u];
-                    queue.push_back(u);
+            self.detour_bfs_column(d, &rf_srcs_of, &mut pt, Some(&mut dm), &mut td, &mut dist, &mut queue);
+        }
+        (pt, dm, td)
+    }
+
+    /// Re-sweeps only the destination columns the changed link `a <-> b`
+    /// can affect, updating `pt`/`dm`/`td` in place. Returns how many
+    /// columns were recomputed (the rest are provably unchanged).
+    ///
+    /// A *removed* link matters to destination `d` only where one of its
+    /// directions is a BFS discovery edge, i.e. the out-port table routes
+    /// `a` through `b` (or vice versa). A *restored* link can only change
+    /// a column where its endpoints sat at different BFS depths — at equal
+    /// (finite) depth it can neither shorten a path nor become a discovery
+    /// edge, and a column unreachable from both endpoints stays
+    /// unreachable.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn detour_tables_update(
+        &self,
+        shortcuts: &[Shortcut],
+        pt: &mut [u8],
+        mut dm: Option<&mut [u32]>,
+        td: &mut [u32],
+        a: usize,
+        b: usize,
+        removed: bool,
+    ) -> usize {
+        let n = self.dims.nodes();
+        let p_ab = self.fabric.port_between(a, b).expect("validated base link");
+        let p_ba = self.fabric.port_between(b, a).expect("validated base link");
+        let mut rf_srcs_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for s in shortcuts {
+            rf_srcs_of[s.dst].push(s.src);
+        }
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        let mut recomputed = 0;
+        for d in 0..n {
+            let ta = td[a * n + d];
+            let tb = td[b * n + d];
+            let affected = if removed {
+                (ta != u32::MAX && pt[a * n + d] == p_ab)
+                    || (tb != u32::MAX && pt[b * n + d] == p_ba)
+            } else {
+                (ta > tb && tb != u32::MAX) || (tb > ta && ta != u32::MAX)
+            };
+            if affected {
+                self.detour_bfs_column(
+                    d,
+                    &rf_srcs_of,
+                    pt,
+                    dm.as_deref_mut(),
+                    td,
+                    &mut dist,
+                    &mut queue,
+                );
+                recomputed += 1;
+            }
+        }
+        recomputed
+    }
+
+    /// One column of the detour build: resets destination `d`'s column to
+    /// the base-route fill, then reverse-BFSes from `d` over the surviving
+    /// base links (in fabric slot order, so a rebuild of the same column
+    /// is deterministic) and the shortcut in-edges.
+    #[allow(clippy::too_many_arguments)]
+    fn detour_bfs_column(
+        &self,
+        d: usize,
+        rf_srcs_of: &[Vec<usize>],
+        pt: &mut [u8],
+        mut dm: Option<&mut [u32]>,
+        td: &mut [u32],
+        dist: &mut [u32],
+        queue: &mut VecDeque<usize>,
+    ) {
+        let n = self.dims.nodes();
+        for r in 0..n {
+            if r == d {
+                pt[r * n + d] = self.local_port(r) as u8;
+                td[r * n + d] = 0;
+                if let Some(dm) = dm.as_deref_mut() {
+                    dm[r * n + d] = 0;
                 }
-                // Incoming shortcut edges u -> v.
-                for &u in &rf_srcs_of[v] {
-                    if dist[u] == u32::MAX {
-                        dist[u] = dist[v] + 1;
-                        pt[u * n + d] = PORT_RF as u8;
-                        dm[u * n + d] = dist[u];
-                        queue.push_back(u);
-                    }
+            } else {
+                pt[r * n + d] = self.base_port_toward(r, d);
+                td[r * n + d] = u32::MAX;
+                if let Some(dm) = dm.as_deref_mut() {
+                    dm[r * n + d] = self.fabric.base_route_len(r, d);
                 }
             }
         }
-        (pt, dm)
+        dist.fill(u32::MAX);
+        queue.clear();
+        dist[d] = 0;
+        queue.push_back(d);
+        let mb = self.max_base();
+        while let Some(v) = queue.pop_front() {
+            // Incoming surviving base links u -> v.
+            for slot in 0..self.base_ports[v] {
+                let Some(u) = self.fabric.port_neighbor(v, slot) else { continue };
+                let out_at_u =
+                    self.fabric.port_between(u, v).expect("base links are bidirectional") as usize;
+                if self.link_failed[u * mb + out_at_u] || dist[u] != u32::MAX {
+                    continue;
+                }
+                dist[u] = dist[v] + 1;
+                pt[u * n + d] = out_at_u as u8;
+                td[u * n + d] = dist[u];
+                if let Some(dm) = dm.as_deref_mut() {
+                    dm[u * n + d] = dist[u];
+                }
+                queue.push_back(u);
+            }
+            // Incoming shortcut edges u -> v.
+            for &u in &rf_srcs_of[v] {
+                if dist[u] == u32::MAX {
+                    dist[u] = dist[v] + 1;
+                    pt[u * n + d] = self.rf_port(u) as u8;
+                    td[u * n + d] = dist[u];
+                    if let Some(dm) = dm.as_deref_mut() {
+                        dm[u * n + d] = dist[u];
+                    }
+                    queue.push_back(u);
+                }
+            }
+        }
     }
 
-    /// Whether the surviving mesh still connects every router.
+    /// Whether the surviving base fabric still connects every router.
     fn surviving_mesh_connected(&self) -> bool {
         let n = self.dims.nodes();
+        let mb = self.max_base();
         let mut seen = vec![false; n];
         let mut queue = VecDeque::from([0usize]);
         seen[0] = true;
         while let Some(v) = queue.pop_front() {
-            for port in [PORT_N, PORT_S, PORT_E, PORT_W] {
-                let Some(u) = mesh_neighbor(self.dims, v, port) else { continue };
-                if seen[u] || self.link_failed[v * 4 + port] {
+            for slot in 0..self.base_ports[v] {
+                let Some(u) = self.fabric.port_neighbor(v, slot) else { continue };
+                if seen[u] || self.link_failed[v * mb + slot as usize] {
                     continue;
                 }
                 seen[u] = true;

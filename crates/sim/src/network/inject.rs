@@ -70,13 +70,13 @@ impl Network {
         if measured {
             self.stats.injected_messages += 1;
             let dist = match spec.dest {
-                Destination::Unicast(d) => self.dims.manhattan(spec.src, d) as usize,
+                Destination::Unicast(d) => self.fabric.base_route_len(spec.src, d) as usize,
                 Destination::Multicast(set) => {
                     if set.is_empty() {
                         0
                     } else {
                         let sum: u32 =
-                            set.iter().map(|d| self.dims.manhattan(spec.src, d)).sum();
+                            set.iter().map(|d| self.fabric.base_route_len(spec.src, d)).sum();
                         (sum as f64 / set.len() as f64).round() as usize
                     }
                 }
@@ -299,7 +299,8 @@ impl Network {
                     inj.streams[vc] = Some(InjectStream { next: idx + 1, ..stream });
                 }
                 inj.rr = (vc + 1) % vcs;
-                self.routers[r].inputs[PORT_LOCAL]
+                let local = self.local_port(r);
+                self.routers[r].inputs[local]
                     .arrivals
                     .push_back((arrival, vc as u16, flit));
                 if self.config.flit_trace.is_enabled() {

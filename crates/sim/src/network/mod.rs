@@ -8,12 +8,12 @@ use crate::packet::{DestSet, Destination, MessageSpec};
 use crate::rfmc::{plan_delivery, DeliveryPlan, McConfig, McTransmission};
 use crate::router::{
     InjectStream, Injector, InputPort, McBranch, OutputPort, PendingInjection, Router,
-    NUM_PORTS, PORT_E, PORT_LOCAL, PORT_N, PORT_RF, PORT_S, PORT_W,
+    MAX_ROUTER_PORTS, PORT_E, PORT_N, PORT_S, PORT_W,
 };
 use crate::stats::RunStats;
 use crate::vct::{VctConfig, VctTable};
 use rfnoc_topology::routing::RoutingTables;
-use rfnoc_topology::{GridDims, GridGraph, NodeId, Shortcut};
+use rfnoc_topology::{FabricSpec, GridDims, GridGraph, NodeId, Shortcut};
 use std::collections::VecDeque;
 
 /// How unicast packets are routed.
@@ -43,8 +43,8 @@ pub enum MulticastMode {
 /// Full specification of a network to simulate.
 #[derive(Debug, Clone)]
 pub struct NetworkSpec {
-    /// Mesh dimensions.
-    pub dims: GridDims,
+    /// The base fabric the RF-I overlay rides on (mesh or ring-mesh).
+    pub fabric: FabricSpec,
     /// Microarchitectural configuration.
     pub config: SimConfig,
     /// RF-I shortcut set (empty for the baseline).
@@ -72,7 +72,7 @@ impl NetworkSpec {
     /// A baseline mesh with XY routing and no RF-I.
     pub fn mesh_baseline(dims: GridDims, config: SimConfig) -> Self {
         Self {
-            dims,
+            fabric: FabricSpec::mesh(dims),
             config,
             shortcuts: Vec::new(),
             routing: RoutingKind::Xy,
@@ -87,7 +87,7 @@ impl NetworkSpec {
     /// routing.
     pub fn with_shortcuts(dims: GridDims, config: SimConfig, shortcuts: Vec<Shortcut>) -> Self {
         Self {
-            dims,
+            fabric: FabricSpec::mesh(dims),
             config,
             shortcuts,
             routing: RoutingKind::ShortestPath,
@@ -96,6 +96,34 @@ impl NetworkSpec {
             wire_shortcut_cycles_per_hop: None,
             faults: FaultPlan::default(),
         }
+    }
+
+    /// An arbitrary fabric, optionally overlaid with RF-I shortcuts.
+    ///
+    /// Base (escape) routing follows the fabric's deadlock-free base
+    /// routes; with a non-empty shortcut set, unicasts use table-driven
+    /// shortest-path routing over the fabric + shortcuts.
+    pub fn with_fabric(fabric: FabricSpec, config: SimConfig, shortcuts: Vec<Shortcut>) -> Self {
+        let routing = if shortcuts.is_empty() {
+            RoutingKind::Xy
+        } else {
+            RoutingKind::ShortestPath
+        };
+        Self {
+            fabric,
+            config,
+            shortcuts,
+            routing,
+            multicast: MulticastMode::AsUnicasts,
+            mc: None,
+            wire_shortcut_cycles_per_hop: None,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Grid dimensions of the fabric.
+    pub fn dims(&self) -> GridDims {
+        self.fabric.dims()
     }
 
     /// Returns this specification with a fault schedule attached.
@@ -197,6 +225,19 @@ enum ReconfigState {
 #[derive(Debug)]
 pub struct Network {
     dims: GridDims,
+    /// The base fabric (mesh or ring-mesh) the routers are wired from.
+    fabric: FabricSpec,
+    /// Per-router base-slot counts (`fabric.base_slot_count`), cached so the
+    /// hot loops never re-derive them. The local port of router `r` is slot
+    /// `base_ports[r]`, its RF port slot `base_ports[r] + 1`.
+    base_ports: Vec<u8>,
+    /// Widest router's port count (`fabric.max_base_slots() + 2`): the flat
+    /// stride of every per-(router, port) statistics vector.
+    max_ports: usize,
+    /// Precomputed base-route out-port per `router * n + dest`, present for
+    /// non-mesh fabrics (the mesh derives its base route with the literal
+    /// XY computation instead of a table).
+    base_table: Option<Vec<u8>>,
     config: SimConfig,
     routing: RoutingKind,
     /// Shortest-path out-port table (`router * n + dest`), present in
@@ -205,6 +246,11 @@ pub struct Network {
     /// Shortest-path hop distances over mesh+shortcuts (same indexing),
     /// used to price contention-avoidance detours.
     sp_dist: Option<Vec<u32>>,
+    /// True BFS distances (`u32::MAX` when unreachable) matching a
+    /// detour-built `port_table`; `None` whenever `port_table` was built
+    /// over the intact fabric. Drives incremental detour rebuilds on link
+    /// fail/repair.
+    detour_dist: Option<Vec<u32>>,
     reconfig: ReconfigState,
     reconfigurations: u64,
     /// Shortcut set currently installed on the RF ports (tracks retunes
@@ -216,16 +262,22 @@ pub struct Network {
     /// Per-router RF transmitter failure flags: a failed transmitter is
     /// skipped by every retune until repaired.
     failed_rf_tx: Vec<bool>,
-    /// Directed mesh link failure flags (`router * 4 + port`, mesh ports
-    /// only). `MeshLinkDown` fails both directions together.
+    /// Directed base-link failure flags (`router * max_base_slots + slot`,
+    /// base fabric slots only). `MeshLinkDown` fails both directions
+    /// together.
     link_failed: Vec<bool>,
     /// Count of failed *undirected* mesh links (fast zero check).
     mesh_link_failures: usize,
     /// Detour routing table for escape traffic (`router * n + dest`),
-    /// built over the surviving mesh links only; `None` while the mesh is
-    /// intact (escape traffic then follows plain XY, exactly as the
-    /// fault-free simulator did).
+    /// built over the surviving base links only; `None` while the base
+    /// fabric is intact (escape traffic then follows the fabric's base
+    /// route, exactly as the fault-free simulator did).
     escape_table: Option<Vec<u8>>,
+    /// True BFS distances matching `escape_table` (same indexing,
+    /// `u32::MAX` when unreachable), kept so link fail/repair events can
+    /// re-run the detour BFS only for the destinations whose routes the
+    /// changed edge actually carries.
+    escape_dist: Option<Vec<u32>>,
     /// Fault schedule being applied.
     faults: FaultPlan,
     /// Last cycle any switch grant happened (or the network went busy) —
@@ -290,6 +342,45 @@ impl Network {
     /// Grid dimensions of the network.
     pub fn dims(&self) -> GridDims {
         self.dims
+    }
+
+    /// The base fabric the network was built from.
+    pub fn fabric(&self) -> FabricSpec {
+        self.fabric
+    }
+
+    /// Local (core-side) port slot of router `r`.
+    #[inline]
+    pub(crate) fn local_port(&self, r: usize) -> usize {
+        self.base_ports[r] as usize
+    }
+
+    /// RF transmitter/receiver port slot of router `r`.
+    #[inline]
+    pub(crate) fn rf_port(&self, r: usize) -> usize {
+        self.base_ports[r] as usize + 1
+    }
+
+    /// Number of port slots router `r` allocates (base + local + RF).
+    #[inline]
+    pub(crate) fn num_ports(&self, r: usize) -> usize {
+        self.base_ports[r] as usize + 2
+    }
+
+    /// Base-slot stride of the `link_failed` flags (`max_ports - 2`).
+    #[inline]
+    pub(crate) fn max_base(&self) -> usize {
+        self.max_ports - 2
+    }
+
+    /// The base-route out port from `r` toward `dest` (`r != dest`): the
+    /// table for non-mesh fabrics, the literal XY computation for the mesh.
+    #[inline]
+    pub(crate) fn base_port_toward(&self, r: usize, dest: usize) -> u8 {
+        match &self.base_table {
+            Some(bt) => bt[r * self.dims.nodes() + dest],
+            None => xy_port(self.dims, r, dest),
+        }
     }
 
     /// The current simulation cycle.
@@ -411,21 +502,24 @@ fn alloc_out_vc(
     None
 }
 
-/// XY-tree partition of a destination set at router `r`: the non-empty
-/// (output port, destination subset) groups, packed into the first `len`
-/// slots of a fixed array — at most one group per output port, so no
-/// heap allocation on the VA hot path.
+/// Base-route tree partition of a destination set at router `r`: the
+/// non-empty (output port, destination subset) groups, packed into the
+/// first `len` slots of a fixed array — at most one group per output port,
+/// so no heap allocation on the VA hot path. `base_port` maps a non-local
+/// destination to its base-route out slot; `local_port` is `r`'s local
+/// slot. Groups are emitted in ascending port order.
 fn partition_tree(
-    dims: GridDims,
     r: NodeId,
+    local_port: u8,
+    base_port: impl Fn(NodeId) -> u8,
     set: &DestSet,
-) -> ([(u8, DestSet); NUM_PORTS], usize) {
-    let mut groups: [DestSet; NUM_PORTS] = Default::default();
+) -> ([(u8, DestSet); MAX_ROUTER_PORTS], usize) {
+    let mut groups: [DestSet; MAX_ROUTER_PORTS] = Default::default();
     for dest in set.iter() {
-        let p = if dest == r { PORT_LOCAL as u8 } else { xy_port(dims, r, dest) };
+        let p = if dest == r { local_port } else { base_port(dest) };
         groups[p as usize].insert(dest);
     }
-    let mut out: [(u8, DestSet); NUM_PORTS] = Default::default();
+    let mut out: [(u8, DestSet); MAX_ROUTER_PORTS] = Default::default();
     let mut len = 0;
     for (p, g) in groups.iter().enumerate() {
         if !g.is_empty() {
@@ -462,39 +556,11 @@ pub(crate) fn xy_port(dims: GridDims, from: NodeId, to: NodeId) -> u8 {
     mesh_port(dims, from, next)
 }
 
-/// The mesh neighbour of `r` on `port`, if it exists.
-pub(crate) fn mesh_neighbor(dims: GridDims, r: NodeId, port: usize) -> Option<NodeId> {
-    let c = dims.coord_of(r);
-    let (dx, dy): (i32, i32) = match port {
-        PORT_N => (0, -1),
-        PORT_S => (0, 1),
-        PORT_E => (1, 0),
-        PORT_W => (-1, 0),
-        _ => return None,
-    };
-    let nx = c.x as i32 + dx;
-    let ny = c.y as i32 + dy;
-    if nx < 0 || ny < 0 {
-        return None;
-    }
-    let nc = rfnoc_topology::Coord::new(nx as u16, ny as u16);
-    dims.contains(nc).then(|| dims.index_of(nc))
-}
-
-/// The opposite mesh direction (N↔S, E↔W).
-pub(crate) fn opposite_port(port: usize) -> usize {
-    match port {
-        PORT_N => PORT_S,
-        PORT_S => PORT_N,
-        PORT_E => PORT_W,
-        PORT_W => PORT_E,
-        other => other,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const PORT_LOCAL_MESH: usize = 4;
 
     #[test]
     fn mesh_port_directions() {
@@ -507,23 +573,17 @@ mod tests {
     }
 
     #[test]
-    fn mesh_neighbor_edges() {
+    fn mesh_port_matches_fabric_slots() {
         let dims = GridDims::new(4, 4);
-        assert_eq!(mesh_neighbor(dims, 0, PORT_N), None);
-        assert_eq!(mesh_neighbor(dims, 0, PORT_W), None);
-        assert_eq!(mesh_neighbor(dims, 0, PORT_E), Some(1));
-        assert_eq!(mesh_neighbor(dims, 0, PORT_S), Some(4));
-        assert_eq!(mesh_neighbor(dims, 15, PORT_S), None);
-        assert_eq!(mesh_neighbor(dims, 5, PORT_LOCAL), None);
-    }
-
-    #[test]
-    fn opposite_ports_pair_up() {
-        assert_eq!(opposite_port(PORT_N), PORT_S);
-        assert_eq!(opposite_port(PORT_S), PORT_N);
-        assert_eq!(opposite_port(PORT_E), PORT_W);
-        assert_eq!(opposite_port(PORT_W), PORT_E);
-        assert_eq!(opposite_port(PORT_RF), PORT_RF);
+        let fabric = FabricSpec::mesh(dims);
+        for r in 0..dims.nodes() {
+            for slot in 0..4u8 {
+                if let Some(nb) = fabric.port_neighbor(r, slot) {
+                    assert_eq!(mesh_port(dims, r, nb), slot);
+                    assert_eq!(fabric.port_between(r, nb), Some(slot));
+                }
+            }
+        }
     }
 
     #[test]
@@ -532,7 +592,8 @@ mod tests {
         // at node 5 = (1,1): dest 5 -> local; dest 7 (3,1) -> east;
         // dest 4 (0,1) -> west; dest 13 (1,3) -> south.
         let set = DestSet::from_nodes([5, 7, 4, 13]);
-        let (groups, len) = partition_tree(dims, 5, &set);
+        let (groups, len) =
+            partition_tree(5, PORT_LOCAL_MESH as u8, |d| xy_port(dims, 5, d), &set);
         assert_eq!(len, 4);
         let groups = &groups[..len];
         let port_of = |dest: usize| {
@@ -542,7 +603,7 @@ mod tests {
                 .map(|(p, _)| *p as usize)
                 .expect("dest grouped")
         };
-        assert_eq!(port_of(5), PORT_LOCAL);
+        assert_eq!(port_of(5), PORT_LOCAL_MESH);
         assert_eq!(port_of(7), PORT_E);
         assert_eq!(port_of(4), PORT_W);
         assert_eq!(port_of(13), PORT_S);
@@ -552,7 +613,12 @@ mod tests {
     fn partition_tree_xy_goes_x_first() {
         let dims = GridDims::new(4, 4);
         // dest 15 = (3,3) from node 0 = (0,0): XY routes east first.
-        let (groups, len) = partition_tree(dims, 0, &DestSet::from_nodes([15]));
+        let (groups, len) = partition_tree(
+            0,
+            PORT_LOCAL_MESH as u8,
+            |d| xy_port(dims, 0, d),
+            &DestSet::from_nodes([15]),
+        );
         assert_eq!(len, 1);
         assert_eq!(groups[0].0 as usize, PORT_E);
     }

@@ -45,14 +45,16 @@ impl Network {
     pub(super) fn rf_idle(&self) -> bool {
         let depth = self.config.buffer_depth as u32;
         self.routers.iter().all(|r| {
-            let out_ok = !r.outputs[PORT_RF].exists
-                || r.outputs[PORT_RF]
+            // The RF port is always the last slot on every router.
+            let rf = r.outputs.len() - 1;
+            let out_ok = !r.outputs[rf].exists
+                || r.outputs[rf]
                     .vcs
                     .iter()
                     .all(|v| v.owner.is_none() && v.credits == depth);
-            let in_ok = !r.inputs[PORT_RF].exists
-                || (r.inputs[PORT_RF].arrivals.is_empty()
-                    && r.inputs[PORT_RF].vcs.iter().all(|v| v.buffer.is_empty()));
+            let in_ok = !r.inputs[rf].exists
+                || (r.inputs[rf].arrivals.is_empty()
+                    && r.inputs[rf].vcs.iter().all(|v| v.buffer.is_empty()));
             out_ok && in_ok
         })
     }
@@ -69,24 +71,27 @@ impl Network {
             .collect();
         // Tear down all RF ports (drained by construction).
         for r in self.routers.iter_mut() {
-            r.inputs[PORT_RF] = InputPort::default();
-            r.outputs[PORT_RF] = OutputPort::default();
+            let rf = r.inputs.len() - 1;
+            r.inputs[rf] = InputPort::default();
+            r.outputs[rf] = OutputPort::default();
         }
         for s in &installed {
-            let hops = self.dims.manhattan(s.src, s.dst);
-            let out = &mut self.routers[s.src].outputs[PORT_RF];
+            let hops = self.fabric.base_route_len(s.src, s.dst);
+            let rf_src = self.rf_port(s.src);
+            let rf_dst = self.rf_port(s.dst);
+            let out = &mut self.routers[s.src].outputs[rf_src];
             out.exists = true;
-            out.target = Some((s.dst, PORT_RF as u8));
+            out.target = Some((s.dst, rf_dst as u8));
             out.capacity = self.config.rf_flits_per_cycle();
             out.shortcut_hops = hops;
             out.vcs = vec![Default::default(); vcs];
             for v in &mut out.vcs {
                 v.credits = depth;
             }
-            let inp = &mut self.routers[s.dst].inputs[PORT_RF];
+            let inp = &mut self.routers[s.dst].inputs[rf_dst];
             inp.exists = true;
             inp.vcs = vec![Default::default(); vcs];
-            inp.upstream = Some((s.src, PORT_RF as u8));
+            inp.upstream = Some((s.src, rf_src as u8));
         }
         self.active_shortcuts = installed;
         self.rebuild_unicast_tables();
@@ -109,27 +114,29 @@ impl Network {
         let n = self.dims.nodes();
         if self.mesh_link_failures > 0 {
             let shortcuts = self.active_shortcuts.clone();
-            let (pt, dm) = self.detour_tables(&shortcuts);
+            let (pt, dm, td) = self.detour_tables(&shortcuts);
             self.port_table = Some(pt);
             self.sp_dist = Some(dm);
+            self.detour_dist = Some(td);
             return;
         }
-        let graph = GridGraph::with_shortcuts(self.dims, &self.active_shortcuts);
+        self.detour_dist = None;
+        let graph = GridGraph::from_fabric(&self.fabric, &self.active_shortcuts);
         let dist = graph.distances();
         let tables = RoutingTables::from_distances(&graph, &dist);
-        let mut pt = vec![PORT_LOCAL as u8; n * n];
+        let mut pt = vec![0u8; n * n];
         let mut dm = vec![0u32; n * n];
         for r in 0..n {
             for d in 0..n {
                 dm[r * n + d] = dist.get(r, d);
                 if r == d {
+                    pt[r * n + d] = self.base_ports[r];
                     continue;
                 }
                 let next = tables.next_hop(r, d);
-                pt[r * n + d] = if self.dims.manhattan(r, next) == 1 {
-                    mesh_port(self.dims, r, next)
-                } else {
-                    PORT_RF as u8
+                pt[r * n + d] = match self.fabric.port_between(r, next) {
+                    Some(slot) => slot,
+                    None => self.base_ports[r] + 1,
                 };
             }
         }

@@ -231,9 +231,10 @@ pub fn latency_bucket_bounds(i: usize) -> (u64, u64) {
 
 /// One sampling interval's worth of counters.
 ///
-/// Vector fields are sized `routers * 6` (per output port, ports are
-/// N,S,E,W,Local,RF) or `routers`; they are empty when their channel is
-/// disabled.
+/// Vector fields are sized `routers * ports` (per output port, in fabric
+/// slot order then Local then RF — `ports` is the network's widest
+/// per-router port count, 6 on the mesh) or `routers`; they are empty
+/// when their channel is disabled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalSample {
     /// First cycle covered by this sample.
@@ -241,9 +242,12 @@ pub struct IntervalSample {
     /// Cycles covered (equals the configured interval except possibly for
     /// the final, partial sample).
     pub cycles: u64,
-    /// Flit grants per output port (`router * 6 + port`) — the time-series
-    /// counterpart of [`crate::RunStats::port_flits`]. Channel:
-    /// [`ChannelMask::LINKS`].
+    /// Stride of the per-port vectors: the network's widest per-router
+    /// port count (6 on the mesh, 8 on the ring-mesh).
+    pub ports: usize,
+    /// Flit grants per output port (`router * ports + port`) — the
+    /// time-series counterpart of [`crate::RunStats::port_flits`].
+    /// Channel: [`ChannelMask::LINKS`].
     pub port_grants: Vec<u64>,
     /// Flit grants onto RF shortcut ports (the point-to-point RF band).
     /// Channel: [`ChannelMask::LINKS`].
@@ -285,13 +289,14 @@ pub struct IntervalSample {
 }
 
 impl IntervalSample {
-    fn zeroed(start: u64, routers: usize, channels: ChannelMask) -> Self {
+    fn zeroed(start: u64, routers: usize, ports: usize, channels: ChannelMask) -> Self {
         let links = channels.contains(ChannelMask::LINKS);
         let occ = channels.contains(ChannelMask::OCCUPANCY);
         Self {
             start,
             cycles: 0,
-            port_grants: if links { vec![0; routers * NUM_PORTS] } else { Vec::new() },
+            ports,
+            port_grants: if links { vec![0; routers * ports] } else { Vec::new() },
             rf_grants: 0,
             rf_mc_flits: 0,
             buffered_cycles: if occ { vec![0; routers] } else { Vec::new() },
@@ -321,11 +326,11 @@ impl IntervalSample {
     /// by `capacity × cycles` slot capacity (0.0 when the links channel is
     /// off or no cycles elapsed).
     pub fn port_utilization(&self, r: usize, port: usize, capacity: u32) -> f64 {
-        assert!(port < NUM_PORTS, "port index out of range");
+        assert!(port < self.ports, "port index out of range");
         if self.cycles == 0 || self.port_grants.is_empty() {
             0.0
         } else {
-            self.port_grants[r * NUM_PORTS + port] as f64
+            self.port_grants[r * self.ports + port] as f64
                 / (self.cycles as f64 * capacity.max(1) as f64)
         }
     }
@@ -547,6 +552,9 @@ pub struct TelemetryReport {
     pub channels: ChannelMask,
     /// Routers in the network (sizes the per-router vectors).
     pub routers: usize,
+    /// Stride of the per-port vectors: the network's widest per-router
+    /// port count (6 on the mesh, 8 on the ring-mesh).
+    pub ports: usize,
     /// The time series, in cycle order; the final sample may cover fewer
     /// than `interval` cycles.
     pub samples: Vec<IntervalSample>,
@@ -574,8 +582,8 @@ impl TelemetryReport {
             .position(|s| cycle >= s.start && cycle < s.start + s.cycles.max(1))
     }
 
-    /// Total flit grants per output port (`router * 6 + port`) summed over
-    /// every sample — equals `RunStats::port_flits` plus warmup/drain
+    /// Total flit grants per output port (`router * ports + port`) summed
+    /// over every sample — equals `RunStats::port_flits` plus warmup/drain
     /// traffic. Empty when the links channel was off.
     pub fn total_port_grants(&self) -> Vec<u64> {
         let Some(first) = self.samples.iter().find(|s| !s.port_grants.is_empty()) else {
@@ -630,7 +638,7 @@ impl TelemetryReport {
         &self.hops[lo..hi]
     }
 
-    /// Per-output-port contention blame (`router * 6 + port`): the total
+    /// Per-output-port contention blame (`router * ports + port`): the total
     /// VA + SA wait cycles packets spent acquiring each output link or RF
     /// band. Each stalled packet-cycle is attributed to exactly *one*
     /// port — the one the packet was ultimately granted at that hop — so
@@ -643,9 +651,9 @@ impl TelemetryReport {
         if self.hops.is_empty() {
             return Vec::new();
         }
-        let mut blame = vec![0u64; self.routers * NUM_PORTS];
+        let mut blame = vec![0u64; self.routers * self.ports];
         for h in &self.hops {
-            blame[h.router as usize * NUM_PORTS + h.port_out as usize] +=
+            blame[h.router as usize * self.ports + h.port_out as usize] +=
                 h.va_wait() + h.sa_wait();
         }
         blame
@@ -704,6 +712,8 @@ impl TelemetryReport {
 pub(super) struct TelemetryState {
     cfg: TelemetryConfig,
     routers: usize,
+    /// Stride of the per-port vectors (the network's `max_ports`).
+    ports: usize,
     /// First cycle of the interval being accumulated.
     interval_start: u64,
     /// The interval currently accumulating.
@@ -750,13 +760,14 @@ const NO_HOP: OpenHop = OpenHop {
 };
 
 impl TelemetryState {
-    pub(super) fn new(cfg: TelemetryConfig, routers: usize) -> Self {
+    pub(super) fn new(cfg: TelemetryConfig, routers: usize, ports: usize) -> Self {
         let occ = cfg.channels.contains(ChannelMask::OCCUPANCY);
         Self {
             cfg,
             routers,
+            ports,
             interval_start: 0,
-            cur: IntervalSample::zeroed(0, routers, cfg.channels),
+            cur: IntervalSample::zeroed(0, routers, ports, cfg.channels),
             samples: Vec::new(),
             buffered: if occ { vec![0; routers] } else { Vec::new() },
             span_of: Vec::new(),
@@ -800,7 +811,7 @@ impl TelemetryState {
         self.cur.cycles = covered;
         self.cur.in_flight_end = in_flight;
         let next_start = self.interval_start + covered;
-        let next = IntervalSample::zeroed(next_start, self.routers, self.cfg.channels);
+        let next = IntervalSample::zeroed(next_start, self.routers, self.ports, self.cfg.channels);
         self.samples.push(std::mem::replace(&mut self.cur, next));
         self.interval_start = next_start;
     }
@@ -883,6 +894,7 @@ impl Network {
             interval: t.cfg.interval,
             channels: t.cfg.channels,
             routers: t.routers,
+            ports: t.ports,
             samples: std::mem::take(&mut t.samples),
             spans: std::mem::take(&mut t.spans),
             dropped_spans: std::mem::take(&mut t.dropped_spans),
@@ -931,22 +943,31 @@ impl Network {
     }
 
     /// Records a switch grant: the links channel and span first-grant/RF
-    /// marks. `first` is true for the head flit's first grant anywhere.
+    /// marks. `first` is true for the head flit's first grant anywhere;
+    /// `is_rf` when `out` is the granting router's RF slot.
     #[inline]
-    pub(super) fn tel_grant(&mut self, r: usize, out: usize, packet: u32, first: bool, now: u64) {
+    pub(super) fn tel_grant(
+        &mut self,
+        r: usize,
+        out: usize,
+        is_rf: bool,
+        packet: u32,
+        first: bool,
+        now: u64,
+    ) {
         let Some(t) = self.telemetry.as_deref_mut() else { return };
         if t.on(ChannelMask::LINKS) {
-            t.cur.port_grants[r * NUM_PORTS + out] += 1;
-            if out == PORT_RF {
+            t.cur.port_grants[r * t.ports + out] += 1;
+            if is_rf {
                 t.cur.rf_grants += 1;
             }
         }
-        if (first || out == PORT_RF) && t.on(ChannelMask::SPANS) {
+        if (first || is_rf) && t.on(ChannelMask::SPANS) {
             if let Some(span) = t.span_slot(packet) {
                 if first {
                     span.first_grant_at = now;
                 }
-                if out == PORT_RF {
+                if is_rf {
                     span.took_rf = true;
                 }
             }

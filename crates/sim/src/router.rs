@@ -1,22 +1,29 @@
 //! Router microarchitecture: virtual channels, input/output ports, and the
 //! per-node injection engine.
 //!
-//! Each router has up to six ports (paper §3.2): the four mesh directions,
-//! a local port to the attached core/cache/memory element, and — on
-//! RF-enabled routers — a sixth port to the RF-I transmitter/receiver.
+//! Routers are degree-generic: each allocates `base + 2` port slots, where
+//! `base` is the fabric's per-router base-slot count (mesh routers have the
+//! four N/S/E/W directions, ring stations two, ring gateways six). Slot
+//! `base` is the local port to the attached core/cache/memory element and
+//! slot `base + 1` the RF-I transmitter/receiver port (paper §3.2). Absent
+//! ports within the base range are marked non-existent.
 
 use crate::flit::Flit;
 use std::collections::VecDeque;
 
-/// Port indices. Every router allocates all six slots; absent ports are
-/// marked non-existent.
+/// Base slot indices of the plain mesh fabric (matching
+/// `rfnoc_topology::fabric::SLOT_*`). Ring-mesh routers use the fabric's
+/// own slot numbering instead.
 pub(crate) const PORT_N: usize = 0;
 pub(crate) const PORT_S: usize = 1;
 pub(crate) const PORT_E: usize = 2;
 pub(crate) const PORT_W: usize = 3;
-pub(crate) const PORT_LOCAL: usize = 4;
-pub(crate) const PORT_RF: usize = 5;
-pub(crate) const NUM_PORTS: usize = 6;
+
+/// Compile-time cap on per-router port count, used to size fixed scratch
+/// arrays in the allocation loops (multicast partition groups, VA tree
+/// children, SA input reservations). Network construction rejects fabrics
+/// whose widest router would exceed it.
+pub(crate) const MAX_ROUTER_PORTS: usize = 16;
 
 /// A branch of a multicast (VCT) packet at this router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,7 +215,7 @@ impl Injector {
 /// A complete router.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Router {
-    /// Input ports (indexed by the `PORT_*` constants).
+    /// Input ports (indexed by fabric base slot, then local, then RF).
     pub inputs: Vec<InputPort>,
     /// Output ports.
     pub outputs: Vec<OutputPort>,

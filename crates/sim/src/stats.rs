@@ -35,15 +35,18 @@ pub struct RunStats {
     /// Sum of per-flit latencies (cycles): ejection time minus the creation
     /// time of the flit's (root) message.
     pub flit_latency_sum: u64,
-    /// Histogram of injected messages by source→destination Manhattan
+    /// Histogram of injected messages by source→destination base-route
     /// distance (index = hops; multicasts use the mean distance over their
     /// destination set, rounded).
     pub distance_histogram: Vec<u64>,
     /// Activity counters for the power model, covering all post-warmup
     /// cycles.
     pub activity: ActivityCounters,
-    /// Flit grants per output port (`router * 6 + port`; ports are
-    /// N,S,E,W,Local,RF), for utilization analysis.
+    /// Flit grants per output port (`router * ports_per_router + port`;
+    /// ports are the fabric base slots, then Local, then RF — for the
+    /// mesh that is N,S,E,W,Local,RF with a stride of 6), for utilization
+    /// analysis. The stride is `port_flits.len() / routers`; see
+    /// [`RunStats::ports_per_router`].
     pub port_flits: Vec<u64>,
     /// Per-(src,dst) message counts (`src * routers + dst`), populated only
     /// when [`crate::SimConfig::collect_pair_counts`] is set — the paper's
@@ -90,8 +93,16 @@ pub struct RunStats {
 
 impl RunStats {
     /// Creates empty statistics for a network of `routers` routers and
-    /// maximum Manhattan distance `max_distance`.
+    /// maximum base-route distance `max_distance`, with the mesh's six
+    /// port slots per router. Degree-generic fabrics use
+    /// [`RunStats::with_ports`].
     pub fn new(routers: usize, max_distance: usize) -> Self {
+        Self::with_ports(routers, max_distance, 6)
+    }
+
+    /// Creates empty statistics with an explicit per-router port stride
+    /// (the widest router's port count).
+    pub fn with_ports(routers: usize, max_distance: usize, ports: usize) -> Self {
         Self {
             injected_messages: 0,
             completed_messages: 0,
@@ -103,7 +114,7 @@ impl RunStats {
             flit_latency_sum: 0,
             distance_histogram: vec![0; max_distance + 1],
             activity: ActivityCounters::new(routers),
-            port_flits: vec![0; routers * 6],
+            port_flits: vec![0; routers * ports],
             pair_counts: Vec::new(),
             saturated: false,
             end_cycle: 0,
@@ -156,13 +167,21 @@ impl RunStats {
     ///
     /// Panics if the indices are out of range.
     pub fn port_utilization(&self, router: usize, port: usize, capacity: u32) -> f64 {
-        assert!(port < 6, "port index out of range");
-        let flits = self.port_flits[router * 6 + port];
+        let stride = self.ports_per_router();
+        assert!(port < stride, "port index out of range");
+        let flits = self.port_flits[router * stride + port];
         if self.activity.cycles == 0 {
             0.0
         } else {
             flits as f64 / (self.activity.cycles as f64 * capacity as f64)
         }
+    }
+
+    /// The flat per-router stride of [`RunStats::port_flits`] (6 for the
+    /// mesh, 8 for the ring-mesh).
+    pub fn ports_per_router(&self) -> usize {
+        let routers = self.activity.router_bytes.len();
+        self.port_flits.len().checked_div(routers).unwrap_or(6)
     }
 
     /// The most heavily utilized output port: `(router, port, utilization)`
@@ -173,7 +192,8 @@ impl RunStats {
         if flits == 0 || self.activity.cycles == 0 {
             return None;
         }
-        Some((idx / 6, idx % 6, flits as f64 / self.activity.cycles as f64))
+        let stride = self.ports_per_router();
+        Some((idx / stride, idx % stride, flits as f64 / self.activity.cycles as f64))
     }
 
     /// Sorts the per-message latencies ascending so percentile queries

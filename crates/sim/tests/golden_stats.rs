@@ -17,7 +17,7 @@ use rfnoc_sim::{
     DestSet, FaultEvent, FaultPlan, McConfig, MessageClass, MessageSpec, MulticastMode, Network,
     NetworkSpec, RunStats, SimConfig, VctConfig, Workload,
 };
-use rfnoc_topology::{GridDims, Shortcut};
+use rfnoc_topology::{FabricSpec, GridDims, Shortcut};
 
 /// FNV-1a over a canonical little-endian serialization.
 #[derive(Clone)]
@@ -217,7 +217,17 @@ const GOLDEN: &[(&str, u64)] = &[
     ("mc_rf_broadcast", 0x4bee21face551716),
     ("faults_and_glitches", 0x55babe268b18ef6d),
     ("reconfigure_live", 0x42e818c4a140779d),
+    // Ring-mesh fabric cases (8x8, tile 4): pinned when the degree-generic
+    // router landed, guarding the heterogeneous-degree port layout.
+    ("ringmesh_base_low_load", 0xf7ccf1ddaa383cdb),
+    ("ringmesh_rf_adaptive", 0x66d62b210993d2c2),
+    ("ringmesh_faults", 0x1d525d4c6f8ea398),
 ];
+
+/// The ring-mesh fabric the `ringmesh_*` golden cases run on.
+fn ring_fabric() -> FabricSpec {
+    FabricSpec::ring_mesh(GridDims::new(8, 8), 4)
+}
 
 fn run_case(name: &str) -> RunStats {
     let dims = GridDims::new(6, 6);
@@ -298,6 +308,39 @@ fn run_case(name: &str) -> RunStats {
             let mut w =
                 SyntheticWorkload::unicast(0x5eed_000a, n, 24, net.dims().nodes() as u64 + 1_700);
             net.run(&mut w)
+        }
+        "ringmesh_base_low_load" => {
+            let fabric = ring_fabric();
+            let cfg = golden_config();
+            let mut w =
+                SyntheticWorkload::unicast(0x5eed_000b, fabric.dims().nodes(), 8, horizon(&cfg));
+            Network::new(NetworkSpec::with_fabric(fabric, cfg, Vec::new())).run(&mut w)
+        }
+        "ringmesh_rf_adaptive" => {
+            let fabric = ring_fabric();
+            let cfg = golden_config();
+            let rn = fabric.dims().nodes();
+            let mut w = SyntheticWorkload::unicast(0x5eed_000c, rn, 32, horizon(&cfg));
+            Network::new(NetworkSpec::with_fabric(fabric, cfg, shortcuts(fabric.dims())))
+                .run(&mut w)
+        }
+        "ringmesh_faults" => {
+            let fabric = ring_fabric();
+            let cfg = golden_config();
+            let rn = fabric.dims().nodes();
+            // A base link of router 0 picked from the fabric itself, so the
+            // case stays valid whatever the tile's ring order is.
+            let nb = fabric.neighbors(0)[0];
+            let plan = FaultPlan::new(vec![
+                (300, FaultEvent::ShortcutDown { src: 0 }),
+                (500, FaultEvent::MeshLinkDown { a: 0, b: nb }),
+                (900, FaultEvent::ShortcutUp { src: 0, dst: rn - 1 }),
+                (1_100, FaultEvent::MeshLinkUp { a: 0, b: nb }),
+            ]);
+            let spec = NetworkSpec::with_fabric(fabric, cfg, shortcuts(fabric.dims()))
+                .with_fault_plan(plan);
+            let mut w = SyntheticWorkload::unicast(0x5eed_000d, rn, 16, horizon(&spec.config));
+            Network::new(spec).run(&mut w)
         }
         other => panic!("unknown golden case {other:?}"),
     }

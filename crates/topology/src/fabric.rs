@@ -1,0 +1,557 @@
+//! Pluggable base fabrics: the physical wire topology beneath the RF overlay.
+//!
+//! The paper evaluates a single 10×10 mesh (§3.1), but the RF-I overlay is
+//! topology-agnostic: shortcuts, shortest-path tables, and the escape-VC
+//! deadlock argument only require a connected base fabric with a
+//! deadlock-free base route. [`FabricSpec`] makes the fabric a first-class
+//! dimension with two implementations:
+//!
+//! * [`FabricSpec::Mesh`] — the paper's 2D mesh; base routes are XY
+//!   (dimension-order), port slots are N/S/E/W.
+//! * [`FabricSpec::RingMesh`] — the hierarchical ring-mesh hybrid of
+//!   Mazumdar & Scionti ("Ring-Mesh: A Scalable and High-Performance
+//!   Approach for Manycore Accelerators"): the grid is partitioned into
+//!   `tile×tile` blocks whose cells form a local ring (stations are
+//!   two-ported, after Wu's ring-router microarchitecture), and the ring
+//!   gateways form a coarser mesh between tiles.
+//!
+//! # Port-slot contract
+//!
+//! Every router exposes *base slots* `0..base_slot_count(r)`; slot meanings
+//! are fabric-defined but stable, and [`FabricSpec::port_neighbor`] maps a
+//! slot to the neighbouring router (or `None` for a grid-boundary slot).
+//! The simulator appends two virtual slots after the base slots — local
+//! injection/ejection and the RF overlay port — so a mesh router has the
+//! paper's six ports while a ring station has four.
+//!
+//! # Base routes and deadlock freedom
+//!
+//! [`FabricSpec::base_next_hop`] is the escape route used by the reserved
+//! escape VCs: XY on the mesh; on the ring-mesh it walks the local chain
+//! *down* to the gateway, XY across the gateway mesh, then *up* the chain
+//! to the destination station. The chain walk never crosses the ring's wrap
+//! edge, so the route classes (down < mesh-X < mesh-Y < up) are acyclic and
+//! the escape network is deadlock-free; wrap edges carry only adaptive
+//! traffic, which can always fall back to the escape VCs.
+
+use crate::error::TopologyError;
+use crate::geom::GridDims;
+use crate::graph::NodeId;
+use crate::routing::xy_next_hop;
+use std::fmt;
+
+/// A base fabric: dimensions plus the wiring pattern between routers.
+///
+/// Construct with [`FabricSpec::mesh`] or [`FabricSpec::ring_mesh`], then
+/// [`FabricSpec::validate`] before building networks; validation rejects
+/// degenerate topologies with a typed [`TopologyError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricSpec {
+    /// The paper's 2D mesh: every router links to its N/S/E/W neighbours.
+    Mesh {
+        /// Grid dimensions.
+        dims: GridDims,
+    },
+    /// Hierarchical ring-mesh: `tile×tile` blocks of ring stations, with
+    /// the per-tile gateway routers forming a coarser inter-tile mesh.
+    RingMesh {
+        /// Grid dimensions (must be divisible by `tile`).
+        dims: GridDims,
+        /// Side of the square tile; the local ring has `tile²` stations.
+        tile: usize,
+    },
+}
+
+/// Base-slot indices on a mesh router (the sim's historical port order).
+pub const SLOT_N: u8 = 0;
+/// South mesh slot.
+pub const SLOT_S: u8 = 1;
+/// East mesh slot.
+pub const SLOT_E: u8 = 2;
+/// West mesh slot.
+pub const SLOT_W: u8 = 3;
+
+/// Ring-station slot toward the previous station on the ring (lower snake
+/// index; the wrap edge for the gateway).
+pub const SLOT_RING_PREV: u8 = 0;
+/// Ring-station slot toward the next station on the ring.
+pub const SLOT_RING_NEXT: u8 = 1;
+
+impl FabricSpec {
+    /// A mesh fabric over `dims`.
+    pub fn mesh(dims: GridDims) -> Self {
+        Self::Mesh { dims }
+    }
+
+    /// A ring-mesh fabric over `dims` with `tile×tile` ring tiles.
+    pub fn ring_mesh(dims: GridDims, tile: usize) -> Self {
+        Self::RingMesh { dims, tile }
+    }
+
+    /// Checks the fabric for degenerate parameters.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        match *self {
+            Self::Mesh { dims } => {
+                if dims.width() < 2 || dims.height() < 2 {
+                    return Err(TopologyError::DegenerateMesh {
+                        width: dims.width(),
+                        height: dims.height(),
+                    });
+                }
+            }
+            Self::RingMesh { dims, tile } => {
+                if tile < 2 {
+                    return Err(TopologyError::RingTooSmall { tile });
+                }
+                if dims.width() % tile != 0 || dims.height() % tile != 0 {
+                    return Err(TopologyError::TileMisaligned {
+                        width: dims.width(),
+                        height: dims.height(),
+                        tile,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Grid dimensions of the fabric.
+    pub fn dims(&self) -> GridDims {
+        match *self {
+            Self::Mesh { dims } | Self::RingMesh { dims, .. } => dims,
+        }
+    }
+
+    /// Number of routers.
+    pub fn nodes(&self) -> usize {
+        self.dims().nodes()
+    }
+
+    /// Short human-readable fabric name (`mesh` / `ringmesh`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Mesh { .. } => "mesh",
+            Self::RingMesh { .. } => "ringmesh",
+        }
+    }
+
+    /// Whether this is the plain mesh fabric.
+    pub fn is_mesh(&self) -> bool {
+        matches!(self, Self::Mesh { .. })
+    }
+
+    /// The maximum number of base slots any router in this fabric exposes.
+    ///
+    /// Mesh routers have four (N/S/E/W); ring-mesh gateways have six
+    /// (ring prev/next plus four gateway-mesh directions).
+    pub fn max_base_slots(&self) -> usize {
+        match self {
+            Self::Mesh { .. } => 4,
+            Self::RingMesh { .. } => 6,
+        }
+    }
+
+    /// Number of base slots at router `r` (boundary slots count even when
+    /// unconnected; a plain ring station has two).
+    pub fn base_slot_count(&self, r: NodeId) -> usize {
+        match *self {
+            Self::Mesh { .. } => 4,
+            Self::RingMesh { dims, tile } => {
+                if RingMeshView::new(dims, tile).snake_of(r) == 0 {
+                    6
+                } else {
+                    2
+                }
+            }
+        }
+    }
+
+    /// The neighbour reached from router `r` through base slot `slot`, or
+    /// `None` when the slot faces the grid boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or `slot >= base_slot_count(r)`.
+    pub fn port_neighbor(&self, r: NodeId, slot: u8) -> Option<NodeId> {
+        match *self {
+            Self::Mesh { dims } => {
+                let c = dims.coord_of(r);
+                let (dx, dy): (i32, i32) = match slot {
+                    SLOT_N => (0, -1),
+                    SLOT_S => (0, 1),
+                    SLOT_E => (1, 0),
+                    SLOT_W => (-1, 0),
+                    _ => panic!("mesh slot {slot} out of range"),
+                };
+                let nx = c.x as i32 + dx;
+                let ny = c.y as i32 + dy;
+                if nx < 0 || ny < 0 || nx >= dims.width() as i32 || ny >= dims.height() as i32 {
+                    None
+                } else {
+                    Some(dims.index_of((nx as u16, ny as u16).into()))
+                }
+            }
+            Self::RingMesh { dims, tile } => {
+                let v = RingMeshView::new(dims, tile);
+                let (tx, ty) = v.tile_of(r);
+                let s = v.snake_of(r);
+                let ring_len = tile * tile;
+                match slot {
+                    SLOT_RING_PREV => Some(v.node_at(tx, ty, (s + ring_len - 1) % ring_len)),
+                    SLOT_RING_NEXT => Some(v.node_at(tx, ty, (s + 1) % ring_len)),
+                    2..=5 if s == 0 => {
+                        // Gateway-mesh slots, in the mesh's N/S/E/W order.
+                        let (dx, dy): (i32, i32) = match slot {
+                            2 => (0, -1),
+                            3 => (0, 1),
+                            4 => (1, 0),
+                            _ => (-1, 0),
+                        };
+                        let ntx = tx as i32 + dx;
+                        let nty = ty as i32 + dy;
+                        if ntx < 0
+                            || nty < 0
+                            || ntx >= v.tiles_x as i32
+                            || nty >= v.tiles_y as i32
+                        {
+                            None
+                        } else {
+                            Some(v.node_at(ntx as usize, nty as usize, 0))
+                        }
+                    }
+                    _ => panic!("ring-mesh slot {slot} out of range for router {r}"),
+                }
+            }
+        }
+    }
+
+    /// The slot at `a` whose link leads to `b`, if `(a, b)` is a base
+    /// fabric edge. All base edges are bidirectional, so
+    /// `port_between(a, b)` and `port_between(b, a)` are `Some` together.
+    pub fn port_between(&self, a: NodeId, b: NodeId) -> Option<u8> {
+        (0..self.base_slot_count(a) as u8).find(|&slot| self.port_neighbor(a, slot) == Some(b))
+    }
+
+    /// Neighbours of `r` in slot order, skipping boundary slots — the
+    /// adjacency-list order used by [`crate::GridGraph`].
+    pub fn neighbors(&self, r: NodeId) -> Vec<NodeId> {
+        (0..self.base_slot_count(r) as u8)
+            .filter_map(|slot| self.port_neighbor(r, slot))
+            .collect()
+    }
+
+    /// The next router on the deadlock-free base (escape) route from
+    /// `router` to `dest`; `dest` itself when already there.
+    ///
+    /// Mesh: XY routing. Ring-mesh: chain down to the gateway, XY across
+    /// the gateway mesh, chain up to the destination station; the ring wrap
+    /// edge is never used.
+    pub fn base_next_hop(&self, router: NodeId, dest: NodeId) -> NodeId {
+        match *self {
+            Self::Mesh { dims } => xy_next_hop(dims, router, dest),
+            Self::RingMesh { dims, tile } => {
+                if router == dest {
+                    return dest;
+                }
+                let v = RingMeshView::new(dims, tile);
+                let (tx, ty) = v.tile_of(router);
+                let (dtx, dty) = v.tile_of(dest);
+                let s = v.snake_of(router);
+                if (tx, ty) == (dtx, dty) {
+                    let ds = v.snake_of(dest);
+                    let next = if ds > s { s + 1 } else { s - 1 };
+                    return v.node_at(tx, ty, next);
+                }
+                if s > 0 {
+                    // Chain down toward the gateway (never the wrap edge).
+                    return v.node_at(tx, ty, s - 1);
+                }
+                // At the gateway: XY over the tile mesh.
+                if tx != dtx {
+                    let ntx = if dtx > tx { tx + 1 } else { tx - 1 };
+                    v.node_at(ntx, ty, 0)
+                } else if ty != dty {
+                    let nty = if dty > ty { ty + 1 } else { ty - 1 };
+                    v.node_at(tx, nty, 0)
+                } else {
+                    // Destination tile reached: chain up to the station.
+                    v.node_at(tx, ty, 1)
+                }
+            }
+        }
+    }
+
+    /// The slot carrying the base route from `router` toward `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router == dest` (there is no outgoing slot).
+    pub fn base_port(&self, router: NodeId, dest: NodeId) -> u8 {
+        assert_ne!(router, dest, "no base port to self");
+        let next = self.base_next_hop(router, dest);
+        self.port_between(router, next)
+            .expect("base route must follow a fabric edge")
+    }
+
+    /// The longest base route between any pair of routers — the diameter of
+    /// the escape fabric, used to size distance histograms.
+    pub fn max_route_len(&self) -> u32 {
+        match *self {
+            Self::Mesh { dims } => (dims.width() - 1 + dims.height() - 1) as u32,
+            Self::RingMesh { dims, tile } => {
+                let v = RingMeshView::new(dims, tile);
+                let chain = (tile * tile - 1) as u32;
+                2 * chain + (v.tiles_x - 1 + v.tiles_y - 1) as u32
+            }
+        }
+    }
+
+    /// Length in hops of the base (escape) route from `a` to `b` — the
+    /// fabric's analogue of Manhattan distance. O(1).
+    pub fn base_route_len(&self, a: NodeId, b: NodeId) -> u32 {
+        match *self {
+            Self::Mesh { dims } => dims.manhattan(a, b),
+            Self::RingMesh { dims, tile } => {
+                if a == b {
+                    return 0;
+                }
+                let v = RingMeshView::new(dims, tile);
+                let (atx, aty) = v.tile_of(a);
+                let (btx, bty) = v.tile_of(b);
+                let sa = v.snake_of(a) as u32;
+                let sb = v.snake_of(b) as u32;
+                if (atx, aty) == (btx, bty) {
+                    sa.abs_diff(sb)
+                } else {
+                    let tile_hops = atx.abs_diff(btx) + aty.abs_diff(bty);
+                    sa + tile_hops as u32 + sb
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FabricSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::Mesh { dims } => write!(f, "mesh-{dims}"),
+            Self::RingMesh { dims, tile } => write!(f, "ringmesh-{dims}-t{tile}"),
+        }
+    }
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        Self::Mesh { dims: GridDims::paper_baseline() }
+    }
+}
+
+/// Precomputed tile arithmetic for a ring-mesh fabric.
+struct RingMeshView {
+    dims: GridDims,
+    tile: usize,
+    tiles_x: usize,
+    tiles_y: usize,
+}
+
+impl RingMeshView {
+    fn new(dims: GridDims, tile: usize) -> Self {
+        debug_assert!(
+            tile >= 2 && dims.width().is_multiple_of(tile) && dims.height().is_multiple_of(tile)
+        );
+        Self { dims, tile, tiles_x: dims.width() / tile, tiles_y: dims.height() / tile }
+    }
+
+    /// Tile coordinates of router `r`.
+    fn tile_of(&self, r: NodeId) -> (usize, usize) {
+        let c = self.dims.coord_of(r);
+        (c.x as usize / self.tile, c.y as usize / self.tile)
+    }
+
+    /// Snake index of `r` inside its tile: row-major boustrophedon, so
+    /// consecutive indices are grid-adjacent and index 0 is the tile's
+    /// top-left cell (the gateway).
+    fn snake_of(&self, r: NodeId) -> usize {
+        let c = self.dims.coord_of(r);
+        let lx = c.x as usize % self.tile;
+        let ly = c.y as usize % self.tile;
+        ly * self.tile + if ly.is_multiple_of(2) { lx } else { self.tile - 1 - lx }
+    }
+
+    /// Router at snake index `s` inside tile `(tx, ty)`.
+    fn node_at(&self, tx: usize, ty: usize, s: usize) -> NodeId {
+        let ly = s / self.tile;
+        let lx =
+            if ly.is_multiple_of(2) { s % self.tile } else { self.tile - 1 - s % self.tile };
+        let x = (tx * self.tile + lx) as u16;
+        let y = (ty * self.tile + ly) as u16;
+        self.dims.index_of((x, y).into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GridGraph;
+
+    #[test]
+    fn validation_rejects_degenerate_fabrics() {
+        assert!(FabricSpec::mesh(GridDims::new(1, 8)).validate().is_err());
+        assert!(FabricSpec::mesh(GridDims::new(8, 1)).validate().is_err());
+        assert!(FabricSpec::mesh(GridDims::new(2, 2)).validate().is_ok());
+        assert!(FabricSpec::ring_mesh(GridDims::new(8, 8), 1).validate().is_err());
+        assert!(FabricSpec::ring_mesh(GridDims::new(8, 8), 3).validate().is_err());
+        assert!(FabricSpec::ring_mesh(GridDims::new(9, 9), 3).validate().is_ok());
+        assert!(FabricSpec::ring_mesh(GridDims::new(8, 8), 4).validate().is_ok());
+    }
+
+    #[test]
+    fn mesh_slots_match_grid_graph_adjacency() {
+        let dims = GridDims::new(5, 4);
+        let fabric = FabricSpec::mesh(dims);
+        let g = GridGraph::mesh(dims);
+        for r in 0..dims.nodes() {
+            assert_eq!(fabric.neighbors(r), g.neighbors(r).to_vec(), "router {r}");
+        }
+    }
+
+    #[test]
+    fn mesh_base_route_is_xy() {
+        let dims = GridDims::new(6, 6);
+        let fabric = FabricSpec::mesh(dims);
+        for a in 0..dims.nodes() {
+            for b in 0..dims.nodes() {
+                assert_eq!(fabric.base_next_hop(a, b), xy_next_hop(dims, a, b));
+                assert_eq!(fabric.base_route_len(a, b), dims.manhattan(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_mesh_edges_are_bidirectional_and_consistent() {
+        let fabric = FabricSpec::ring_mesh(GridDims::new(8, 8), 4);
+        for r in 0..64 {
+            for slot in 0..fabric.base_slot_count(r) as u8 {
+                if let Some(nb) = fabric.port_neighbor(r, slot) {
+                    assert_ne!(nb, r);
+                    let back = fabric.port_between(nb, r);
+                    assert!(back.is_some(), "edge {r}->{nb} has no reverse slot");
+                    assert_eq!(fabric.port_neighbor(nb, back.unwrap()), Some(r));
+                    assert_eq!(fabric.port_between(r, nb), Some(slot));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_mesh_snake_is_grid_adjacent() {
+        // Consecutive ring stations must be physically adjacent cells so the
+        // ring can be wired with unit-length grid links (wrap edge aside).
+        let dims = GridDims::new(6, 6);
+        let fabric = FabricSpec::ring_mesh(dims, 3);
+        for r in 0..36 {
+            let next = fabric.port_neighbor(r, SLOT_RING_NEXT).unwrap();
+            let hop = dims.manhattan(r, next);
+            // Chain edges are unit-length; the wrap edge spans the tile.
+            assert!(hop == 1 || hop as usize == 2 * (3 - 1), "{r}->{next} = {hop}");
+        }
+    }
+
+    #[test]
+    fn ring_mesh_base_route_reaches_dest_with_analytic_length() {
+        let dims = GridDims::new(8, 8);
+        let fabric = FabricSpec::ring_mesh(dims, 4);
+        for a in 0..64 {
+            for b in 0..64 {
+                let mut cur = a;
+                let mut hops = 0u32;
+                while cur != b {
+                    let next = fabric.base_next_hop(cur, b);
+                    assert!(
+                        fabric.port_between(cur, next).is_some(),
+                        "base hop {cur}->{next} not a fabric edge"
+                    );
+                    cur = next;
+                    hops += 1;
+                    assert!(hops <= 200, "route {a}->{b} does not terminate");
+                }
+                assert_eq!(hops, fabric.base_route_len(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_mesh_escape_route_never_uses_wrap_edge() {
+        let dims = GridDims::new(6, 6);
+        let fabric = FabricSpec::ring_mesh(dims, 3);
+        let ring_len = 9;
+        for a in 0..36 {
+            for b in 0..36 {
+                let mut cur = a;
+                while cur != b {
+                    let next = fabric.base_next_hop(cur, b);
+                    // Wrap edge connects snake index 0 and ring_len-1.
+                    let v = RingMeshView::new(dims, 3);
+                    let (s, ns) = (v.snake_of(cur), v.snake_of(next));
+                    let crosses_wrap =
+                        (s == 0 && ns == ring_len - 1) || (s == ring_len - 1 && ns == 0);
+                    assert!(
+                        !crosses_wrap,
+                        "escape route {a}->{b} crossed wrap edge at {cur}->{next}"
+                    );
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_mesh_station_degrees() {
+        let fabric = FabricSpec::ring_mesh(GridDims::new(8, 8), 4);
+        let v = RingMeshView::new(GridDims::new(8, 8), 4);
+        for r in 0..64 {
+            if v.snake_of(r) == 0 {
+                assert_eq!(fabric.base_slot_count(r), 6, "gateway {r}");
+            } else {
+                assert_eq!(fabric.base_slot_count(r), 2, "station {r}");
+            }
+        }
+        assert_eq!(fabric.max_base_slots(), 6);
+    }
+
+    #[test]
+    fn max_route_len_matches_worst_pair() {
+        for fabric in [
+            FabricSpec::mesh(GridDims::new(6, 4)),
+            FabricSpec::ring_mesh(GridDims::new(6, 6), 3),
+            FabricSpec::ring_mesh(GridDims::new(8, 8), 4),
+        ] {
+            let n = fabric.nodes();
+            let worst = (0..n)
+                .flat_map(|a| (0..n).map(move |b| (a, b)))
+                .map(|(a, b)| fabric.base_route_len(a, b))
+                .max()
+                .unwrap();
+            assert_eq!(worst, fabric.max_route_len(), "{fabric}");
+        }
+    }
+
+    #[test]
+    fn from_fabric_graph_is_connected() {
+        for fabric in [
+            FabricSpec::mesh(GridDims::new(4, 4)),
+            FabricSpec::ring_mesh(GridDims::new(6, 6), 3),
+        ] {
+            let g = GridGraph::from_fabric(&fabric, &[]);
+            let d = g.distances();
+            for a in 0..fabric.nodes() {
+                for b in 0..fabric.nodes() {
+                    assert_ne!(d.get(a, b), crate::dist::UNREACHABLE, "{fabric}: {a}->{b}");
+                    // The adaptive graph may beat the escape route but
+                    // never exceeds it.
+                    assert!(d.get(a, b) <= fabric.base_route_len(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Grid geometry: coordinates and mesh dimensions.
 
+use crate::error::TopologyError;
 use std::fmt;
 
 /// Dimensions of a rectangular router grid.
@@ -28,6 +29,15 @@ impl GridDims {
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
         Self { width, height }
+    }
+
+    /// Creates grid dimensions, rejecting zero-sized grids with a typed
+    /// error instead of panicking.
+    pub fn try_new(width: usize, height: usize) -> Result<Self, TopologyError> {
+        if width == 0 || height == 0 {
+            return Err(TopologyError::ZeroDims { width, height });
+        }
+        Ok(Self { width, height })
     }
 
     /// The paper's baseline 10×10 grid.

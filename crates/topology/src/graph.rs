@@ -1,6 +1,7 @@
 //! The directed grid graph: baseline mesh plus RF-I shortcut edges.
 
 use crate::dist::DistanceMatrix;
+use crate::fabric::FabricSpec;
 use crate::geom::{Coord, GridDims};
 use std::fmt;
 
@@ -87,6 +88,29 @@ impl GridGraph {
     /// Panics if any shortcut endpoint is out of range or a self-loop.
     pub fn with_shortcuts(dims: GridDims, shortcuts: &[Shortcut]) -> Self {
         let mut g = Self::mesh(dims);
+        for &s in shortcuts {
+            g.add_shortcut(s);
+        }
+        g
+    }
+
+    /// Creates the base graph of `fabric` (neighbours in fabric slot order)
+    /// and adds every shortcut in `shortcuts`.
+    ///
+    /// For [`FabricSpec::Mesh`] this is identical to
+    /// [`GridGraph::with_shortcuts`] — the mesh fabric's slot order matches
+    /// the mesh adjacency order (N, S, E, W, compacted at boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shortcut endpoint is out of range or a self-loop; the
+    /// fabric itself should be validated with [`FabricSpec::validate`]
+    /// before use.
+    pub fn from_fabric(fabric: &FabricSpec, shortcuts: &[Shortcut]) -> Self {
+        let dims = fabric.dims();
+        let n = dims.nodes();
+        let adjacency = (0..n).map(|r| fabric.neighbors(r)).collect();
+        let mut g = Self { dims, shortcuts: Vec::new(), adjacency };
         for &s in shortcuts {
             g.add_shortcut(s);
         }

@@ -35,15 +35,19 @@
 #![warn(missing_docs)]
 
 mod dist;
+mod error;
 mod geom;
 mod graph;
 mod weights;
 
+pub mod fabric;
 pub mod regions;
 pub mod routing;
 pub mod select;
 
 pub use dist::DistanceMatrix;
+pub use error::TopologyError;
+pub use fabric::FabricSpec;
 pub use geom::{Coord, GridDims};
 pub use graph::{GridGraph, NodeId, Shortcut};
 pub use select::SelectionConstraints;

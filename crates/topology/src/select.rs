@@ -173,12 +173,78 @@ pub fn select_exhaustive_greedy(
 /// Each round connects the feasible pair `(i,j)` with the maximum current
 /// cost `w(i,j)·d(i,j)` — for uniform weights this reduces the graph
 /// diameter; for frequency weights it accelerates the hottest distant pairs.
-/// Distances are recomputed (incrementally) after each addition.
+///
+/// Distances are updated incrementally after each addition, and so is the
+/// max-cost pair itself: per-source row maxima are maintained under the
+/// `O(V²)` distance update instead of rescanning all `V²` candidates each
+/// round (see [`select_max_cost_profiled`] for the scan counters). The
+/// selected set is identical to the rescanning reference implementation
+/// [`select_max_cost_rescan`].
 ///
 /// # Panics
 ///
 /// Panics if the weights or constraints do not match the graph's node count.
 pub fn select_max_cost(
+    graph: &GridGraph,
+    weights: &PairWeights,
+    constraints: &SelectionConstraints,
+) -> Vec<Shortcut> {
+    select_max_cost_profiled(graph, weights, constraints).0
+}
+
+/// Scan counters from the incremental max-cost selector, for build-time
+/// profiling: how much candidate-rescanning work the incremental row
+/// maintenance avoided relative to the `rounds · V²` a full rescan would do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionProfile {
+    /// Selection rounds executed (shortcuts placed).
+    pub rounds: usize,
+    /// Source rows whose cached maximum was invalidated and rescanned.
+    pub rows_rescanned: usize,
+    /// Individual `(i,j)` candidates evaluated across all rescans.
+    pub candidates_scanned: u64,
+}
+
+/// [`select_max_cost`] with the incremental-maintenance [`SelectionProfile`].
+///
+/// # Panics
+///
+/// Panics if the weights or constraints do not match the graph's node count.
+pub fn select_max_cost_profiled(
+    graph: &GridGraph,
+    weights: &PairWeights,
+    constraints: &SelectionConstraints,
+) -> (Vec<Shortcut>, SelectionProfile) {
+    let n = graph.node_count();
+    constraints.validate(n);
+    assert_eq!(weights.node_count(), n, "weights node count mismatch");
+    let mut dist = graph.distances();
+    let mut usage = PortUsage::new(n);
+    let mut rows = IncrementalRows::new(n);
+    let mut profile = SelectionProfile::default();
+    for x in 0..n {
+        rows.rescan(x, &dist, weights, constraints, &usage, &mut profile);
+    }
+    let mut selected = Vec::with_capacity(constraints.budget);
+    for _ in 0..constraints.budget {
+        let Some((i, j)) = rows.best_pair() else { break };
+        dist.apply_edge(i, j);
+        usage.place(i, j);
+        selected.push(Shortcut::new(i, j));
+        profile.rounds += 1;
+        rows.revalidate(i, j, &dist, weights, constraints, &usage, &mut profile);
+    }
+    (selected, profile)
+}
+
+/// The pre-refactor rescanning implementation of [`select_max_cost`]: every
+/// round re-evaluates all `V²` candidates with [`max_cost_pair`]. Kept as
+/// the reference the incremental selector is property-tested against.
+///
+/// # Panics
+///
+/// Panics if the weights or constraints do not match the graph's node count.
+pub fn select_max_cost_rescan(
     graph: &GridGraph,
     weights: &PairWeights,
     constraints: &SelectionConstraints,
@@ -206,6 +272,121 @@ pub fn select_max_cost(
         selected.push(Shortcut::new(i, j));
     }
     selected
+}
+
+/// Per-source cached maxima for the incremental max-cost selector.
+///
+/// `rows[x]` caches the feasible destination maximising
+/// `w(x,y)·d(x,y)` (with [`max_cost_pair`]'s exact tie-breaking), or `None`
+/// when row `x` currently has no feasible positive-cost candidate.
+///
+/// The cache stays sound because every per-round change is monotone:
+/// [`DistanceMatrix::apply_edge`] only *decreases* distances (so costs only
+/// decrease) and [`PortUsage`] only *shrinks* feasibility. A cached row
+/// maximum therefore remains the row maximum until the cached entry itself
+/// is touched — its cost drops, its distance collapses to ≤ 1, or an
+/// endpoint port fills up — at which point the row is rescanned.
+struct IncrementalRows {
+    rows: Vec<Option<(f64, NodeId)>>,
+}
+
+impl IncrementalRows {
+    fn new(n: usize) -> Self {
+        Self { rows: vec![None; n] }
+    }
+
+    /// Recomputes row `x` from scratch, mirroring [`max_cost_pair`]'s inner
+    /// loop (ascending `y`, identical epsilon tie-break).
+    fn rescan(
+        &mut self,
+        x: NodeId,
+        dist: &DistanceMatrix,
+        weights: &PairWeights,
+        constraints: &SelectionConstraints,
+        usage: &PortUsage,
+        profile: &mut SelectionProfile,
+    ) {
+        self.rows[x] = None;
+        if !constraints.eligible[x] || usage.out_used[x] >= constraints.max_out_per_node {
+            return;
+        }
+        profile.rows_rescanned += 1;
+        let n = dist.node_count();
+        profile.candidates_scanned += n as u64;
+        let mut best: Option<(f64, NodeId)> = None;
+        for y in 0..n {
+            if !usage.can_place(constraints, x, y) || dist.get(x, y) <= 1 {
+                continue;
+            }
+            let cost = weights.get(x, y) * dist.get(x, y) as f64;
+            if cost <= 0.0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bc, by)) => {
+                    cost > bc + 1e-9 || ((cost - bc).abs() <= 1e-9 && y < by)
+                }
+            };
+            if better {
+                best = Some((cost, y));
+            }
+        }
+        self.rows[x] = best;
+    }
+
+    /// The feasible pair maximising the cached costs, with
+    /// [`max_cost_pair`]'s cross-row tie-break (ascending source index).
+    fn best_pair(&self) -> Option<(NodeId, NodeId)> {
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        for (x, row) in self.rows.iter().enumerate() {
+            let Some((cost, y)) = *row else { continue };
+            let better = match best {
+                None => true,
+                Some((bc, bi, bj)) => {
+                    cost > bc + 1e-9 || ((cost - bc).abs() <= 1e-9 && (x, y) < (bi, bj))
+                }
+            };
+            if better {
+                best = Some((cost, x, y));
+            }
+        }
+        best.map(|(_, i, j)| (i, j))
+    }
+
+    /// After placing `(i, j)` and applying its distance update: drop or
+    /// rescan exactly the rows whose cached maximum may have changed.
+    #[allow(clippy::too_many_arguments)]
+    fn revalidate(
+        &mut self,
+        i: NodeId,
+        j: NodeId,
+        dist: &DistanceMatrix,
+        weights: &PairWeights,
+        constraints: &SelectionConstraints,
+        usage: &PortUsage,
+        profile: &mut SelectionProfile,
+    ) {
+        let j_full = usage.in_used[j] >= constraints.max_in_per_node;
+        for x in 0..self.rows.len() {
+            let stale = match self.rows[x] {
+                None => false,
+                Some((cost, y)) => {
+                    // The placed source may have exhausted its out-ports.
+                    x == i
+                        // The placed destination may have filled its in-port.
+                        || (j_full && y == j)
+                        // The cached entry's own cost or feasibility moved
+                        // (distances only ever decrease).
+                        || dist.get(x, y) <= 1
+                        || weights.get(x, y) * dist.get(x, y) as f64 != cost
+                }
+            };
+            if stale {
+                self.rescan(x, dist, weights, constraints, usage, profile);
+            }
+        }
+    }
 }
 
 /// How candidate pairs are scored by [`max_cost_pair`].
@@ -488,6 +669,54 @@ mod tests {
             }
             check_constraints(&g, &s, &c).unwrap();
         }
+    }
+
+    #[test]
+    fn incremental_matches_rescan_reference() {
+        // Deterministic non-uniform weights: hash-like integer mixing keeps
+        // costs well-separated so the epsilon tie-break never fires.
+        for side in [4usize, 5, 7] {
+            let g = mesh(side);
+            let n = g.node_count();
+            let mut w = PairWeights::zero(n);
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        w.add(a, b, ((a * 31 + b * 17) % 23) as f64);
+                    }
+                }
+            }
+            let c = SelectionConstraints::allowing_all(n, 12).excluding_corners(&g);
+            let (inc, profile) = select_max_cost_profiled(&g, &w, &c);
+            let re = select_max_cost_rescan(&g, &w, &c);
+            assert_eq!(inc, re, "side {side}");
+            assert_eq!(profile.rounds, inc.len());
+            // Row maintenance must beat the full rescan: the reference
+            // evaluates rounds·V² candidates beyond the initial scan.
+            let rescan_work = (profile.rounds * n * n) as u64;
+            assert!(
+                profile.candidates_scanned < (n * n) as u64 + rescan_work,
+                "side {side}: {profile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_rescan_on_ring_mesh_fabric() {
+        use crate::fabric::FabricSpec;
+        let fabric = FabricSpec::ring_mesh(GridDims::new(6, 6), 3);
+        let g = GridGraph::from_fabric(&fabric, &[]);
+        let n = g.node_count();
+        let mut w = PairWeights::zero(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    w.add(a, b, ((a * 13 + b * 7) % 11) as f64);
+                }
+            }
+        }
+        let c = SelectionConstraints::allowing_all(n, 8);
+        assert_eq!(select_max_cost(&g, &w, &c), select_max_cost_rescan(&g, &w, &c));
     }
 
     #[test]

@@ -4,9 +4,9 @@ use proptest::prelude::*;
 use rfnoc_topology::routing::RoutingTables;
 use rfnoc_topology::select::{
     check_constraints, select_application_specific, select_exhaustive_greedy, select_max_cost,
-    SelectionConstraints,
+    select_max_cost_rescan, SelectionConstraints,
 };
-use rfnoc_topology::{GridDims, GridGraph, PairWeights, Shortcut};
+use rfnoc_topology::{FabricSpec, GridDims, GridGraph, PairWeights, Shortcut};
 
 fn objective(dims: GridDims, set: &[Shortcut], weights: &PairWeights) -> f64 {
     let g = GridGraph::with_shortcuts(dims, set);
@@ -108,6 +108,40 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The incremental max-cost selector (dirty-row frontier rescans) is
+    /// an optimisation of the full-rescan reference, never a different
+    /// algorithm: on any fabric — mesh or ring-mesh — and any sparse
+    /// traffic profile, both pick the *identical* shortcut sequence.
+    #[test]
+    fn incremental_selection_matches_rescan(
+        side in 4usize..9,
+        ring in 0usize..2,
+        budget in 1usize..6,
+        pairs in proptest::collection::vec((0usize..64, 0usize..64, 0.5f64..50.0), 0..25),
+    ) {
+        let dims = GridDims::new(side, side);
+        let fabric = if ring == 1 && side % 4 == 0 {
+            FabricSpec::ring_mesh(dims, 4)
+        } else {
+            FabricSpec::mesh(dims)
+        };
+        let n = dims.nodes();
+        let g = GridGraph::from_fabric(&fabric, &[]);
+        let mut w = PairWeights::zero(n);
+        for (a, b, f) in pairs {
+            if a != b && a < n && b < n {
+                w.add(a, b, f);
+            }
+        }
+        let c = SelectionConstraints::allowing_all(n, budget);
+        let incremental = select_max_cost(&g, &w, &c);
+        let rescan = select_max_cost_rescan(&g, &w, &c);
+        prop_assert_eq!(
+            incremental, rescan,
+            "selector divergence on {} side {}", fabric.name(), side
+        );
     }
 
     /// `improvement_if_added` is exact for arbitrary weighted graphs.

@@ -7,7 +7,7 @@
 //! bank to act as multicast transmitter), and cores on the remaining
 //! routers.
 
-use rfnoc_topology::{Coord, GridDims, NodeId};
+use rfnoc_topology::{Coord, FabricSpec, GridDims, NodeId};
 
 /// The kind of element attached to a router's local port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,7 +33,9 @@ pub enum ComponentKind {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
-    dims: GridDims,
+    /// The fabric the components are placed on; the grid dimensions are
+    /// derived from it.
+    fabric: FabricSpec,
     kind: Vec<ComponentKind>,
     cores: Vec<NodeId>,
     caches: Vec<NodeId>,
@@ -63,6 +65,19 @@ impl Placement {
     ///
     /// Panics if the grid is smaller than 6×6 or has odd dimensions.
     pub fn quadrant_clusters(dims: GridDims) -> Self {
+        Self::quadrant_clusters_on(FabricSpec::mesh(dims))
+    }
+
+    /// [`Self::quadrant_clusters`] over an arbitrary fabric: the component
+    /// geometry is laid out on the fabric's grid coordinates, so the same
+    /// placement works on a plain mesh and a ring-mesh of equal size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric's grid is smaller than 6×6 or has odd
+    /// dimensions.
+    pub fn quadrant_clusters_on(fabric: FabricSpec) -> Self {
+        let dims = fabric.dims();
         assert!(
             dims.width() >= 6 && dims.height() >= 6,
             "grid too small for quadrant clusters"
@@ -142,7 +157,7 @@ impl Placement {
 
         let cores: Vec<NodeId> =
             (0..n).filter(|&i| kind[i] == ComponentKind::Core).collect();
-        Self { dims, kind, cores, caches, memories, cluster_of, cluster_centers }
+        Self { fabric, kind, cores, caches, memories, cluster_of, cluster_centers }
     }
 
     /// A degenerate placement with a core on every router and no caches
@@ -150,9 +165,14 @@ impl Placement {
     /// [`Self::quadrant_clusters`]) and rendering fixtures where only the
     /// geometry matters.
     pub fn cores_only(dims: GridDims) -> Self {
-        let n = dims.nodes();
+        Self::cores_only_on(FabricSpec::mesh(dims))
+    }
+
+    /// [`Self::cores_only`] over an arbitrary fabric.
+    pub fn cores_only_on(fabric: FabricSpec) -> Self {
+        let n = fabric.dims().nodes();
         Self {
-            dims,
+            fabric,
             kind: vec![ComponentKind::Core; n],
             cores: (0..n).collect(),
             caches: Vec::new(),
@@ -162,9 +182,14 @@ impl Placement {
         }
     }
 
-    /// Grid dimensions.
+    /// Grid dimensions (derived from the fabric).
     pub fn dims(&self) -> GridDims {
-        self.dims
+        self.fabric.dims()
+    }
+
+    /// The fabric the components are placed on.
+    pub fn fabric(&self) -> FabricSpec {
+        self.fabric
     }
 
     /// The component kind at `router`.
@@ -204,15 +229,15 @@ impl Placement {
 
     /// All component routers (every router hosts something).
     pub fn all(&self) -> impl Iterator<Item = NodeId> + '_ {
-        0..self.dims.nodes()
+        0..self.dims().nodes()
     }
 
     /// Quadrant group (0–3) of a router, ordered for the dataflow patterns:
     /// top-left → top-right → bottom-right → bottom-left.
     pub fn dataflow_group(&self, router: NodeId) -> usize {
-        let c = self.dims.coord_of(router);
-        let right = c.x as usize >= self.dims.width() / 2;
-        let bottom = c.y as usize >= self.dims.height() / 2;
+        let c = self.dims().coord_of(router);
+        let right = c.x as usize >= self.dims().width() / 2;
+        let bottom = c.y as usize >= self.dims().height() / 2;
         match (right, bottom) {
             (false, false) => 0,
             (true, false) => 1,
@@ -232,8 +257,8 @@ impl Placement {
         assert!(count >= 1 && count <= self.cluster_centers.len());
         // Anchor points per hotspot count; the first matches the paper's
         // 1Hotspot example (cache bank near (7,0)).
-        let w = (self.dims.width() - 1) as u16;
-        let h = (self.dims.height() - 1) as u16;
+        let w = (self.dims().width() - 1) as u16;
+        let h = (self.dims().height() - 1) as u16;
         let anchors = [
             Coord::new(w - 2, 0),
             Coord::new(1, h),
@@ -248,7 +273,7 @@ impl Placement {
                 .copied()
                 .filter(|c| !picked.contains(c))
                 .min_by_key(|&c| {
-                    (self.dims.coord_of(c).manhattan(*anchor), c)
+                    (self.dims().coord_of(c).manhattan(*anchor), c)
                 })
                 .expect("cache list is non-empty");
             picked.push(best);
