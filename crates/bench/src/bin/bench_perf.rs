@@ -8,13 +8,21 @@
 //! criterion crate is an API stub, so timing is hand-rolled with
 //! `std::time::Instant`, exactly like the sweep runner.
 //!
-//! Usage: `bench_perf [--quick] [--telemetry]`
-//!   --quick      one short repetition per config (CI smoke)
-//!   --telemetry  enable the telemetry layer (all channels, 1k-cycle
-//!                interval) and write the artifact as
-//!                `BENCH_sim_throughput_telemetry.json` — CI compares its
-//!                cycles/sec against the telemetry-off run to bound the
-//!                observation overhead
+//! Usage: `bench_perf [--quick] [--telemetry] [--sim-threads N]`
+//!   --quick        one short repetition per config (CI smoke)
+//!   --telemetry    enable the telemetry layer (all channels, 1k-cycle
+//!                  interval) and write the artifact as
+//!                  `BENCH_sim_throughput_telemetry.json` — CI compares its
+//!                  cycles/sec against the telemetry-off run to bound the
+//!                  observation overhead
+//!   --sim-threads  step every simulation on N sharded-engine threads
+//!                  (bit-identical to serial; 0 is rejected)
+//!
+//! Besides the fixed 10×10 configs, a saturated 64×64 mesh is timed at 1
+//! thread and — when `--sim-threads N > 1` — again at N threads; both land
+//! in the artifact and the BENCH_trajectory row (ids
+//! `mesh64x64_saturated_t<threads>`), so the trajectory records wall time
+//! against thread count for the scaling workload.
 
 use rfnoc_bench::artifact::{append_trajectory, git_describe, json_f64, json_str};
 use rfnoc_sim::{
@@ -175,8 +183,8 @@ struct Sample {
     wall: Duration,
 }
 
-fn run_once(bc: &BenchConfig, measure_cycles: u64, telemetry: bool) -> Sample {
-    let mut cfg = SimConfig::paper_baseline();
+fn run_once(bc: &BenchConfig, measure_cycles: u64, telemetry: bool, threads: usize) -> Sample {
+    let mut cfg = SimConfig::paper_baseline().with_threads(threads);
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = measure_cycles;
     cfg.drain_cycles = 20_000;
@@ -193,10 +201,41 @@ fn run_once(bc: &BenchConfig, measure_cycles: u64, telemetry: bool) -> Sample {
     Sample { stats, wall: t0.elapsed() }
 }
 
+/// The thread-scaling workload: a saturated 64×64 mesh, the configuration
+/// where the sharded engine has enough routers per shard to amortise the
+/// cycle-boundary barriers.
+fn run_scale(threads: usize, measure_cycles: u64, quick: bool) -> Sample {
+    let d = GridDims::new(64, 64);
+    let mut cfg = SimConfig::paper_baseline().with_threads(threads);
+    cfg.warmup_cycles = if quick { 100 } else { 200 };
+    cfg.measure_cycles = measure_cycles;
+    // The wall-time ratio is the metric; a saturated 64×64 never fully
+    // drains anyway, so cap the tail hard in quick mode.
+    cfg.drain_cycles = if quick { 400 } else { 3_000 };
+    cfg.watchdog_cycles = 0;
+    let horizon = cfg.warmup_cycles + cfg.measure_cycles;
+    let spec = NetworkSpec::mesh_baseline(d, cfg);
+    let mut network = Network::new(spec);
+    let mut workload = SyntheticWorkload::new(0xb164, d.nodes(), 96, horizon);
+    let t0 = Instant::now();
+    let stats = network.run(&mut workload);
+    Sample { stats, wall: t0.elapsed() }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let telemetry = args.iter().any(|a| a == "--telemetry");
+    let sim_threads: usize = match args.iter().position(|a| a == "--sim-threads") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(0) | None => {
+                eprintln!("bench_perf: --sim-threads needs a positive integer");
+                std::process::exit(2);
+            }
+            Some(n) => n,
+        },
+        None => 1,
+    };
     // Quick mode still takes best-of-2: single-rep wall times on the
     // short configs are noisy enough to flake the CI telemetry-overhead
     // comparison.
@@ -208,20 +247,21 @@ fn main() {
     };
     let git = git_describe();
     eprintln!(
-        "bench_perf: {} configs x {reps} reps, {measure_cycles} measured cycles each ({}{})",
+        "bench_perf: {} configs x {reps} reps, {measure_cycles} measured cycles each ({}{}{})",
         CONFIGS.len(),
         if quick { "quick" } else { "full" },
         if telemetry { ", telemetry on" } else { "" },
+        if sim_threads > 1 { ", sharded engine" } else { "" },
     );
 
     let mut rows = String::new();
-    let mut trajectory: Vec<(&str, f64, f64)> = Vec::new();
-    for (i, bc) in CONFIGS.iter().enumerate() {
+    let mut trajectory: Vec<(String, f64, f64)> = Vec::new();
+    for bc in CONFIGS.iter() {
         // Best-of-N wall time: the least-perturbed run of a deterministic
         // simulation is the most faithful throughput estimate.
         let mut best: Option<Sample> = None;
         for _ in 0..reps {
-            let s = run_once(bc, measure_cycles, telemetry);
+            let s = run_once(bc, measure_cycles, telemetry, sim_threads);
             if best.as_ref().is_none_or(|b| s.wall < b.wall) {
                 best = Some(s);
             }
@@ -232,7 +272,7 @@ fn main() {
         let grants: u64 = s.stats.port_flits.iter().sum();
         let cps = cycles as f64 / secs;
         let gps = grants as f64 / secs;
-        trajectory.push((bc.id, cps, gps));
+        trajectory.push((bc.id.to_string(), cps, gps));
         eprintln!(
             "  {:<22} {:>9.0} kcycles/s  {:>9.0} kgrants/s  ({} cycles in {:.1?}{})",
             bc.id,
@@ -246,7 +286,7 @@ fn main() {
             rows,
             "    {{\"id\": {}, \"description\": {}, \"cycles\": {}, \"flit_grants\": {}, \
              \"wall_ms\": {}, \"cycles_per_sec\": {}, \"flit_grants_per_sec\": {}, \
-             \"completed_messages\": {}, \"avg_latency_cycles\": {}, \"saturated\": {}}}{}",
+             \"completed_messages\": {}, \"avg_latency_cycles\": {}, \"saturated\": {}}},",
             json_str(bc.id),
             json_str(bc.description),
             cycles,
@@ -257,8 +297,71 @@ fn main() {
             s.stats.completed_messages,
             json_f64(s.stats.avg_message_latency()),
             s.stats.saturated,
-            if i + 1 == CONFIGS.len() { "" } else { "," },
         );
+    }
+
+    // Thread-scaling sweep: the saturated 64×64 mesh at 1 thread, and at
+    // `--sim-threads N` when N > 1. The serial run always lands in the
+    // artifact so consecutive trajectory rows share the t1 metric.
+    let scale_cycles = if quick { 600 } else { 10_000 };
+    let scale_reps = if quick { 1 } else { 2 };
+    let mut scale_threads = vec![1usize];
+    if sim_threads > 1 {
+        scale_threads.push(sim_threads);
+    }
+    let mut serial_wall: Option<Duration> = None;
+    for (k, &threads) in scale_threads.iter().enumerate() {
+        let mut best: Option<Sample> = None;
+        for _ in 0..scale_reps {
+            let s = run_scale(threads, scale_cycles, quick);
+            if best.as_ref().is_none_or(|b| s.wall < b.wall) {
+                best = Some(s);
+            }
+        }
+        let s = best.expect("at least one rep");
+        let secs = s.wall.as_secs_f64().max(1e-9);
+        let cycles = s.stats.end_cycle;
+        let grants: u64 = s.stats.port_flits.iter().sum();
+        let (cps, gps) = (cycles as f64 / secs, grants as f64 / secs);
+        let id = format!("mesh64x64_saturated_t{threads}");
+        let speedup = serial_wall
+            .map(|w1| w1.as_secs_f64() / secs)
+            .filter(|_| threads > 1);
+        if threads == 1 {
+            serial_wall = Some(s.wall);
+        }
+        eprintln!(
+            "  {:<22} {:>9.0} kcycles/s  {:>9.0} kgrants/s  ({} cycles in {:.1?}{})",
+            id,
+            cps / 1e3,
+            gps / 1e3,
+            cycles,
+            s.wall,
+            match speedup {
+                Some(x) => format!(", {x:.2}x vs 1 thread"),
+                None => String::new(),
+            },
+        );
+        let _ = writeln!(
+            rows,
+            "    {{\"id\": {}, \"description\": {}, \"cycles\": {}, \"flit_grants\": {}, \
+             \"wall_ms\": {}, \"cycles_per_sec\": {}, \"flit_grants_per_sec\": {}, \
+             \"completed_messages\": {}, \"avg_latency_cycles\": {}, \"saturated\": {}}}{}",
+            json_str(&id),
+            json_str(&format!(
+                "64x64 mesh, XY, saturating injection, {threads} engine thread(s)"
+            )),
+            cycles,
+            grants,
+            json_f64(secs * 1e3),
+            json_f64(cps),
+            json_f64(gps),
+            s.stats.completed_messages,
+            json_f64(s.stats.avg_message_latency()),
+            s.stats.saturated,
+            if k + 1 == scale_threads.len() { "" } else { "," },
+        );
+        trajectory.push((id, cps, gps));
     }
 
     let unix = std::time::SystemTime::now()
@@ -289,6 +392,8 @@ fn main() {
     // Telemetry-off runs also extend the dated perf trajectory, the
     // baseline CI diffs fresh runs against with `rfnoc-cli compare`.
     if !telemetry {
-        append_trajectory(&git, unix, quick, &trajectory);
+        let view: Vec<(&str, f64, f64)> =
+            trajectory.iter().map(|(id, c, g)| (id.as_str(), *c, *g)).collect();
+        append_trajectory(&git, unix, quick, &view);
     }
 }

@@ -586,7 +586,7 @@ mod tests {
         spec.sim.warmup_cycles = 200;
         spec.sim.measure_cycles = 2_000;
         let results =
-            run_plan(&spec.plan(), &RunnerConfig { jobs: 2, quiet: true });
+            run_plan(&spec.plan(), &RunnerConfig { jobs: 2, quiet: true, ..RunnerConfig::default() });
         let summary = summarize(&results);
         assert_eq!(summary.profiles.len(), 3);
         for p in &summary.profiles {

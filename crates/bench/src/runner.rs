@@ -6,8 +6,12 @@
 //! figures), scheduling the most expensive points first, and reporting
 //! per-point timing and live progress on stderr. Results come back in plan
 //! order regardless of execution interleaving, and each point's simulation
-//! is bit-identical to a serial run — parallelism never touches simulator
-//! state, only which thread runs which self-contained experiment.
+//! is bit-identical to a serial run — plan-level parallelism never touches
+//! simulator state, only which thread runs which self-contained experiment.
+//! `--sim-threads N` additionally steps each experiment's router sweep on
+//! `N` sharded-engine threads (also bit-identical); the runner then caps
+//! `--jobs` so `jobs × sim_threads` stays within the machine's
+//! parallelism.
 
 use crate::plan::{Plan, RunPoint};
 use rfnoc::RunReport;
@@ -20,13 +24,16 @@ use std::time::{Duration, Instant};
 pub struct RunnerConfig {
     /// Worker threads (`--jobs N`; defaults to the available parallelism).
     pub jobs: usize,
+    /// Simulator worker threads per experiment (`--sim-threads N`; the
+    /// sharded cycle engine, bit-identical at any count). Defaults to 1.
+    pub sim_threads: usize,
     /// Suppress per-point progress lines on stderr.
     pub quiet: bool,
 }
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        Self { jobs: default_jobs(), quiet: false }
+        Self { jobs: default_jobs(), sim_threads: 1, quiet: false }
     }
 }
 
@@ -36,8 +43,13 @@ pub fn default_jobs() -> usize {
 }
 
 impl RunnerConfig {
-    /// Parses `--jobs N` (or `-j N`, or `--jobs=N`) out of the process
-    /// arguments; every other argument is ignored.
+    /// Parses `--jobs N` (or `-j N`, or `--jobs=N`) and `--sim-threads N`
+    /// (or `--sim-threads=N`) out of the process arguments; every other
+    /// argument is ignored.
+    ///
+    /// Exits with status 2 on `--sim-threads 0` — the simulator rejects a
+    /// zero thread count ([`rfnoc_sim::ConfigError::ZeroSimThreads`]), so
+    /// fail before any experiment runs.
     pub fn from_args() -> Self {
         let mut cfg = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,13 +65,34 @@ impl RunnerConfig {
                 if let Ok(n) = v.parse() {
                     cfg.jobs = n;
                 }
+            } else if arg == "--sim-threads" {
+                if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    cfg.sim_threads = n;
+                    i += 1;
+                }
+            } else if let Some(v) = arg.strip_prefix("--sim-threads=") {
+                if let Ok(n) = v.parse() {
+                    cfg.sim_threads = n;
+                }
             } else if arg == "--quiet" {
                 cfg.quiet = true;
             }
             i += 1;
         }
         cfg.jobs = cfg.jobs.max(1);
+        if cfg.sim_threads == 0 {
+            eprintln!("runner: {}", rfnoc_sim::ConfigError::ZeroSimThreads);
+            std::process::exit(2);
+        }
         cfg
+    }
+
+    /// Plan-level worker threads after the simulator-thread budget:
+    /// `jobs` is capped so `jobs × sim_threads` does not oversubscribe
+    /// the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        let budget = default_jobs() / self.sim_threads.max(1);
+        self.jobs.min(budget.max(1))
     }
 }
 
@@ -169,7 +202,7 @@ pub fn run_plan(plan: &Plan, cfg: &RunnerConfig) -> PlanResults {
             .then(a.cmp(&b))
     });
 
-    let jobs = cfg.jobs.clamp(1, unique.len().max(1));
+    let jobs = cfg.effective_jobs().clamp(1, unique.len().max(1));
     if !cfg.quiet {
         eprintln!(
             "plan: {} points ({} unique experiments) on {} thread{}",
@@ -192,7 +225,13 @@ pub fn run_plan(plan: &Plan, cfg: &RunnerConfig) -> PlanResults {
                     let Some(&u) = order.get(k) else { break };
                     let point = unique[u];
                     let t0 = Instant::now();
-                    let report = point.experiment.run();
+                    let report = if cfg.sim_threads > 1 {
+                        let mut exp = point.experiment.clone();
+                        exp.system.sim.threads = cfg.sim_threads;
+                        exp.run()
+                    } else {
+                        point.experiment.run()
+                    };
                     let wall = t0.elapsed();
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if !cfg.quiet {

@@ -39,8 +39,8 @@ fn small_plan() -> Plan {
 #[test]
 fn parallel_results_are_bit_identical_to_serial() {
     let plan = small_plan();
-    let serial = run_plan(&plan, &RunnerConfig { jobs: 1, quiet: true });
-    let parallel = run_plan(&plan, &RunnerConfig { jobs: 8, quiet: true });
+    let serial = run_plan(&plan, &RunnerConfig { jobs: 1, quiet: true, ..RunnerConfig::default() });
+    let parallel = run_plan(&plan, &RunnerConfig { jobs: 8, quiet: true, ..RunnerConfig::default() });
 
     assert_eq!(serial.results.len(), plan.len());
     assert_eq!(parallel.results.len(), plan.len());
@@ -66,7 +66,7 @@ fn duplicate_experiments_run_once_and_share_reports() {
         }
         copy
     }]);
-    let results = run_plan(&plan, &RunnerConfig { jobs: 4, quiet: true });
+    let results = run_plan(&plan, &RunnerConfig { jobs: 4, quiet: true, ..RunnerConfig::default() });
 
     assert_eq!(plan.len(), 8);
     assert_eq!(results.unique_runs, 4, "duplicates must be deduplicated");
@@ -79,7 +79,7 @@ fn duplicate_experiments_run_once_and_share_reports() {
 
 #[test]
 fn baseline_pairing_yields_finite_ratios() {
-    let results = run_plan(&small_plan(), &RunnerConfig { jobs: 2, quiet: true });
+    let results = run_plan(&small_plan(), &RunnerConfig { jobs: 2, quiet: true, ..RunnerConfig::default() });
     for r in results.iter() {
         if r.point.is_baseline {
             assert_eq!(r.normalized, None, "baselines are not normalised to themselves");

@@ -20,6 +20,10 @@
 //! Telemetry (run only): `--telemetry <interval>` enables the
 //! interval-sampled telemetry layer and prints the per-interval timeline
 //! (rates, RF grants, stalls, fault/retune events) after the report.
+//!
+//! Threads (run only): `--sim-threads <n>` steps the router sweep on `n`
+//! worker threads (the sharded cycle engine). Results are bit-identical
+//! at any thread count; `0` is rejected.
 
 use rfnoc::{Architecture, Experiment, FaultSpec, RunReport, SystemConfig, WorkloadSpec};
 use rfnoc_power::LinkWidth;
@@ -194,7 +198,8 @@ fn cmd_run(args: &[String]) -> Option<ExitCode> {
         SystemConfig::new(parse_arch(arch)?, parse_width(width)?),
         parse_workload(workload)?,
     );
-    // Peel off `--telemetry <interval>` before the fault flags.
+    // Peel off `--telemetry <interval>` and `--sim-threads <n>` before the
+    // fault flags.
     let mut fault_args: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -204,6 +209,13 @@ fn cmd_run(args: &[String]) -> Option<ExitCode> {
                 return None;
             }
             experiment.system.sim.telemetry = Some(TelemetryConfig::every(interval));
+        } else if flag == "--sim-threads" {
+            let threads: usize = it.next()?.parse().ok()?;
+            experiment.system.sim.threads = threads;
+            if let Err(e) = experiment.system.sim.validate() {
+                eprintln!("rfnoc-cli: {e}");
+                return Some(ExitCode::FAILURE);
+            }
         } else {
             fault_args.push(flag.clone());
         }
@@ -314,7 +326,7 @@ fn main() -> ExitCode {
     result.unwrap_or_else(|| {
         eprintln!(
             "usage:\n  rfnoc-cli run <arch> <16|8|4> <workload> \
-             [--telemetry INTERVAL] \
+             [--telemetry INTERVAL] [--sim-threads N] \
              [--fault-seed N] [--shortcut-faults F] [--mesh-faults F] \
              [--glitches F] [--repair-after C]\n  \
              rfnoc-cli compare <workload>\n  \

@@ -178,7 +178,7 @@ impl Experiment {
                 let end = start + sim.measure_cycles.max(1);
                 FaultPlan::random(
                     *seed,
-                    self.placement.dims(),
+                    &self.placement.fabric(),
                     &built.shortcuts,
                     *rates,
                     start..end,
@@ -193,7 +193,7 @@ impl Experiment {
                 let offered = self.traffic.injection_rate / 0.008;
                 FaultPlan::correlated(
                     *seed,
-                    self.placement.dims(),
+                    &self.placement.fabric(),
                     &built.shortcuts,
                     *intensity,
                     offered,

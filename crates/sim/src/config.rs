@@ -88,6 +88,15 @@ pub struct SimConfig {
     /// free of the observer — like telemetry, enabling it never changes
     /// simulated behaviour.
     pub recovery: Option<RecoveryConfig>,
+    /// Worker threads stepping the router sweep (the sharded cycle
+    /// engine). `1` (the default) runs the classic serial sweep; `N > 1`
+    /// partitions the fabric into `N` contiguous router shards stepped
+    /// concurrently, with cross-shard flits, credits, and observer
+    /// channels merged in shard order at the cycle boundary — proven
+    /// bit-identical to the serial engine for every thread count. The
+    /// effective count is clamped to the router count, and VCT tree
+    /// multicast (which allocates packets mid-sweep) falls back to 1.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -111,6 +120,7 @@ impl SimConfig {
             watchdog_cycles: 10_000,
             link_retry_cycles: 6,
             recovery: None,
+            threads: 1,
         }
     }
 
@@ -159,6 +169,14 @@ impl SimConfig {
         self
     }
 
+    /// Returns a copy stepping the router sweep on `threads` worker
+    /// threads (the sharded cycle engine; bit-identical at any count).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates internal consistency, rejecting degenerate parameters
     /// (zero VCs, zero buffers, an empty measurement window, or a watchdog
     /// window a routing-table rewrite would trip).
@@ -181,6 +199,9 @@ impl SimConfig {
         }
         if self.local_port_speedup < 1 {
             return Err(ConfigError::NoLocalBandwidth);
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroSimThreads);
         }
         let watchdog_minimum = self.reconfig_cycles + 1;
         if self.watchdog_cycles != 0 && self.watchdog_cycles < watchdog_minimum {
@@ -263,6 +284,13 @@ mod tests {
         let mut cfg = SimConfig::paper_baseline();
         cfg.local_port_speedup = 0;
         assert_eq!(cfg.validate(), Err(ConfigError::NoLocalBandwidth));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let cfg = SimConfig::paper_baseline().with_threads(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroSimThreads));
+        assert_eq!(SimConfig::paper_baseline().with_threads(8).validate(), Ok(()));
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub enum ConfigError {
     EmptyMeasureWindow,
     /// The local injection/ejection port moves no flits.
     NoLocalBandwidth,
+    /// The sharded cycle engine was configured with zero worker threads.
+    ZeroSimThreads,
     /// The watchdog window is shorter than a routing-table rewrite stall,
     /// which would flag healthy reconfigurations as hangs.
     WatchdogTooTight {
@@ -79,6 +81,9 @@ impl fmt::Display for ConfigError {
             Self::ZeroBufferDepth => write!(f, "buffers must hold at least one flit"),
             Self::EmptyMeasureWindow => write!(f, "measurement window must be non-empty"),
             Self::NoLocalBandwidth => write!(f, "local port needs bandwidth"),
+            Self::ZeroSimThreads => {
+                write!(f, "simulation threads must be at least 1")
+            }
             Self::WatchdogTooTight { watchdog, minimum } => write!(
                 f,
                 "watchdog window of {watchdog} cycles is below the {minimum}-cycle minimum"

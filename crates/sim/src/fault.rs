@@ -14,7 +14,7 @@
 //! leaving credits untouched.
 
 use crate::error::ConfigError;
-use rfnoc_topology::{GridDims, Shortcut};
+use rfnoc_topology::{FabricSpec, Shortcut};
 
 /// One scheduled fault or repair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,14 +119,15 @@ impl FaultPlan {
         Self { events, pos: 0 }
     }
 
-    /// A plan from `(cycle, event)` pairs, validated against a `dims`
-    /// grid. Unlike [`FaultPlan::new`] (which trusts its caller and lets
-    /// the network silently ignore impossible events at apply time), this
-    /// rejects plans that could only no-op:
+    /// A plan from `(cycle, event)` pairs, validated against a base
+    /// `fabric`. Unlike [`FaultPlan::new`] (which trusts its caller and
+    /// lets the network silently ignore impossible events at apply time),
+    /// this rejects plans that could only no-op:
     ///
-    /// * any event naming a router outside the grid;
+    /// * any event naming a router outside the fabric;
     /// * [`FaultEvent::MeshLinkDown`]/[`FaultEvent::MeshLinkUp`] between
-    ///   routers that are not mesh neighbours;
+    ///   routers with no base-fabric link (mesh neighbours on a mesh, ring
+    ///   or gateway-mesh neighbours on a ring-mesh);
     /// * a repair ([`FaultEvent::ShortcutUp`], [`FaultEvent::MeshLinkUp`])
     ///   firing before any failure of the same resource (a
     ///   [`FaultEvent::BandDown`] counts as failing every transmitter).
@@ -136,10 +137,10 @@ impl FaultPlan {
     /// Returns the first violated [`ConfigError`] in firing order.
     pub fn validated(
         events: Vec<(u64, FaultEvent)>,
-        dims: GridDims,
+        fabric: &FabricSpec,
     ) -> Result<Self, ConfigError> {
         let plan = Self::new(events);
-        let nodes = dims.nodes();
+        let nodes = fabric.nodes();
         let check_router = |router: usize| {
             if router >= nodes {
                 Err(ConfigError::FaultRouterOutOfRange { router, nodes })
@@ -168,7 +169,7 @@ impl FaultPlan {
                 FaultEvent::MeshLinkDown { a, b } => {
                     check_router(a)?;
                     check_router(b)?;
-                    if dims.manhattan(a, b) != 1 {
+                    if fabric.port_between(a, b).is_none() {
                         return Err(ConfigError::FaultLinkNotAdjacent { a, b });
                     }
                     let key = (a.min(b), a.max(b));
@@ -179,7 +180,7 @@ impl FaultPlan {
                 FaultEvent::MeshLinkUp { a, b } => {
                     check_router(a)?;
                     check_router(b)?;
-                    if dims.manhattan(a, b) != 1 {
+                    if fabric.port_between(a, b).is_none() {
                         return Err(ConfigError::FaultLinkNotAdjacent { a, b });
                     }
                     let key = (a.min(b), a.max(b));
@@ -234,16 +235,17 @@ impl FaultPlan {
         }
     }
 
-    /// Generates a deterministic random plan for a `dims` mesh carrying
+    /// Generates a deterministic random plan for a base `fabric` carrying
     /// `shortcuts`: the same `(seed, rates, window)` always produces the
     /// same schedule. Shortcut failures strike distinct live transmitters;
-    /// mesh link failures are sampled rejection-style so the surviving mesh
-    /// stays connected (a disconnected mesh would make delivery impossible
-    /// rather than degraded); glitches strike uniformly random directed
-    /// mesh links.
+    /// base-link failures are drawn from the fabric's own adjacency (mesh
+    /// links on a mesh, ring and gateway-mesh links on a ring-mesh) and
+    /// sampled rejection-style so the surviving fabric stays connected (a
+    /// disconnected fabric would make delivery impossible rather than
+    /// degraded); glitches strike uniformly random directed base links.
     pub fn random(
         seed: u64,
-        dims: GridDims,
+        fabric: &FabricSpec,
         shortcuts: &[Shortcut],
         rates: FaultRates,
         window: std::ops::Range<u64>,
@@ -273,9 +275,9 @@ impl FaultPlan {
             );
         }
 
-        // Mesh link failures: distinct undirected links, surviving mesh
+        // Base link failures: distinct undirected links, surviving fabric
         // kept connected (bounded rejection sampling).
-        let all_links = undirected_mesh_links(dims);
+        let all_links = undirected_fabric_links(fabric);
         let n_mesh = round_count(rates.mesh_link_failures).min(all_links.len());
         let mut failed: Vec<(usize, usize)> = Vec::new();
         let mut attempts = 0usize;
@@ -286,7 +288,7 @@ impl FaultPlan {
                 continue;
             }
             failed.push((a, b));
-            if !mesh_connected(dims, &failed) {
+            if !fabric_connected(fabric, &failed) {
                 failed.pop();
                 continue;
             }
@@ -299,7 +301,7 @@ impl FaultPlan {
             );
         }
 
-        // Transient glitches: uniform over directed mesh links.
+        // Transient glitches: uniform over directed base links.
         for _ in 0..round_count(rates.glitches) {
             let t = window.start + rng.below(span);
             let (a, b) = all_links[rng.below(all_links.len() as u64) as usize];
@@ -330,7 +332,7 @@ impl FaultPlan {
     /// nominal (1.0 = nominal). Same arguments, same plan.
     pub fn correlated(
         seed: u64,
-        dims: GridDims,
+        fabric: &FabricSpec,
         shortcuts: &[Shortcut],
         intensity: f64,
         offered_load: f64,
@@ -339,6 +341,7 @@ impl FaultPlan {
         if intensity <= 0.0 {
             return Self::default();
         }
+        let dims = fabric.dims();
         let mut rng = SplitMix64::new(seed ^ 0xC0_44E1A7ED);
         let span = window.end.saturating_sub(window.start).max(8);
         let mut events: Vec<(u64, FaultEvent)> = Vec::new();
@@ -354,7 +357,7 @@ impl FaultPlan {
             (i64::from(c.x) - i64::from(center.x)).abs() <= radius
                 && (i64::from(c.y) - i64::from(center.y)).abs() <= radius
         };
-        let region_links: Vec<(usize, usize)> = undirected_mesh_links(dims)
+        let region_links: Vec<(usize, usize)> = undirected_fabric_links(fabric)
             .into_iter()
             .filter(|&(a, b)| in_region(a) && in_region(b))
             .collect();
@@ -368,7 +371,7 @@ impl FaultPlan {
                 continue;
             }
             failed.push((a, b));
-            if !mesh_connected(dims, &failed) {
+            if !fabric_connected(fabric, &failed) {
                 failed.pop();
                 continue;
             }
@@ -381,7 +384,7 @@ impl FaultPlan {
         // glitches only matter when flits are in flight.
         let burst_start = storm_start + storm_burst + rng.below(span / 8 + 1);
         let burst_span = 300.min(span / 4).max(1);
-        let all_links = undirected_mesh_links(dims);
+        let all_links = undirected_fabric_links(fabric);
         let n_glitch = round_count(6.0 * intensity * offered_load.max(0.25));
         for _ in 0..n_glitch {
             let t = burst_start + rng.below(burst_span);
@@ -551,25 +554,26 @@ fn round_count(expected: f64) -> usize {
     if expected <= 0.0 { 0 } else { expected.round() as usize }
 }
 
-/// All undirected mesh links of a grid, as `(lower, higher)` node pairs.
-fn undirected_mesh_links(dims: GridDims) -> Vec<(usize, usize)> {
-    let n = dims.nodes();
+/// All undirected base-fabric links, as `(lower, higher)` node pairs in
+/// ascending per-router order. On a mesh this reproduces the historical
+/// mesh-only enumeration exactly (`(r, r+1)` before `(r, r+width)`), so
+/// seeded plans over mesh fabrics are unchanged by the fabric-generic
+/// generator.
+fn undirected_fabric_links(fabric: &FabricSpec) -> Vec<(usize, usize)> {
+    let n = fabric.nodes();
     let mut links = Vec::new();
     for r in 0..n {
-        let c = dims.coord_of(r);
-        if (c.x as usize) + 1 < dims.width() {
-            links.push((r, r + 1));
-        }
-        if (c.y as usize) + 1 < dims.height() {
-            links.push((r, r + dims.width()));
-        }
+        let mut higher: Vec<usize> =
+            fabric.neighbors(r).into_iter().filter(|&nb| nb > r).collect();
+        higher.sort_unstable();
+        links.extend(higher.into_iter().map(|nb| (r, nb)));
     }
     links
 }
 
-/// Whether the mesh minus `failed` undirected links is connected.
-fn mesh_connected(dims: GridDims, failed: &[(usize, usize)]) -> bool {
-    let n = dims.nodes();
+/// Whether the base fabric minus `failed` undirected links is connected.
+fn fabric_connected(fabric: &FabricSpec, failed: &[(usize, usize)]) -> bool {
+    let n = fabric.nodes();
     let mut seen = vec![false; n];
     let mut queue = std::collections::VecDeque::from([0usize]);
     seen[0] = true;
@@ -578,21 +582,7 @@ fn mesh_connected(dims: GridDims, failed: &[(usize, usize)]) -> bool {
         !failed.contains(&key)
     };
     while let Some(v) = queue.pop_front() {
-        let c = dims.coord_of(v);
-        let mut neighbors = Vec::with_capacity(4);
-        if c.x > 0 {
-            neighbors.push(v - 1);
-        }
-        if (c.x as usize) + 1 < dims.width() {
-            neighbors.push(v + 1);
-        }
-        if c.y > 0 {
-            neighbors.push(v - dims.width());
-        }
-        if (c.y as usize) + 1 < dims.height() {
-            neighbors.push(v + dims.width());
-        }
-        for u in neighbors {
+        for u in fabric.neighbors(v) {
             if !seen[u] && live(v, u) {
                 seen[u] = true;
                 queue.push_back(u);
@@ -630,6 +620,7 @@ impl SplitMix64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rfnoc_topology::GridDims;
 
     #[test]
     fn plan_sorts_and_drains_in_order() {
@@ -665,7 +656,7 @@ mod tests {
 
     #[test]
     fn random_plans_are_deterministic() {
-        let dims = GridDims::new(4, 4);
+        let fabric = FabricSpec::mesh(GridDims::new(4, 4));
         let shortcuts = vec![Shortcut::new(0, 15), Shortcut::new(15, 0)];
         let rates = FaultRates {
             shortcut_failures: 2.0,
@@ -673,10 +664,10 @@ mod tests {
             glitches: 5.0,
             repair_after: None,
         };
-        let a = FaultPlan::random(42, dims, &shortcuts, rates, 100..10_000);
-        let b = FaultPlan::random(42, dims, &shortcuts, rates, 100..10_000);
+        let a = FaultPlan::random(42, &fabric, &shortcuts, rates, 100..10_000);
+        let b = FaultPlan::random(42, &fabric, &shortcuts, rates, 100..10_000);
         assert_eq!(a, b);
-        let c = FaultPlan::random(43, dims, &shortcuts, rates, 100..10_000);
+        let c = FaultPlan::random(43, &fabric, &shortcuts, rates, 100..10_000);
         assert_ne!(a, c, "different seeds should give different plans");
         assert_eq!(a.len(), 10);
         assert!(a.events().iter().all(|(t, _)| *t >= 100 && *t < 10_000));
@@ -684,13 +675,13 @@ mod tests {
 
     #[test]
     fn random_mesh_failures_keep_mesh_connected() {
-        let dims = GridDims::new(4, 4);
+        let fabric = FabricSpec::mesh(GridDims::new(4, 4));
         for seed in 0..20 {
             let rates = FaultRates {
                 mesh_link_failures: 6.0,
                 ..Default::default()
             };
-            let plan = FaultPlan::random(seed, dims, &[], rates, 0..1000);
+            let plan = FaultPlan::random(seed, &fabric, &[], rates, 0..1000);
             let failed: Vec<(usize, usize)> = plan
                 .events()
                 .iter()
@@ -699,25 +690,74 @@ mod tests {
                     _ => None,
                 })
                 .collect();
-            assert!(mesh_connected(dims, &failed), "seed {seed} partitioned the mesh");
+            assert!(fabric_connected(&fabric, &failed), "seed {seed} partitioned the mesh");
         }
     }
 
     #[test]
     fn repair_events_follow_failures() {
-        let dims = GridDims::new(4, 4);
+        let fabric = FabricSpec::mesh(GridDims::new(4, 4));
         let shortcuts = vec![Shortcut::new(0, 15)];
         let rates = FaultRates {
             shortcut_failures: 1.0,
             repair_after: Some(500),
             ..Default::default()
         };
-        let plan = FaultPlan::random(7, dims, &shortcuts, rates, 0..1000);
+        let plan = FaultPlan::random(7, &fabric, &shortcuts, rates, 0..1000);
         assert_eq!(plan.len(), 2);
         let down = plan.events().iter().find(|(_, e)| matches!(e, FaultEvent::ShortcutDown { .. }));
         let up = plan.events().iter().find(|(_, e)| matches!(e, FaultEvent::ShortcutUp { .. }));
         let (td, tu) = (down.expect("down").0, up.expect("up").0);
         assert_eq!(tu, td + 500);
+    }
+
+    #[test]
+    fn random_draws_links_from_fabric_adjacency() {
+        // On a ring-mesh, base links are ring and gateway-mesh edges —
+        // not the mesh edges a grid enumeration would produce. Every
+        // generated link failure must be a real fabric link, and the
+        // surviving fabric must stay connected.
+        let fabric = FabricSpec::ring_mesh(GridDims::new(8, 8), 4);
+        let rates = FaultRates { mesh_link_failures: 5.0, glitches: 4.0, ..Default::default() };
+        for seed in 0..10 {
+            let plan = FaultPlan::random(seed, &fabric, &[], rates, 0..5_000);
+            let mut downs = Vec::new();
+            for (_, e) in plan.events() {
+                if let FaultEvent::MeshLinkDown { a, b } = e {
+                    assert!(
+                        fabric.port_between(*a, *b).is_some(),
+                        "seed {seed}: {a}-{b} is not a fabric link"
+                    );
+                    downs.push((*a.min(b), *a.max(b)));
+                }
+            }
+            assert!(!downs.is_empty(), "seed {seed} generated no link failures");
+            assert!(
+                fabric_connected(&fabric, &downs),
+                "seed {seed} partitioned the ring-mesh"
+            );
+            // Each plan validates against the fabric it was drawn from.
+            FaultPlan::validated(plan.events().to_vec(), &fabric).expect("self-consistent");
+        }
+    }
+
+    #[test]
+    fn fabric_links_match_legacy_mesh_enumeration() {
+        // Seeded mesh plans must be unchanged by the fabric-generic
+        // generator: the link order is the historical mesh order.
+        let dims = GridDims::new(4, 4);
+        let links = undirected_fabric_links(&FabricSpec::mesh(dims));
+        let mut legacy = Vec::new();
+        for r in 0..dims.nodes() {
+            let c = dims.coord_of(r);
+            if (c.x as usize) + 1 < dims.width() {
+                legacy.push((r, r + 1));
+            }
+            if (c.y as usize) + 1 < dims.height() {
+                legacy.push((r, r + dims.width()));
+            }
+        }
+        assert_eq!(links, legacy);
     }
 
     #[test]
@@ -740,7 +780,7 @@ mod tests {
 
     #[test]
     fn validated_accepts_well_formed_plans() {
-        let dims = GridDims::new(4, 4);
+        let fabric = FabricSpec::mesh(GridDims::new(4, 4));
         let plan = FaultPlan::validated(
             vec![
                 (10, FaultEvent::ShortcutDown { src: 2 }),
@@ -749,7 +789,7 @@ mod tests {
                 (80, FaultEvent::MeshLinkUp { a: 1, b: 0 }),
                 (30, FaultEvent::LinkGlitch { a: 0, b: 15 }),
             ],
-            dims,
+            &fabric,
         )
         .expect("valid plan");
         assert_eq!(plan.len(), 5);
@@ -757,16 +797,16 @@ mod tests {
 
     #[test]
     fn validated_rejects_out_of_range_routers() {
-        let dims = GridDims::new(4, 4);
+        let fabric = FabricSpec::mesh(GridDims::new(4, 4));
         let err = FaultPlan::validated(
             vec![(10, FaultEvent::ShortcutDown { src: 16 })],
-            dims,
+            &fabric,
         )
         .unwrap_err();
         assert_eq!(err, ConfigError::FaultRouterOutOfRange { router: 16, nodes: 16 });
         let err = FaultPlan::validated(
             vec![(10, FaultEvent::LinkGlitch { a: 0, b: 99 })],
-            dims,
+            &fabric,
         )
         .unwrap_err();
         assert_eq!(err, ConfigError::FaultRouterOutOfRange { router: 99, nodes: 16 });
@@ -774,10 +814,10 @@ mod tests {
 
     #[test]
     fn validated_rejects_non_adjacent_mesh_links() {
-        let dims = GridDims::new(4, 4);
+        let fabric = FabricSpec::mesh(GridDims::new(4, 4));
         let err = FaultPlan::validated(
             vec![(10, FaultEvent::MeshLinkDown { a: 0, b: 5 })],
-            dims,
+            &fabric,
         )
         .unwrap_err();
         assert_eq!(err, ConfigError::FaultLinkNotAdjacent { a: 0, b: 5 });
@@ -785,10 +825,10 @@ mod tests {
 
     #[test]
     fn validated_rejects_repair_before_fail() {
-        let dims = GridDims::new(4, 4);
+        let fabric = FabricSpec::mesh(GridDims::new(4, 4));
         let err = FaultPlan::validated(
             vec![(10, FaultEvent::ShortcutUp { src: 2, dst: 9 })],
-            dims,
+            &fabric,
         )
         .unwrap_err();
         assert_eq!(err, ConfigError::FaultRepairBeforeFail { cycle: 10 });
@@ -797,7 +837,7 @@ mod tests {
                 (10, FaultEvent::MeshLinkDown { a: 0, b: 1 }),
                 (20, FaultEvent::MeshLinkUp { a: 1, b: 2 }),
             ],
-            dims,
+            &fabric,
         )
         .unwrap_err();
         assert_eq!(err, ConfigError::FaultRepairBeforeFail { cycle: 20 });
@@ -808,21 +848,21 @@ mod tests {
                 (10, FaultEvent::BandDown),
                 (50, FaultEvent::ShortcutUp { src: 2, dst: 9 }),
             ],
-            dims,
+            &fabric,
         )
         .is_ok());
     }
 
     #[test]
     fn correlated_plans_are_deterministic_and_validated() {
-        let dims = GridDims::new(6, 6);
+        let fabric = FabricSpec::mesh(GridDims::new(6, 6));
         let shortcuts = vec![Shortcut::new(0, 35), Shortcut::new(30, 5)];
-        let a = FaultPlan::correlated(9, dims, &shortcuts, 2.0, 1.0, 1_000..40_000);
-        let b = FaultPlan::correlated(9, dims, &shortcuts, 2.0, 1.0, 1_000..40_000);
+        let a = FaultPlan::correlated(9, &fabric, &shortcuts, 2.0, 1.0, 1_000..40_000);
+        let b = FaultPlan::correlated(9, &fabric, &shortcuts, 2.0, 1.0, 1_000..40_000);
         assert_eq!(a, b, "same arguments, same plan");
         assert!(!a.is_empty());
         // Every correlated plan passes its own validation rules.
-        FaultPlan::validated(a.events().to_vec(), dims).expect("self-consistent");
+        FaultPlan::validated(a.events().to_vec(), &fabric).expect("self-consistent");
         // The race phase is present: a ShortcutDown strictly before a
         // BandDown, and a repair after.
         let t_down = a.events().iter().find(|(_, e)| matches!(e, FaultEvent::ShortcutDown { .. }));
@@ -835,23 +875,23 @@ mod tests {
 
     #[test]
     fn correlated_glitches_scale_with_load_and_intensity_zero_is_empty() {
-        let dims = GridDims::new(6, 6);
+        let fabric = FabricSpec::mesh(GridDims::new(6, 6));
         let count = |load: f64| {
-            FaultPlan::correlated(3, dims, &[], 2.0, load, 0..30_000)
+            FaultPlan::correlated(3, &fabric, &[], 2.0, load, 0..30_000)
                 .events()
                 .iter()
                 .filter(|(_, e)| matches!(e, FaultEvent::LinkGlitch { .. }))
                 .count()
         };
         assert!(count(2.0) > count(0.5), "loaded links glitch more");
-        assert!(FaultPlan::correlated(3, dims, &[], 0.0, 1.0, 0..30_000).is_empty());
+        assert!(FaultPlan::correlated(3, &fabric, &[], 0.0, 1.0, 0..30_000).is_empty());
     }
 
     #[test]
     fn correlated_storm_keeps_mesh_connected_and_heals() {
-        let dims = GridDims::new(6, 6);
+        let fabric = FabricSpec::mesh(GridDims::new(6, 6));
         for seed in 0..10 {
-            let plan = FaultPlan::correlated(seed, dims, &[], 3.0, 1.0, 0..50_000);
+            let plan = FaultPlan::correlated(seed, &fabric, &[], 3.0, 1.0, 0..50_000);
             let downs: Vec<(usize, usize)> = plan
                 .events()
                 .iter()
@@ -860,7 +900,7 @@ mod tests {
                     _ => None,
                 })
                 .collect();
-            assert!(mesh_connected(dims, &downs), "seed {seed} partitioned the mesh");
+            assert!(fabric_connected(&fabric, &downs), "seed {seed} partitioned the mesh");
             let ups = plan
                 .events()
                 .iter()

@@ -64,9 +64,9 @@ pub use fault::{
     RecoveryRecord,
 };
 pub use network::{
-    latency_bucket, latency_bucket_bounds, ChannelMask, DelayBreakdown, FlitEvent,
-    FlitEventKind, FlitTraceConfig, HopRecord, IntervalSample, MulticastMode, Network,
-    NetworkSpec, PacketSpan, RoutingKind, ScriptedWorkload, TelemetryConfig,
+    latency_bucket, latency_bucket_bounds, shard_ranges, ChannelMask, DelayBreakdown,
+    FlitEvent, FlitEventKind, FlitTraceConfig, HopRecord, IntervalSample, MulticastMode,
+    Network, NetworkSpec, PacketSpan, RoutingKind, ScriptedWorkload, TelemetryConfig,
     TelemetryReport, TimelineEvent, TimelineEventKind, Workload, HOP_ROUTE_CYCLES,
     HOP_SWITCH_CYCLES, LATENCY_BUCKETS,
 };

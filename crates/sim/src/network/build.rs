@@ -205,6 +205,16 @@ impl Network {
         if spec.config.collect_pair_counts {
             stats.pair_counts = vec![0; n * n];
         }
+        // The sharded sweep: VCT multicast allocates tree-child packets
+        // mid-sweep, which needs exclusive packet-table access, so it
+        // falls back to the serial engine.
+        let sweep_threads = if matches!(spec.multicast, MulticastMode::Vct(_)) {
+            1
+        } else {
+            spec.config.threads.clamp(1, n)
+        };
+        let pool = (sweep_threads > 1).then(|| rfnoc_parallel::WorkerPool::new(sweep_threads));
+        let shard_bufs = (0..sweep_threads).map(|_| sweep::ShardBuf::new(max_ports)).collect();
         Ok(Self {
             dims,
             fabric,
@@ -225,11 +235,11 @@ impl Network {
             cycle: 0,
             measured_outstanding: 0,
             counting: false,
-            deliveries: Vec::new(),
-            credit_returns: Vec::new(),
             mc_enqueues: Vec::new(),
             pending_inj: Vec::new(),
-            sa_requests: vec![Vec::new(); max_ports],
+            sweep_threads,
+            shard_bufs,
+            pool,
             sp_dist,
             detour_dist: None,
             flit_trace: Vec::new(),

@@ -1,8 +1,17 @@
 //! The cycle engine: arrivals, route computation / VC allocation,
 //! switch allocation, flit movement, and completion bookkeeping.
+//!
+//! The per-router pipeline stages live on [`Sweep`] — one shard's view of
+//! the network — so the same code serves the serial engine (one shard,
+//! direct telemetry) and the sharded engine (`SimConfig::threads` worker
+//! shards, buffered side effects replayed in shard order). `Network`
+//! keeps the orchestration: shard construction, worker dispatch, the
+//! deterministic replay, and the outbox application.
 
 #[allow(clippy::wildcard_imports)]
 use super::*;
+use std::sync::atomic::Ordering::Relaxed;
+use sweep::{Completion, PacketAccess, Sweep, SweepShared, TelSink, TraceSink};
 
 impl Network {
 
@@ -93,71 +102,6 @@ impl Network {
         }
     }
 
-    /// Handles a flit leaving the network at `router` at time `at`.
-    pub(super) fn on_flit_ejected(&mut self, packet: u32, router: NodeId, at: u64) {
-        let (measured, created, flits, ejected) = {
-            let p = &mut self.packets[packet as usize];
-            p.ejected += 1;
-            (p.measured, p.created, p.flits, p.ejected)
-        };
-        if measured {
-            self.stats.ejected_flits += 1;
-            self.stats.flit_latency_sum += at.saturating_sub(created);
-        }
-        self.tel_ejected_flit();
-        if ejected == flits {
-            let (parent, mc_carry, is_unicast_measured, head_grants, src) = {
-                let p = &self.packets[packet as usize];
-                (p.parent, p.mc_carry, p.measured, p.head_grants, p.src)
-            };
-            if measured && head_grants > 0 {
-                self.stats.hops_sum += (head_grants - 1) as u64;
-                self.stats.hop_packets += 1;
-            }
-            self.tel_packet_done(packet, at);
-            if measured && !mc_carry {
-                self.stats.per_dest[router] += 1;
-            }
-            if mc_carry {
-                let cluster = self
-                    .mc
-                    .as_ref()
-                    .and_then(|mc| mc.cluster_of[router])
-                    .expect("carry packets terminate at cluster transmitters");
-                let parent = parent.expect("carry packets have a parent");
-                self.mc_enqueues.push((cluster, parent));
-            } else if let Some(par) = parent {
-                self.complete_parent_part(par, 1, at);
-            } else if is_unicast_measured {
-                self.record_completion(src, created, at);
-            }
-        }
-    }
-
-    /// The output port toward `dest` under the active routing mode.
-    pub(super) fn route_port(&self, router: NodeId, dest: NodeId) -> u8 {
-        if router == dest {
-            return self.local_port(router) as u8;
-        }
-        match &self.port_table {
-            Some(pt) => pt[router * self.dims.nodes() + dest],
-            None => self.escape_port(router, dest),
-        }
-    }
-
-    /// The escape (base-fabric-only) output port toward `dest`: the
-    /// fabric's base route on an intact fabric, the detour table when
-    /// links have failed.
-    pub(super) fn escape_port(&self, router: NodeId, dest: NodeId) -> u8 {
-        if router == dest {
-            self.local_port(router) as u8
-        } else if let Some(table) = &self.escape_table {
-            table[router * self.dims.nodes() + dest]
-        } else {
-            self.base_port_toward(router, dest)
-        }
-    }
-
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         self.counting = self.cycle >= self.config.warmup_cycles;
@@ -173,30 +117,177 @@ impl Network {
 
     pub(super) fn step_routers(&mut self) {
         // Active-router scheduling: visit only routers with (possible)
-        // work. `active_stamp[r] == e` means "visit r in sweep e"; the
-        // sweep scans the stamp vector in ascending router id (the push
-        // order into the delivery/credit outboxes depends on visit order,
-        // and downstream arrival interleaving is order-sensitive) and a
-        // visited router re-stamps itself for the next sweep while it is
-        // non-quiescent. Skipping a quiescent router is bit-identical to
-        // visiting it because a visit to one is a pure no-op (the VA
-        // round-robin pointer is derived from the cycle count, not stored
-        // and rotated). The O(n) stamp scan is deliberate: it is a dense
-        // sequential read, far cheaper than maintaining a sorted worklist.
+        // work. `active_stamp[r] == e` means "visit r in sweep e"; each
+        // shard scans its slice of the stamp vector in ascending router id
+        // (the push order into the delivery/credit outboxes depends on
+        // visit order, and downstream arrival interleaving is
+        // order-sensitive) and a visited router re-stamps itself for the
+        // next sweep while it is non-quiescent. Skipping a quiescent
+        // router is bit-identical to visiting it because a visit to one is
+        // a pure no-op (the VA round-robin pointer is derived from the
+        // cycle count, not stored and rotated). The O(n) stamp scan is
+        // deliberate: it is a dense sequential read, far cheaper than
+        // maintaining a sorted worklist.
         let e = self.active_epoch;
         self.active_epoch = e + 1;
         let n = self.routers.len();
-        for r in 0..n {
-            if self.active_stamp[r] != e {
-                continue;
+        let shared = SweepShared {
+            cycle: self.cycle,
+            counting: self.counting,
+            epoch: e,
+            config: &self.config,
+            dims: self.dims,
+            fabric: self.fabric,
+            base_ports: &self.base_ports,
+            max_ports: self.max_ports,
+            base_table: self.base_table.as_deref(),
+            port_table: self.port_table.as_deref(),
+            sp_dist: self.sp_dist.as_deref(),
+            escape_table: self.escape_table.as_deref(),
+            cluster_of: self.mc.as_ref().map(|mc| mc.cluster_of.as_slice()),
+            rf_accepting: self.rf_accepting(),
+            injection_stalled: self.injection_stalled(),
+        };
+        let trace_limit = self.config.flit_trace.limit;
+        if self.sweep_threads <= 1 {
+            // Serial engine: one shard with exclusive packet access (tree
+            // multicast may allocate children mid-sweep) and direct
+            // telemetry/trace sinks — the pre-sharding cost profile.
+            let mut shard = Sweep {
+                sh: &shared,
+                base: 0,
+                routers: &mut self.routers,
+                stamps: &mut self.active_stamp,
+                router_bytes: &mut self.stats.activity.router_bytes,
+                port_flits: &mut self.stats.port_flits,
+                per_dest: &mut self.stats.per_dest,
+                packets: PacketAccess::Owned(&mut self.packets),
+                tel: match self.telemetry.as_deref_mut() {
+                    Some(t) => TelSink::Direct(t),
+                    None => TelSink::Off,
+                },
+                trace: if trace_limit > 0 {
+                    TraceSink::Direct {
+                        events: &mut self.flit_trace,
+                        dropped: &mut self.flit_trace_dropped,
+                        limit: trace_limit,
+                    }
+                } else {
+                    TraceSink::Off
+                },
+                buf: &mut self.shard_bufs[0],
+            };
+            shard.run_shard();
+        } else {
+            // Sharded engine: split the router array (and every
+            // router-indexed slice) into contiguous per-shard views, hand
+            // one to each pool worker behind a take-once mutex, and run
+            // the sweep between the pool's cycle-boundary barriers. All
+            // side effects land in the shard buffers for ordered replay.
+            let tel_on = self.telemetry.is_some();
+            let mut tasks: Vec<std::sync::Mutex<Option<Sweep<'_>>>> =
+                Vec::with_capacity(self.sweep_threads);
+            let mut routers = &mut self.routers[..];
+            let mut stamps = &mut self.active_stamp[..];
+            let mut rbytes = &mut self.stats.activity.router_bytes[..];
+            let mut pflits = &mut self.stats.port_flits[..];
+            let mut pdest = &mut self.stats.per_dest[..];
+            let mut bufs = &mut self.shard_bufs[..];
+            let packets = &self.packets[..];
+            for (start, end) in sweep::shard_ranges(n, self.sweep_threads) {
+                let len = end - start;
+                let (r0, r1) = routers.split_at_mut(len);
+                routers = r1;
+                let (s0, s1) = stamps.split_at_mut(len);
+                stamps = s1;
+                let (rb0, rb1) = rbytes.split_at_mut(len);
+                rbytes = rb1;
+                let (pf0, pf1) = pflits.split_at_mut(len * self.max_ports);
+                pflits = pf1;
+                let (pd0, pd1) = pdest.split_at_mut(len);
+                pdest = pd1;
+                let (b0, b1) = bufs.split_at_mut(1);
+                bufs = b1;
+                tasks.push(std::sync::Mutex::new(Some(Sweep {
+                    sh: &shared,
+                    base: start,
+                    routers: r0,
+                    stamps: s0,
+                    router_bytes: rb0,
+                    port_flits: pf0,
+                    per_dest: pd0,
+                    packets: PacketAccess::Shared(packets),
+                    tel: if tel_on { TelSink::Buffer } else { TelSink::Off },
+                    trace: if trace_limit > 0 { TraceSink::Buffer } else { TraceSink::Off },
+                    buf: &mut b0[0],
+                })));
             }
-            self.deliver_arrivals(r);
-            self.step_injector(r);
-            self.step_va(r);
-            self.step_sa(r);
-            if !self.routers[r].quiescent() {
-                self.active_stamp[r] = e + 1;
+            let tasks = &tasks;
+            self.pool
+                .as_ref()
+                .expect("sharded engine builds its worker pool")
+                .scoped_run(&|i| {
+                    let mut shard = tasks[i]
+                        .lock()
+                        .expect("shard task mutex")
+                        .take()
+                        .expect("one shard task per worker");
+                    shard.run_shard();
+                });
+        }
+        self.replay_shards();
+    }
+
+    /// Replays every shard buffer in shard order — ascending router order,
+    /// the serial engine's visit order — so telemetry records, trace
+    /// events, statistics, and message completions land in the
+    /// bit-identical sequence the single-threaded engine produces. The
+    /// serial path uses the same replay for its statistics deltas and
+    /// completions (its telemetry/trace applied directly during the
+    /// sweep), keeping the two engines on one code path.
+    fn replay_shards(&mut self) {
+        let now = self.cycle;
+        let trace_limit = self.config.flit_trace.limit;
+        for si in 0..self.shard_bufs.len() {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                for op in self.shard_bufs[si].tel_ops.drain(..) {
+                    t.apply_op(now, op);
+                }
+            } else {
+                self.shard_bufs[si].tel_ops.clear();
             }
+            for i in 0..self.shard_bufs[si].trace.len() {
+                let ev = self.shard_bufs[si].trace[i];
+                if self.flit_trace.len() < trace_limit {
+                    self.flit_trace.push(ev);
+                } else {
+                    self.flit_trace_dropped += 1;
+                }
+            }
+            self.shard_bufs[si].trace.clear();
+            {
+                let b = &mut self.shard_bufs[si];
+                self.stats.ejected_flits += std::mem::take(&mut b.ejected_flits);
+                self.stats.flit_latency_sum += std::mem::take(&mut b.flit_latency_sum);
+                self.stats.hops_sum += std::mem::take(&mut b.hops_sum);
+                self.stats.hop_packets += std::mem::take(&mut b.hop_packets);
+                self.stats.activity.link_byte_hops += std::mem::take(&mut b.link_byte_hops);
+                self.stats.activity.rf_bytes += std::mem::take(&mut b.rf_bytes);
+            }
+            if std::mem::take(&mut self.shard_bufs[si].progress) {
+                self.last_progress = now;
+            }
+            for i in 0..self.shard_bufs[si].completions.len() {
+                match self.shard_bufs[si].completions[i] {
+                    Completion::Unicast { src, created, at } => {
+                        self.record_completion(src, created, at);
+                    }
+                    Completion::ParentPart { parent, covered, at } => {
+                        self.complete_parent_part(parent, covered, at);
+                    }
+                }
+            }
+            self.shard_bufs[si].completions.clear();
         }
     }
 
@@ -219,22 +310,76 @@ impl Network {
         }
     }
 
+    pub(super) fn apply_outboxes(&mut self) {
+        // Indexed drains instead of `mem::take`: the outbox vectors keep
+        // their capacity across cycles, so the steady state allocates
+        // nothing here. A delivered flit is new work for the target
+        // router, so it is marked active; credit returns and multicast
+        // enqueues never wake a quiescent router on their own.
+        //
+        // The network-level `mc_enqueues` (pushed by the serial injection
+        // phase) drain before the shard buffers' sweep-time pushes,
+        // preserving the serial engine's append order.
+        for i in 0..self.mc_enqueues.len() {
+            let (cluster, parent) = self.mc_enqueues[i];
+            self.mc_queues[cluster].push_back(parent);
+        }
+        self.mc_enqueues.clear();
+        for si in 0..self.shard_bufs.len() {
+            for i in 0..self.shard_bufs[si].deliveries.len() {
+                let (router, port, vc, flit, arrival) = self.shard_bufs[si].deliveries[i];
+                self.routers[router].inputs[port as usize]
+                    .arrivals
+                    .push_back((arrival, vc, flit));
+                self.mark_active(router);
+            }
+            self.shard_bufs[si].deliveries.clear();
+            for i in 0..self.shard_bufs[si].credit_returns.len() {
+                let (router, port, vc) = self.shard_bufs[si].credit_returns[i];
+                self.routers[router].outputs[port as usize].vcs[vc as usize].credits += 1;
+            }
+            self.shard_bufs[si].credit_returns.clear();
+            for i in 0..self.shard_bufs[si].mc_enqueues.len() {
+                let (cluster, parent) = self.shard_bufs[si].mc_enqueues[i];
+                self.mc_queues[cluster].push_back(parent);
+            }
+            self.shard_bufs[si].mc_enqueues.clear();
+        }
+    }
+}
+
+impl Sweep<'_> {
+
     pub(super) fn deliver_arrivals(&mut self, r: usize) {
-        let now = self.cycle;
-        for port in 0..self.num_ports(r) {
+        let rl = r - self.base;
+        let now = self.sh.cycle;
+        for port in 0..self.sh.num_ports(r) {
             loop {
-                let front = self.routers[r].inputs[port].arrivals.front().copied();
+                let front = self.routers[rl].inputs[port].arrivals.front().copied();
                 match front {
                     Some((at, vc, flit)) if at <= now => {
-                        self.routers[r].inputs[port].arrivals.pop_front();
+                        self.routers[rl].inputs[port].arrivals.pop_front();
                         if flit.is_head() {
-                            self.routers[r].claim_vc(port, vc, flit.packet);
+                            self.routers[rl].claim_vc(port, vc, flit.packet);
                         }
-                        self.routers[r].inputs[port].vcs[vc as usize].buffer.push_back(flit);
-                        if self.telemetry.is_some() {
-                            self.tel_buffer_push(r);
-                            if flit.is_head() {
-                                self.tel_hop_arrived(flit.packet, r, port, at);
+                        self.routers[rl].inputs[port].vcs[vc as usize].buffer.push_back(flit);
+                        if self.tel_on() {
+                            self.tel(sweep::TelOp::BufferPush(r as u32));
+                            // Tree-multicast packets fork mid-network;
+                            // only unicast packets (RF-multicast carriers
+                            // included) get hop chains.
+                            if flit.is_head()
+                                && matches!(
+                                    self.packets.get(flit.packet).dest,
+                                    PacketDest::Unicast(_)
+                                )
+                            {
+                                self.tel(sweep::TelOp::HopArrived {
+                                    packet: flit.packet,
+                                    r: r as u32,
+                                    port: port as u8,
+                                    at,
+                                });
                             }
                         }
                     }
@@ -246,28 +391,29 @@ impl Network {
 
     /// Route computation + VC allocation for head flits.
     pub(super) fn step_va(&mut self, r: usize) {
-        let now = self.cycle;
-        let escape_vcs = self.config.vcs_escape;
-        let depth = self.config.buffer_depth as u32;
+        let rl = r - self.base;
+        let now = self.sh.cycle;
+        let escape_vcs = self.sh.config.vcs_escape;
+        let depth = self.sh.config.buffer_depth as u32;
         // The VA port round-robin pointer advances once per cycle on every
         // router from an initial offset of `r`, so it is a pure function
         // of (router, cycle). Deriving it here instead of storing and
         // rotating a field keeps idle-router visits side-effect free.
-        let np = self.num_ports(r);
+        let np = self.sh.num_ports(r);
         let rr_base = ((r as u64 + now) % np as u64) as usize;
         for port_off in 0..np {
             let port = (rr_base + port_off) % np;
-            if !self.routers[r].inputs[port].exists {
+            if !self.routers[rl].inputs[port].exists {
                 continue;
             }
             // VA never claims or releases VCs, so `occupied` is stable
             // across this loop and can be walked by index without cloning.
-            let occ_len = self.routers[r].inputs[port].occupied.len();
+            let occ_len = self.routers[rl].inputs[port].occupied.len();
             for oi in 0..occ_len {
-                let vc = self.routers[r].inputs[port].occupied[oi];
+                let vc = self.routers[rl].inputs[port].occupied[oi];
                 let vci = vc as usize;
                 let (needs_va, front, packet_id) = {
-                    let v = &self.routers[r].inputs[port].vcs[vci];
+                    let v = &self.routers[rl].inputs[port].vcs[vci];
                     let needs = !v.allocated
                         && (!v.mc_routed || v.mc_branches.iter().any(|b| b.out_vc.is_none()));
                     (needs, v.buffer.front().copied(), v.cur_packet)
@@ -280,7 +426,7 @@ impl Network {
                     continue;
                 }
                 let packet_id = packet_id.expect("claimed VC has a packet");
-                match self.packets[packet_id as usize].dest {
+                match self.packets.get(packet_id).dest {
                     PacketDest::Unicast(dest) => {
                         self.va_unicast(r, port, vci, packet_id, dest, escape_vcs, depth, now);
                     }
@@ -304,46 +450,50 @@ impl Network {
         depth: u32,
         now: u64,
     ) {
-        let total = self.config.total_vcs();
+        let rl = r - self.base;
+        let total = self.sh.config.total_vcs();
         let on_escape = vci < escape_vcs;
         let grant = if on_escape {
-            let out = self.escape_port(r, dest) as usize;
-            alloc_out_vc(&mut self.routers[r].outputs, out, 0..escape_vcs, packet, depth)
+            let out = self.sh.escape_port(r, dest) as usize;
+            alloc_out_vc(&mut self.routers[rl].outputs, out, 0..escape_vcs, packet, depth)
                 .map(|ov| (out, ov))
         } else {
-            let mesh_only = self.packets[packet as usize].mesh_only;
+            let mesh_only = self.packets.get(packet).mesh_only.load(Relaxed);
             let mut out = if mesh_only {
-                self.escape_port(r, dest) as usize
+                self.sh.escape_port(r, dest) as usize
             } else {
-                self.route_port(r, dest) as usize
+                self.sh.route_port(r, dest) as usize
             };
             // A draining reconfiguration closes the RF ports to new
             // packets; route over the mesh instead.
-            if out == self.rf_port(r) && !self.rf_accepting() {
-                out = self.escape_port(r, dest) as usize;
+            if out == self.sh.rf_port(r) && !self.sh.rf_accepting {
+                out = self.sh.escape_port(r, dest) as usize;
             }
             let mut grant =
-                alloc_out_vc(&mut self.routers[r].outputs, out, escape_vcs..total, packet, depth)
+                alloc_out_vc(&mut self.routers[rl].outputs, out, escape_vcs..total, packet, depth)
                     .map(|ov| (out, ov));
             // HPCA-2008 contention avoidance: a packet blocked on a busy
             // shortcut may adaptively take the mesh route instead, but only
             // once the wait already exceeds the estimated extra cost of the
             // mesh detour (≈3 cycles per extra hop); it then commits to XY
             // so the detour cannot loop back.
-            if grant.is_none() && out == self.rf_port(r) && self.config.adaptive_shortcut_routing {
-                let blocked = self.routers[r].inputs[port].vcs[vci].va_blocked;
+            if grant.is_none()
+                && out == self.sh.rf_port(r)
+                && self.sh.config.adaptive_shortcut_routing
+            {
+                let blocked = self.routers[rl].inputs[port].vcs[vci].va_blocked;
                 let extra_hops = self
+                    .sh
                     .sp_dist
-                    .as_ref()
                     .map(|dm| {
-                        let n = self.dims.nodes();
-                        self.fabric.base_route_len(r, dest).saturating_sub(dm[r * n + dest])
+                        let n = self.sh.dims.nodes();
+                        self.sh.fabric.base_route_len(r, dest).saturating_sub(dm[r * n + dest])
                     })
                     .unwrap_or(0);
                 if blocked >= 3 * extra_hops {
-                    let mesh = self.escape_port(r, dest) as usize;
+                    let mesh = self.sh.escape_port(r, dest) as usize;
                     grant = alloc_out_vc(
-                        &mut self.routers[r].outputs,
+                        &mut self.routers[rl].outputs,
                         mesh,
                         escape_vcs..total,
                         packet,
@@ -351,18 +501,18 @@ impl Network {
                     )
                     .map(|ov| (mesh, ov));
                     if grant.is_some() {
-                        self.packets[packet as usize].mesh_only = true;
+                        self.packets.get(packet).mesh_only.store(true, Relaxed);
                     }
                 }
             }
             grant.or_else(|| {
-                let esc = self.escape_port(r, dest) as usize;
-                alloc_out_vc(&mut self.routers[r].outputs, esc, 0..escape_vcs, packet, depth)
+                let esc = self.sh.escape_port(r, dest) as usize;
+                alloc_out_vc(&mut self.routers[rl].outputs, esc, 0..escape_vcs, packet, depth)
                     .map(|ov| (esc, ov))
             })
         };
         let granted = grant.is_some();
-        let v = &mut self.routers[r].inputs[port].vcs[vci];
+        let v = &mut self.routers[rl].inputs[port].vcs[vci];
         match grant {
             Some((out, ovc)) => {
                 v.allocated = true;
@@ -375,11 +525,11 @@ impl Network {
             }
             None => v.va_blocked += 1,
         }
-        if self.telemetry.is_some() {
+        if self.tel_on() {
             if granted {
-                self.tel_hop_va(packet, now);
+                self.tel(sweep::TelOp::HopVa { packet });
             } else {
-                self.tel_va_stall();
+                self.tel(sweep::TelOp::VaStall);
             }
         }
     }
@@ -396,13 +546,14 @@ impl Network {
         depth: u32,
         now: u64,
     ) {
-        let total = self.config.total_vcs();
+        let rl = r - self.base;
+        let total = self.sh.config.total_vcs();
         // Compute the base-route tree partition once.
-        if !self.routers[r].inputs[port].vcs[vci].mc_routed {
+        if !self.routers[rl].inputs[port].vcs[vci].mc_routed {
             let (groups, glen) = partition_tree(
                 r,
-                self.local_port(r) as u8,
-                |d| self.base_port_toward(r, d),
+                self.sh.local_port(r) as u8,
+                |d| self.sh.base_port_toward(r, d),
                 &set,
             );
             debug_assert!(glen > 0, "tree packet with no progress");
@@ -411,28 +562,24 @@ impl Network {
             // single-group tree keeps forwarding the original packet.
             let mut children: [u32; MAX_ROUTER_PORTS] = [packet; MAX_ROUTER_PORTS];
             if glen > 1 {
-                let (created, measured, flits, bytes, parent) = {
-                    let p = &self.packets[packet as usize];
-                    (p.created, p.measured, p.flits, p.bytes, p.parent)
+                let (created, measured, flits, bytes, parent, src) = {
+                    let p = self.packets.get(packet);
+                    (p.created, p.measured, p.flits, p.bytes, p.parent, p.src)
                 };
-                let src = self.packets[packet as usize].src;
                 for (g, child) in children.iter_mut().enumerate().take(glen) {
-                    *child = self.new_packet(PacketInfo {
-                        dest: PacketDest::Tree(groups[g].1),
+                    *child = self.new_packet(PacketInfo::new(
+                        PacketDest::Tree(groups[g].1),
                         src,
                         flits,
                         bytes,
                         created,
                         measured,
                         parent,
-                        mc_carry: false,
-                        mesh_only: false,
-                        ejected: 0,
-                        head_grants: 0,
-                    });
+                        false,
+                    ));
                 }
             }
-            let v = &mut self.routers[r].inputs[port].vcs[vci];
+            let v = &mut self.routers[rl].inputs[port].vcs[vci];
             v.mc_branches.clear();
             for g in 0..glen {
                 v.mc_branches.push(McBranch {
@@ -446,71 +593,72 @@ impl Network {
         // Allocate remaining branches (adaptive class first, escape
         // fallback — tree hops follow the base route so escape semantics
         // hold).
-        let branch_count = self.routers[r].inputs[port].vcs[vci].mc_branches.len();
-        let had_allocation = self.routers[r].inputs[port].vcs[vci]
+        let branch_count = self.routers[rl].inputs[port].vcs[vci].mc_branches.len();
+        let had_allocation = self.routers[rl].inputs[port].vcs[vci]
             .mc_branches
             .iter()
             .any(|b| b.out_vc.is_some());
         let mut any_allocated = false;
         for b in 0..branch_count {
-            let branch = self.routers[r].inputs[port].vcs[vci].mc_branches[b];
+            let branch = self.routers[rl].inputs[port].vcs[vci].mc_branches[b];
             if branch.out_vc.is_some() {
                 continue;
             }
             let out = branch.port as usize;
             let grant =
-                alloc_out_vc(&mut self.routers[r].outputs, out, escape_vcs..total, branch.packet, depth)
+                alloc_out_vc(&mut self.routers[rl].outputs, out, escape_vcs..total, branch.packet, depth)
                     .or_else(|| {
-                        alloc_out_vc(&mut self.routers[r].outputs, out, 0..escape_vcs, branch.packet, depth)
+                        alloc_out_vc(&mut self.routers[rl].outputs, out, 0..escape_vcs, branch.packet, depth)
                     });
             if let Some(ovc) = grant {
-                self.routers[r].inputs[port].vcs[vci].mc_branches[b].out_vc = Some(ovc);
+                self.routers[rl].inputs[port].vcs[vci].mc_branches[b].out_vc = Some(ovc);
                 any_allocated = true;
             }
         }
         // Release the head flit into switch allocation on the *first*
         // successful branch allocation only.
         if any_allocated && !had_allocation {
-            if let Some(f) = self.routers[r].inputs[port].vcs[vci].buffer.front_mut() {
+            if let Some(f) = self.routers[rl].inputs[port].vcs[vci].buffer.front_mut() {
                 if f.is_head() && f.eligible <= now {
                     f.eligible = now + 1;
                 }
             }
         }
-        if !any_allocated && !had_allocation && self.telemetry.is_some() {
-            self.tel_va_stall();
+        if !any_allocated && !had_allocation && self.tel_on() {
+            self.tel(sweep::TelOp::VaStall);
         }
     }
 
     /// Switch allocation + traversal: grant flits to output ports.
     pub(super) fn step_sa(&mut self, r: usize) {
-        let now = self.cycle;
-        let depth_flits = self.config.link_width.bytes() as u64;
+        let rl = r - self.base;
+        let now = self.sh.cycle;
+        let depth_flits = self.sh.config.link_width.bytes() as u64;
         // Collect requests per output port.
-        for reqs in &mut self.sa_requests {
+        for reqs in &mut self.buf.sa_requests {
             reqs.clear();
         }
-        let np = self.num_ports(r);
+        let np = self.sh.num_ports(r);
         for port in 0..np {
-            if !self.routers[r].inputs[port].exists {
+            if !self.routers[rl].inputs[port].exists {
                 continue;
             }
             // Request collection only reads router state; `occupied` is
             // stable here (grants, which release VCs, come afterwards).
-            let occ_len = self.routers[r].inputs[port].occupied.len();
+            let occ_len = self.routers[rl].inputs[port].occupied.len();
             for oi in 0..occ_len {
-                let vc = self.routers[r].inputs[port].occupied[oi];
-                let v = &self.routers[r].inputs[port].vcs[vc as usize];
+                let vc = self.routers[rl].inputs[port].occupied[oi];
+                let v = &self.routers[rl].inputs[port].vcs[vc as usize];
                 let Some(front) = v.buffer.front() else { continue };
                 if front.eligible > now {
                     continue;
                 }
                 if v.allocated {
-                    self.sa_requests[v.out_port as usize].push((port as u8, vc, -1));
+                    self.buf.sa_requests[v.out_port as usize].push((port as u8, vc, -1));
                 } else {
                     for (bi, b) in v.mc_branches.iter().enumerate() {
                         if b.out_vc.is_some() && v.mc_front_sent & (1 << bi) == 0 {
-                            self.sa_requests[b.port as usize].push((port as u8, vc, bi as i8));
+                            self.buf.sa_requests[b.port as usize].push((port as u8, vc, bi as i8));
                         }
                     }
                 }
@@ -518,22 +666,22 @@ impl Network {
         }
         let mut used_input: [Option<(u8, u16)>; MAX_ROUTER_PORTS] = [None; MAX_ROUTER_PORTS];
         for out in 0..np {
-            if !self.routers[r].outputs[out].exists {
+            if !self.routers[rl].outputs[out].exists {
                 continue;
             }
             // `try_grant` never touches `sa_requests`, so the request list
             // can be walked by index — no take/put-back churn.
-            let reqs_len = self.sa_requests[out].len();
+            let reqs_len = self.buf.sa_requests[out].len();
             if reqs_len == 0 {
                 continue;
             }
-            let mut budget = self.routers[r].outputs[out].capacity;
-            let start = self.routers[r].outputs[out].rr % reqs_len;
+            let mut budget = self.routers[rl].outputs[out].capacity;
+            let start = self.routers[rl].outputs[out].rr % reqs_len;
             for i in 0..reqs_len {
                 if budget == 0 {
                     break;
                 }
-                let (in_port, vc, branch) = self.sa_requests[out][(start + i) % reqs_len];
+                let (in_port, vc, branch) = self.buf.sa_requests[out][(start + i) % reqs_len];
                 let ip = in_port as usize;
                 // One buffer read per input port per cycle, except multicast
                 // fanout of the same front flit.
@@ -545,8 +693,8 @@ impl Network {
                 if self.try_grant(r, ip, vc as usize, out, branch, now, depth_flits) {
                     used_input[ip] = Some((in_port, vc));
                     budget -= 1;
-                    self.routers[r].outputs[out].rr =
-                        self.routers[r].outputs[out].rr.wrapping_add(1);
+                    self.routers[rl].outputs[out].rr =
+                        self.routers[rl].outputs[out].rr.wrapping_add(1);
                     // A 16B RF channel drains several buffered narrow flits
                     // of the same packet in one cycle (burst drain).
                     while budget > 0
@@ -557,11 +705,11 @@ impl Network {
                     }
                 }
             }
-            if self.telemetry.is_some() {
+            if self.tel_on() {
                 // Requests left ungranted this cycle lost switch
                 // arbitration (to competition, capacity, or credits).
-                let granted = (self.routers[r].outputs[out].capacity - budget) as usize;
-                self.tel_sa_stalls(reqs_len.saturating_sub(granted) as u64);
+                let granted = (self.routers[rl].outputs[out].capacity - budget) as u64;
+                self.tel(sweep::TelOp::SaStalls((reqs_len as u64).saturating_sub(granted)));
             }
         }
     }
@@ -578,9 +726,10 @@ impl Network {
         now: u64,
         width_bytes: u64,
     ) -> bool {
-        let is_ejection = self.routers[r].outputs[out].target.is_none();
+        let rl = r - self.base;
+        let is_ejection = self.routers[rl].outputs[out].target.is_none();
         let (flit, out_vc, sent_packet, is_mc, pop) = {
-            let v = &self.routers[r].inputs[port].vcs[vci];
+            let v = &self.routers[rl].inputs[port].vcs[vci];
             let Some(&front) = v.buffer.front() else { return false };
             if front.eligible > now {
                 return false;
@@ -594,29 +743,30 @@ impl Network {
             }
         };
         // Credit check for non-ejection ports.
-        if !is_ejection && self.routers[r].outputs[out].vcs[out_vc as usize].credits == 0 {
-            if self.telemetry.is_some() {
-                self.tel_credit_stall();
+        if !is_ejection && self.routers[rl].outputs[out].vcs[out_vc as usize].credits == 0 {
+            if self.tel_on() {
+                self.tel(sweep::TelOp::CreditStall);
                 // Body-flit credit stalls surface in tail serialization;
                 // only the head's count toward the hop's credit-wait.
                 if !is_mc && flit.is_head() {
-                    self.tel_hop_credit(sent_packet);
+                    self.tel(sweep::TelOp::HopCredit { packet: sent_packet });
                 }
             }
             return false;
         }
         // Every grant is forward progress for the watchdog.
-        self.last_progress = now;
+        self.buf.progress = true;
         let (packet_flits, packet_bytes) = {
-            let p = &self.packets[sent_packet as usize];
+            let p = self.packets.get(sent_packet);
             (p.flits, p.bytes)
         };
         let is_tail = flit.is_tail(packet_flits);
         let mut first_grant = false;
         if flit.is_head() {
-            let hg = &mut self.packets[sent_packet as usize].head_grants;
-            first_grant = *hg == 0;
-            *hg += 1;
+            let hg = &self.packets.get(sent_packet).head_grants;
+            let grants = hg.load(Relaxed);
+            first_grant = grants == 0;
+            hg.store(grants + 1, Relaxed);
         }
         // Payload bytes carried by this flit (the tail may be partial).
         let flit_bytes = if is_tail {
@@ -625,7 +775,7 @@ impl Network {
             width_bytes
         };
 
-        if self.config.flit_trace.is_enabled() {
+        if self.trace_on() {
             let kind = if is_ejection {
                 telemetry::FlitEventKind::Ejected
             } else {
@@ -633,30 +783,39 @@ impl Network {
             };
             self.trace_event(sent_packet, flit.idx, r, kind);
         }
-        if self.telemetry.is_some() {
-            self.tel_grant(r, out, out == self.rf_port(r), sent_packet, first_grant, now);
+        if self.tel_on() {
+            self.tel(sweep::TelOp::Grant {
+                r: r as u32,
+                out: out as u8,
+                is_rf: out == self.sh.rf_port(r),
+                packet: sent_packet,
+                first: first_grant,
+            });
             if !is_mc && flit.is_head() {
-                self.tel_hop_granted(sent_packet, r, out, now);
+                self.tel(sweep::TelOp::HopGranted {
+                    packet: sent_packet,
+                    r: r as u32,
+                    out: out as u8,
+                });
             }
         }
 
         // Statistics (per payload byte; see rfnoc-power's ActivityCounters).
-        if self.counting {
-            self.stats.activity.router_bytes[r] += flit_bytes;
-            self.stats.port_flits[r * self.max_ports + out] += 1;
+        if self.sh.counting {
+            self.router_bytes[rl] += flit_bytes;
+            self.port_flits[rl * self.sh.max_ports + out] += 1;
             if !is_ejection {
-                if out == self.rf_port(r) {
-                    let op = &self.routers[r].outputs[out];
+                if out == self.sh.rf_port(r) {
+                    let op = &self.routers[rl].outputs[out];
                     if op.is_wire {
                         // Wire shortcuts burn repeated-wire energy over
                         // their full Manhattan length.
-                        self.stats.activity.link_byte_hops +=
-                            op.shortcut_hops as u64 * flit_bytes;
+                        self.buf.link_byte_hops += op.shortcut_hops as u64 * flit_bytes;
                     } else {
-                        self.stats.activity.rf_bytes += flit_bytes;
+                        self.buf.rf_bytes += flit_bytes;
                     }
                 } else {
-                    self.stats.activity.link_byte_hops += flit_bytes;
+                    self.buf.link_byte_hops += flit_bytes;
                 }
             }
         }
@@ -664,18 +823,18 @@ impl Network {
         // Move the flit.
         if is_ejection {
             if is_tail {
-                self.routers[r].outputs[out].vcs[out_vc as usize].owner = None;
+                self.routers[rl].outputs[out].vcs[out_vc as usize].owner = None;
             }
             self.on_flit_ejected(sent_packet, r, now + 2);
         } else {
-            let (t_router, t_port) = self.routers[r].outputs[out].target.expect("non-ejection");
-            self.routers[r].outputs[out].vcs[out_vc as usize].credits -= 1;
+            let (t_router, t_port) = self.routers[rl].outputs[out].target.expect("non-ejection");
+            self.routers[rl].outputs[out].vcs[out_vc as usize].credits -= 1;
             if is_tail {
-                self.routers[r].outputs[out].vcs[out_vc as usize].owner = None;
+                self.routers[rl].outputs[out].vcs[out_vc as usize].owner = None;
             }
-            let arrival = now + 2 + self.routers[r].outputs[out].extra_latency;
+            let arrival = now + 2 + self.routers[rl].outputs[out].extra_latency;
             let eligible = arrival + if flit.is_head() { 2 } else { 1 };
-            self.deliveries.push((
+            self.buf.deliveries.push((
                 t_router,
                 t_port,
                 out_vc,
@@ -687,7 +846,7 @@ impl Network {
         // Retire the front flit (immediately for unicast; multicast waits
         // for all branches).
         let retire = if is_mc {
-            let v = &mut self.routers[r].inputs[port].vcs[vci];
+            let v = &mut self.routers[rl].inputs[port].vcs[vci];
             v.mc_front_sent |= 1 << (branch as u32);
             let all = v.mc_all_sent();
             if all {
@@ -698,44 +857,18 @@ impl Network {
             pop
         };
         if retire {
-            self.routers[r].inputs[port].vcs[vci].buffer.pop_front();
-            if self.telemetry.is_some() {
-                self.tel_buffer_pop(r);
+            self.routers[rl].inputs[port].vcs[vci].buffer.pop_front();
+            if self.tel_on() {
+                self.tel(sweep::TelOp::BufferPop(r as u32));
             }
-            match self.routers[r].inputs[port].upstream {
-                Some((ur, up)) => self.credit_returns.push((ur, up, vci as u16)),
-                None => self.routers[r].injector.credits[vci] += 1,
+            match self.routers[rl].inputs[port].upstream {
+                Some((ur, up)) => self.buf.credit_returns.push((ur, up, vci as u16)),
+                None => self.routers[rl].injector.credits[vci] += 1,
             }
             if is_tail {
-                self.routers[r].release_vc(port, vci as u16);
+                self.routers[rl].release_vc(port, vci as u16);
             }
         }
         true
-    }
-
-    pub(super) fn apply_outboxes(&mut self) {
-        // Indexed drains instead of `mem::take`: the outbox vectors keep
-        // their capacity across cycles, so the steady state allocates
-        // nothing here. A delivered flit is new work for the target
-        // router, so it is marked active; credit returns and multicast
-        // enqueues never wake a quiescent router on their own.
-        for i in 0..self.deliveries.len() {
-            let (router, port, vc, flit, arrival) = self.deliveries[i];
-            self.routers[router].inputs[port as usize]
-                .arrivals
-                .push_back((arrival, vc, flit));
-            self.mark_active(router);
-        }
-        self.deliveries.clear();
-        for i in 0..self.credit_returns.len() {
-            let (router, port, vc) = self.credit_returns[i];
-            self.routers[router].outputs[port as usize].vcs[vc as usize].credits += 1;
-        }
-        self.credit_returns.clear();
-        for i in 0..self.mc_enqueues.len() {
-            let (cluster, parent) = self.mc_enqueues[i];
-            self.mc_queues[cluster].push_back(parent);
-        }
-        self.mc_enqueues.clear();
     }
 }

@@ -101,19 +101,16 @@ impl Network {
             Destination::Unicast(dst) => {
                 let bytes = spec.bytes();
                 let flits = self.flits_for(bytes);
-                let pkt = self.new_packet(PacketInfo {
-                    dest: PacketDest::Unicast(dst),
-                    src: spec.src as u32,
+                let pkt = self.new_packet(PacketInfo::new(
+                    PacketDest::Unicast(dst),
+                    spec.src as u32,
                     flits,
                     bytes,
-                    created: now,
+                    now,
                     measured,
-                    parent: None,
-                    mc_carry: false,
-                    mesh_only: false,
-                    ejected: 0,
-                    head_grants: 0,
-                });
+                    None,
+                    false,
+                ));
                 if measured {
                     self.mark_busy(now);
                     self.measured_outstanding += 1;
@@ -172,19 +169,16 @@ impl Network {
                 self.mc_enqueues.push((cluster, parent));
             } else {
                 let flits = self.flits_for(bytes);
-                let pkt = self.new_packet(PacketInfo {
-                    dest: PacketDest::Unicast(tx),
-                    src: src as u32,
+                let pkt = self.new_packet(PacketInfo::new(
+                    PacketDest::Unicast(tx),
+                    src as u32,
                     flits,
                     bytes,
-                    created: now,
+                    now,
                     measured,
-                    parent: Some(parent),
-                    mc_carry: true,
-                    mesh_only: false,
-                    ejected: 0,
-                    head_grants: 0,
-                });
+                    Some(parent),
+                    true,
+                ));
                 self.pending_inj.push((src, pkt, now));
             }
             return;
@@ -197,38 +191,32 @@ impl Network {
                     .expect("VCT mode has a table")
                     .access(src, set);
                 let flits = self.flits_for(bytes);
-                let pkt = self.new_packet(PacketInfo {
-                    dest: PacketDest::Tree(set),
-                    src: src as u32,
+                let pkt = self.new_packet(PacketInfo::new(
+                    PacketDest::Tree(set),
+                    src as u32,
                     flits,
                     bytes,
-                    created: now,
+                    now,
                     measured,
-                    parent: Some(parent),
-                    mc_carry: false,
-                    mesh_only: false,
-                    ejected: 0,
-                    head_grants: 0,
-                });
+                    Some(parent),
+                    false,
+                ));
                 self.pending_inj.push((src, pkt, now + delay));
             }
             // AsUnicasts, or RF multicast from a non-cache source.
             _ => {
                 let flits = self.flits_for(bytes);
                 for dst in set.iter() {
-                    let pkt = self.new_packet(PacketInfo {
-                        dest: PacketDest::Unicast(dst),
-                        src: src as u32,
+                    let pkt = self.new_packet(PacketInfo::new(
+                        PacketDest::Unicast(dst),
+                        src as u32,
                         flits,
                         bytes,
-                        created: now,
+                        now,
                         measured,
-                        parent: Some(parent),
-                        mc_carry: false,
-                        mesh_only: false,
-                        ejected: 0,
-                        head_grants: 0,
-                    });
+                        Some(parent),
+                        false,
+                    ));
                     self.pending_inj.push((src, pkt, now));
                 }
             }
@@ -250,37 +238,43 @@ impl Network {
         self.pending_inj.clear();
     }
 
+}
+
+impl sweep::Sweep<'_> {
+
     pub(super) fn step_injector(&mut self, r: usize) {
-        if self.injection_stalled() {
+        if self.sh.injection_stalled {
             return;
         }
-        let now = self.cycle;
-        let depth = self.config.buffer_depth as u32;
-        let escape = self.config.vcs_escape;
-        let total = self.config.total_vcs();
+        let rl = r - self.base;
+        let now = self.sh.cycle;
+        let depth = self.sh.config.buffer_depth as u32;
+        let escape = self.sh.config.vcs_escape;
+        let total = self.sh.config.total_vcs();
         // Claim VCs for waiting packets (adaptive class preferred).
         while let Some(&PendingInjection { packet, ready_at }) =
-            self.routers[r].injector.queue.front()
+            self.routers[rl].injector.queue.front()
         {
             if ready_at > now {
                 break;
             }
-            let inj = &self.routers[r].injector;
+            let inj = &self.routers[rl].injector;
             let pick = (escape..total)
                 .chain(0..escape)
                 .find(|&vc| inj.vc_free(vc, depth));
             let Some(vc) = pick else { break };
-            let flits = self.packets[packet as usize].flits;
-            let inj = &mut self.routers[r].injector;
+            let flits = self.packets.get(packet).flits;
+            let inj = &mut self.routers[rl].injector;
             inj.queue.pop_front();
             inj.streams[vc] = Some(InjectStream { packet, total_flits: flits, next: 0 });
         }
         // Stream up to `local_port_speedup` flits per network cycle across
         // the local VCs (the 4 GHz node feeds the 2 GHz network, §3.1).
-        let speedup = self.config.local_port_speedup;
+        let speedup = self.sh.config.local_port_speedup;
+        let local = self.sh.local_port(r);
         let mut sent = 0;
         'streaming: while sent < speedup {
-            let inj = &mut self.routers[r].injector;
+            let inj = &mut self.routers[rl].injector;
             let vcs = inj.streams.len();
             for i in 0..vcs {
                 let vc = (inj.rr + i) % vcs;
@@ -299,11 +293,10 @@ impl Network {
                     inj.streams[vc] = Some(InjectStream { next: idx + 1, ..stream });
                 }
                 inj.rr = (vc + 1) % vcs;
-                let local = self.local_port(r);
-                self.routers[r].inputs[local]
+                self.routers[rl].inputs[local]
                     .arrivals
                     .push_back((arrival, vc as u16, flit));
-                if self.config.flit_trace.is_enabled() {
+                if self.trace_on() {
                     self.trace_event(flit.packet, flit.idx, r, telemetry::FlitEventKind::Injected);
                 }
                 sent += 1;

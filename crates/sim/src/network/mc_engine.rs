@@ -49,19 +49,16 @@ impl Network {
             let measured = parent_info.measured;
             let flits = self.flits_for(bytes);
             for &(rx, dest) in &plan.forwarded {
-                let pkt = self.new_packet(PacketInfo {
-                    dest: PacketDest::Unicast(dest),
-                    src: rx as u32,
+                let pkt = self.new_packet(PacketInfo::new(
+                    PacketDest::Unicast(dest),
+                    rx as u32,
                     flits,
                     bytes,
                     created,
                     measured,
-                    parent: Some(tx.parent),
-                    mc_carry: false,
-                    mesh_only: false,
-                    ejected: 0,
-                    head_grants: 0,
-                });
+                    Some(tx.parent),
+                    false,
+                ));
                 self.pending_inj.push((rx, pkt, arrival));
             }
         }

@@ -172,7 +172,15 @@ enum PacketDest {
     Tree(DestSet),
 }
 
-#[derive(Debug, Clone)]
+/// An in-flight packet. The three fields that mutate after creation
+/// (`mesh_only`, `ejected`, `head_grants`) are relaxed atomics so parallel
+/// sweep shards can share the packet table read-only: each field has
+/// exactly one logical writer per cycle (a packet's head flit sits in one
+/// router; its flits all eject at its single destination — tree-multicast
+/// packets, which fork, run on the serial path only), so the atomics exist
+/// to make the concurrent *reads* from other shards well-defined, and the
+/// pool's cycle-boundary barriers order writes against later cycles.
+#[derive(Debug)]
 struct PacketInfo {
     dest: PacketDest,
     /// Router where this packet entered the network.
@@ -189,11 +197,39 @@ struct PacketInfo {
     /// Set when the packet detoured around a congested shortcut; it then
     /// follows XY for the rest of its route (monotone progress, so the
     /// contention-avoidance detour cannot livelock).
-    mesh_only: bool,
-    ejected: u32,
+    mesh_only: std::sync::atomic::AtomicBool,
+    ejected: std::sync::atomic::AtomicU32,
     /// Routers the head flit has been granted through (hops + 1 at
     /// completion).
-    head_grants: u32,
+    head_grants: std::sync::atomic::AtomicU32,
+}
+
+impl PacketInfo {
+    #[allow(clippy::too_many_arguments, clippy::fn_params_excessive_bools)]
+    fn new(
+        dest: PacketDest,
+        src: u32,
+        flits: u32,
+        bytes: u32,
+        created: u64,
+        measured: bool,
+        parent: Option<u32>,
+        mc_carry: bool,
+    ) -> Self {
+        Self {
+            dest,
+            src,
+            flits,
+            bytes,
+            created,
+            measured,
+            parent,
+            mc_carry,
+            mesh_only: std::sync::atomic::AtomicBool::new(false),
+            ejected: std::sync::atomic::AtomicU32::new(0),
+            head_grants: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -298,11 +334,21 @@ pub struct Network {
     measured_outstanding: u64,
     counting: bool,
     // scratch / outboxes
-    deliveries: Vec<(usize, u8, u16, Flit, u64)>,
-    credit_returns: Vec<(usize, u8, u16)>,
+    /// RF-multicast enqueues from the serial injection phase (a cluster
+    /// transmitter sourcing its own multicast); sweep-time enqueues land in
+    /// the shard buffers instead.
     mc_enqueues: Vec<(usize, u32)>,
     pending_inj: Vec<(usize, u32, u64)>,
-    sa_requests: Vec<Vec<(u8, u16, i8)>>,
+    /// Sweep parallelism: `SimConfig::threads` clamped to the router count,
+    /// forced to 1 under VCT multicast (tree forks allocate packets
+    /// mid-sweep).
+    sweep_threads: usize,
+    /// One outbox per shard (see [`sweep::ShardBuf`]); the serial engine
+    /// uses `shard_bufs[0]`.
+    shard_bufs: Vec<sweep::ShardBuf>,
+    /// Parked worker threads for the sharded sweep (`None` when
+    /// `sweep_threads == 1`).
+    pool: Option<rfnoc_parallel::WorkerPool>,
     flit_trace: Vec<telemetry::FlitEvent>,
     /// Flit-trace events dropped at the cap (see
     /// [`telemetry::FlitTraceConfig`]).
@@ -328,7 +374,10 @@ mod faults;
 mod inject;
 mod mc_engine;
 mod reconfig;
+mod sweep;
 pub(crate) mod telemetry;
+
+pub use sweep::shard_ranges;
 
 pub use telemetry::{
     latency_bucket, latency_bucket_bounds, ChannelMask, DelayBreakdown, FlitEvent,
@@ -359,12 +408,6 @@ impl Network {
     #[inline]
     pub(crate) fn rf_port(&self, r: usize) -> usize {
         self.base_ports[r] as usize + 1
-    }
-
-    /// Number of port slots router `r` allocates (base + local + RF).
-    #[inline]
-    pub(crate) fn num_ports(&self, r: usize) -> usize {
-        self.base_ports[r] as usize + 2
     }
 
     /// Base-slot stride of the `link_failed` flags (`max_ports - 2`).

@@ -1,0 +1,394 @@
+//! The sharded sweep: per-shard state for multi-threaded router stepping.
+//!
+//! `step_routers` is the only engine phase that parallelises: every other
+//! phase (fault application, reconfiguration, injection bookkeeping, the
+//! multicast engine, telemetry interval flushes) stays serial. The fabric
+//! is partitioned into [`shard_ranges`] — contiguous router ranges — and
+//! each shard steps its routers through the full per-router pipeline
+//! (arrival delivery, injection, VC allocation, switch allocation) using
+//! only state it owns:
+//!
+//! * its slice of the router array, the active-stamp list, and the
+//!   per-router statistics vectors (`router_bytes`, `port_flits`,
+//!   `per_dest`);
+//! * a private [`ShardBuf`] collecting everything that crosses a shard
+//!   boundary or touches global state: flit deliveries, credit returns,
+//!   multicast enqueues, message completions, telemetry operations, trace
+//!   events, and scalar statistics deltas.
+//!
+//! Shared state is read-only during the sweep ([`SweepShared`] snapshots
+//! the routing tables and per-cycle flags) except for three per-packet
+//! fields (`ejected`, `head_grants`, `mesh_only`) which are atomics with
+//! relaxed ordering: each has exactly one logical writer per cycle (a
+//! packet's head flit sits in one router; its ejections all happen at its
+//! single destination), so the atomics only serve to make the concurrent
+//! *reads* from other shards well-defined, and the pool's cycle-boundary
+//! barriers provide the cross-cycle happens-before edges.
+//!
+//! Determinism: after the barrier, shard buffers are replayed in shard
+//! order — which is ascending-router order, exactly the serial engine's
+//! visit order — so completions, telemetry records, trace events, and
+//! outbox drains land in the bit-identical sequence the single-threaded
+//! engine produces. The serial engine itself runs as one shard through
+//! this same code path, which is how the golden-hash suite pins both.
+
+#[allow(clippy::wildcard_imports)]
+use super::*;
+use std::sync::atomic::Ordering::Relaxed;
+
+/// The contiguous router ranges the sharded engine assigns to `threads`
+/// worker shards over a fabric of `routers` routers: `threads` half-open
+/// `(start, end)` ranges in ascending order that cover every router
+/// exactly once, balanced to within one router. Thread counts above the
+/// router count (or zero) are clamped.
+pub fn shard_ranges(routers: usize, threads: usize) -> Vec<(usize, usize)> {
+    let t = threads.clamp(1, routers.max(1));
+    let base = routers / t;
+    let extra = routers % t;
+    let mut out = Vec::with_capacity(t);
+    let mut start = 0;
+    for i in 0..t {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Read-only per-cycle snapshot shared by every shard: configuration,
+/// routing tables, and the serial-phase flags the router pipeline consults.
+pub(super) struct SweepShared<'a> {
+    pub cycle: u64,
+    pub counting: bool,
+    /// The sweep's epoch `e`; a visited non-quiescent router re-stamps
+    /// itself `e + 1`.
+    pub epoch: u64,
+    pub config: &'a SimConfig,
+    pub dims: GridDims,
+    pub fabric: FabricSpec,
+    pub base_ports: &'a [u8],
+    pub max_ports: usize,
+    pub base_table: Option<&'a [u8]>,
+    pub port_table: Option<&'a [u8]>,
+    pub sp_dist: Option<&'a [u32]>,
+    pub escape_table: Option<&'a [u8]>,
+    /// RF-multicast cluster of each router, when RF multicast is active.
+    pub cluster_of: Option<&'a [Option<usize>]>,
+    /// False while a reconfiguration drains the RF ports.
+    pub rf_accepting: bool,
+    /// True while a routing-table rewrite stalls injection.
+    pub injection_stalled: bool,
+}
+
+impl SweepShared<'_> {
+    /// Local (core-side) port slot of router `r`.
+    #[inline]
+    pub fn local_port(&self, r: usize) -> usize {
+        self.base_ports[r] as usize
+    }
+
+    /// RF transmitter/receiver port slot of router `r`.
+    #[inline]
+    pub fn rf_port(&self, r: usize) -> usize {
+        self.base_ports[r] as usize + 1
+    }
+
+    /// Number of port slots router `r` allocates.
+    #[inline]
+    pub fn num_ports(&self, r: usize) -> usize {
+        self.base_ports[r] as usize + 2
+    }
+
+    /// The base-route out port from `r` toward `dest` (`r != dest`).
+    #[inline]
+    pub fn base_port_toward(&self, r: usize, dest: usize) -> u8 {
+        match self.base_table {
+            Some(bt) => bt[r * self.dims.nodes() + dest],
+            None => xy_port(self.dims, r, dest),
+        }
+    }
+
+    /// The output port toward `dest` under the active routing mode.
+    pub fn route_port(&self, router: NodeId, dest: NodeId) -> u8 {
+        if router == dest {
+            return self.local_port(router) as u8;
+        }
+        match self.port_table {
+            Some(pt) => pt[router * self.dims.nodes() + dest],
+            None => self.escape_port(router, dest),
+        }
+    }
+
+    /// The escape (base-fabric-only) output port toward `dest`: the
+    /// fabric's base route on an intact fabric, the detour table when
+    /// links have failed.
+    pub fn escape_port(&self, router: NodeId, dest: NodeId) -> u8 {
+        if router == dest {
+            self.local_port(router) as u8
+        } else if let Some(table) = self.escape_table {
+            table[router * self.dims.nodes() + dest]
+        } else {
+            self.base_port_toward(router, dest)
+        }
+    }
+}
+
+/// How a shard reaches the packet table.
+pub(super) enum PacketAccess<'a> {
+    /// Parallel sweep: shared read access (the mutable per-packet fields
+    /// are atomics).
+    Shared(&'a [PacketInfo]),
+    /// Serial sweep: exclusive access, so tree multicast may allocate
+    /// child packets mid-sweep.
+    Owned(&'a mut Vec<PacketInfo>),
+}
+
+impl PacketAccess<'_> {
+    #[inline]
+    pub fn get(&self, id: u32) -> &PacketInfo {
+        match self {
+            PacketAccess::Shared(p) => &p[id as usize],
+            PacketAccess::Owned(v) => &v[id as usize],
+        }
+    }
+}
+
+/// Where a shard's telemetry hooks land.
+pub(super) enum TelSink<'a> {
+    /// Telemetry disabled: hooks cost one discriminant check.
+    Off,
+    /// Serial sweep: apply each operation to the accumulator immediately
+    /// (identical cost profile to the pre-sharding inline hooks).
+    Direct(&'a mut telemetry::TelemetryState),
+    /// Parallel sweep: buffer operations in the [`ShardBuf`] for
+    /// shard-order replay after the barrier.
+    Buffer,
+}
+
+/// Where a shard's flit-trace events land (mirrors [`TelSink`]).
+pub(super) enum TraceSink<'a> {
+    Off,
+    Direct {
+        events: &'a mut Vec<FlitEvent>,
+        dropped: &'a mut u64,
+        limit: usize,
+    },
+    Buffer,
+}
+
+/// One telemetry hook invocation, captured during a parallel sweep and
+/// replayed in shard order. Packet-derived values (creation cycle, head
+/// grants) are captured at emission so replay needs no packet-table access.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum TelOp {
+    BufferPush(u32),
+    BufferPop(u32),
+    HopArrived { packet: u32, r: u32, port: u8, at: u64 },
+    VaStall,
+    HopVa { packet: u32 },
+    CreditStall,
+    HopCredit { packet: u32 },
+    SaStalls(u64),
+    Grant { r: u32, out: u8, is_rf: bool, packet: u32, first: bool },
+    HopGranted { packet: u32, r: u32, out: u8 },
+    EjectedFlit,
+    PacketDone { packet: u32, created: u64, head_grants: u32, at: u64 },
+}
+
+/// A message-completion event observed during the sweep, replayed in shard
+/// order so latency pushes, per-source counts, the outstanding-message
+/// decrement, and recovery-convergence checks happen in the serial
+/// engine's ascending-router order.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum Completion {
+    /// A measured unicast message's last flit ejected.
+    Unicast { src: u32, created: u64, at: u64 },
+    /// A multicast child covered `covered` destinations of its parent.
+    ParentPart { parent: u32, covered: u32, at: u64 },
+}
+
+/// Per-shard outbox: everything a shard produces that crosses shard
+/// boundaries or mutates global state. Persistent across cycles so the
+/// steady state allocates nothing; replayed and cleared at each cycle
+/// boundary.
+#[derive(Debug, Default)]
+pub(super) struct ShardBuf {
+    /// Cross-router flit handoffs: `(router, port, vc, flit, arrival)`.
+    pub deliveries: Vec<(usize, u8, u16, Flit, u64)>,
+    /// Upstream credit returns: `(router, port, vc)`.
+    pub credit_returns: Vec<(usize, u8, u16)>,
+    /// RF-multicast engine enqueues: `(cluster, parent)`.
+    pub mc_enqueues: Vec<(usize, u32)>,
+    /// Completions to replay (see [`Completion`]).
+    pub completions: Vec<Completion>,
+    /// Buffered telemetry operations (parallel sweeps only).
+    pub tel_ops: Vec<TelOp>,
+    /// Buffered flit-trace events (parallel sweeps only; the cap is
+    /// applied at replay).
+    pub trace: Vec<FlitEvent>,
+    /// Switch-allocation request scratch, one list per output slot.
+    pub sa_requests: Vec<Vec<(u8, u16, i8)>>,
+    /// Scalar statistics deltas, added to `RunStats` at replay.
+    pub ejected_flits: u64,
+    pub flit_latency_sum: u64,
+    pub hops_sum: u64,
+    pub hop_packets: u64,
+    pub link_byte_hops: u64,
+    pub rf_bytes: u64,
+    /// Whether any switch grant happened in this shard (watchdog food).
+    pub progress: bool,
+}
+
+impl ShardBuf {
+    pub fn new(max_ports: usize) -> Self {
+        Self {
+            sa_requests: vec![Vec::new(); max_ports],
+            ..Default::default()
+        }
+    }
+}
+
+/// One shard's mutable view of the network for a single `step_routers`
+/// sweep: the router/stamp/statistics slices it owns (indexed relative to
+/// `base`), shared read-only state, and its outbox.
+pub(super) struct Sweep<'a> {
+    pub sh: &'a SweepShared<'a>,
+    /// Global id of `routers[0]`.
+    pub base: usize,
+    pub routers: &'a mut [Router],
+    pub stamps: &'a mut [u64],
+    /// This shard's slice of `RunStats::activity::router_bytes`.
+    pub router_bytes: &'a mut [u64],
+    /// This shard's slice of `RunStats::port_flits` (stride `max_ports`).
+    pub port_flits: &'a mut [u64],
+    /// This shard's slice of `RunStats::per_dest`.
+    pub per_dest: &'a mut [u32],
+    pub packets: PacketAccess<'a>,
+    pub tel: TelSink<'a>,
+    pub trace: TraceSink<'a>,
+    pub buf: &'a mut ShardBuf,
+}
+
+impl Sweep<'_> {
+    /// Steps every active router in this shard through the full pipeline,
+    /// in ascending router order (the serial engine's visit order).
+    pub fn run_shard(&mut self) {
+        let e = self.sh.epoch;
+        for rl in 0..self.routers.len() {
+            if self.stamps[rl] != e {
+                continue;
+            }
+            let r = self.base + rl;
+            self.deliver_arrivals(r);
+            self.step_injector(r);
+            self.step_va(r);
+            self.step_sa(r);
+            if !self.routers[rl].quiescent() {
+                self.stamps[rl] = e + 1;
+            }
+        }
+    }
+
+    /// Whether any telemetry hook should fire.
+    #[inline]
+    pub fn tel_on(&self) -> bool {
+        !matches!(self.tel, TelSink::Off)
+    }
+
+    /// Routes one telemetry operation to the shard's sink.
+    #[inline]
+    pub fn tel(&mut self, op: TelOp) {
+        match &mut self.tel {
+            TelSink::Off => {}
+            TelSink::Direct(t) => t.apply_op(self.sh.cycle, op),
+            TelSink::Buffer => self.buf.tel_ops.push(op),
+        }
+    }
+
+    /// Whether the flit trace is recording.
+    #[inline]
+    pub fn trace_on(&self) -> bool {
+        !matches!(self.trace, TraceSink::Off)
+    }
+
+    /// Records a flit-trace event on the shard's sink.
+    pub fn trace_event(&mut self, packet: u32, flit: u32, router: usize, kind: FlitEventKind) {
+        let ev = FlitEvent { cycle: self.sh.cycle, packet, flit, router, kind };
+        match &mut self.trace {
+            TraceSink::Off => {}
+            TraceSink::Direct { events, dropped, limit } => {
+                if events.len() < *limit {
+                    events.push(ev);
+                } else {
+                    **dropped += 1;
+                }
+            }
+            TraceSink::Buffer => self.buf.trace.push(ev),
+        }
+    }
+
+    /// Allocates a mid-sweep packet (tree-multicast children). Only legal
+    /// on the serial path: VCT multicast forces `threads = 1`.
+    pub fn new_packet(&mut self, p: PacketInfo) -> u32 {
+        let PacketAccess::Owned(packets) = &mut self.packets else {
+            unreachable!("tree multicast allocates packets mid-sweep; it runs serial")
+        };
+        packets.push(p);
+        let id = (packets.len() - 1) as u32;
+        if let TelSink::Direct(t) = &mut self.tel {
+            let p = &packets[id as usize];
+            let dest = match p.dest {
+                PacketDest::Unicast(d) => d as u32,
+                PacketDest::Tree(_) => u32::MAX,
+            };
+            t.on_packet_created(id, p.src, dest, p.created, p.measured);
+        }
+        id
+    }
+
+    /// Handles a flit leaving the network at `router` at time `at`.
+    pub fn on_flit_ejected(&mut self, packet: u32, router: NodeId, at: u64) {
+        let (measured, created, flits, ejected) = {
+            let p = self.packets.get(packet);
+            let ejected = p.ejected.load(Relaxed) + 1;
+            p.ejected.store(ejected, Relaxed);
+            (p.measured, p.created, p.flits, ejected)
+        };
+        if measured {
+            self.buf.ejected_flits += 1;
+            self.buf.flit_latency_sum += at.saturating_sub(created);
+        }
+        if self.tel_on() {
+            self.tel(TelOp::EjectedFlit);
+        }
+        if ejected == flits {
+            let (parent, mc_carry, src, head_grants) = {
+                let p = self.packets.get(packet);
+                (p.parent, p.mc_carry, p.src, p.head_grants.load(Relaxed))
+            };
+            if measured && head_grants > 0 {
+                self.buf.hops_sum += (head_grants - 1) as u64;
+                self.buf.hop_packets += 1;
+            }
+            if self.tel_on() {
+                self.tel(TelOp::PacketDone { packet, created, head_grants, at });
+            }
+            if measured && !mc_carry {
+                self.per_dest[router - self.base] += 1;
+            }
+            if mc_carry {
+                let cluster = self
+                    .sh
+                    .cluster_of
+                    .and_then(|c| c[router])
+                    .expect("carry packets terminate at cluster transmitters");
+                let parent = parent.expect("carry packets have a parent");
+                self.buf.mc_enqueues.push((cluster, parent));
+            } else if let Some(par) = parent {
+                self.buf.completions.push(Completion::ParentPart { parent: par, covered: 1, at });
+            } else if measured {
+                self.buf.completions.push(Completion::Unicast { src, created, at });
+            }
+        }
+    }
+}

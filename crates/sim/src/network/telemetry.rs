@@ -823,25 +823,241 @@ impl TelemetryState {
         }
         self.spans.get_mut(idx as usize)
     }
-}
 
-impl Network {
-    /// Records a flit-trace event, respecting the configured cap; events
-    /// past the cap are counted in [`Network::flit_trace_dropped`].
-    pub(super) fn trace_event(&mut self, packet: u32, flit: u32, router: usize, kind: FlitEventKind) {
-        if self.flit_trace.len() < self.config.flit_trace.limit {
-            self.flit_trace.push(FlitEvent {
-                cycle: self.cycle,
-                packet,
-                flit,
-                router,
-                kind,
-            });
-        } else {
-            self.flit_trace_dropped += 1;
+    /// Applies one buffered sweep-phase telemetry operation. The serial
+    /// engine routes its hooks through here too (via
+    /// [`super::sweep::TelSink::Direct`]), so both engines execute the
+    /// identical accumulator mutations — the parallel engine merely defers
+    /// them to the shard-order replay. `now` is the sweep's cycle.
+    pub(super) fn apply_op(&mut self, now: u64, op: sweep::TelOp) {
+        use sweep::TelOp as Op;
+        match op {
+            Op::BufferPush(r) => self.on_buffer_push(r as usize),
+            Op::BufferPop(r) => self.on_buffer_pop(r as usize),
+            Op::HopArrived { packet, r, port, at } => {
+                self.on_hop_arrived(packet, r as usize, port as usize, at);
+            }
+            Op::VaStall => self.on_va_stall(),
+            Op::HopVa { packet } => self.on_hop_va(packet, now),
+            Op::CreditStall => self.on_credit_stall(),
+            Op::HopCredit { packet } => self.on_hop_credit(packet),
+            Op::SaStalls(count) => self.on_sa_stalls(count),
+            Op::Grant { r, out, is_rf, packet, first } => {
+                self.on_grant(r as usize, out as usize, is_rf, packet, first, now);
+            }
+            Op::HopGranted { packet, r, out } => {
+                self.on_hop_granted(packet, r as usize, out as usize, now);
+            }
+            Op::EjectedFlit => self.on_ejected_flit(),
+            Op::PacketDone { packet, created, head_grants, at } => {
+                self.on_packet_done(packet, created, head_grants, at);
+            }
         }
     }
 
+    /// Registers a freshly created packet: opens its lifecycle span.
+    /// `dest` is the destination router (`u32::MAX` for a multicast tree
+    /// packet).
+    pub(super) fn on_packet_created(
+        &mut self,
+        packet: u32,
+        src: u32,
+        dest: u32,
+        injected_at: u64,
+        measured: bool,
+    ) {
+        if !self.on(ChannelMask::SPANS) {
+            return;
+        }
+        if self.span_of.len() <= packet as usize {
+            self.span_of.resize(packet as usize + 1, NO_SPAN);
+        }
+        if self.spans.len() >= self.cfg.span_limit {
+            self.dropped_spans += 1;
+            return;
+        }
+        self.span_of[packet as usize] = self.spans.len() as u32;
+        if self.profiling() {
+            self.open_hops.push(NO_HOP);
+        }
+        self.spans.push(PacketSpan {
+            packet,
+            src,
+            dest,
+            injected_at,
+            first_grant_at: u64::MAX,
+            ejected_at: u64::MAX,
+            hops: 0,
+            took_rf: false,
+            measured,
+        });
+    }
+
+    /// Records a switch grant: the links channel and span first-grant/RF
+    /// marks. `first` is true for the head flit's first grant anywhere;
+    /// `is_rf` when `out` is the granting router's RF slot.
+    fn on_grant(&mut self, r: usize, out: usize, is_rf: bool, packet: u32, first: bool, now: u64) {
+        if self.on(ChannelMask::LINKS) {
+            self.cur.port_grants[r * self.ports + out] += 1;
+            if is_rf {
+                self.cur.rf_grants += 1;
+            }
+        }
+        if (first || is_rf) && self.on(ChannelMask::SPANS) {
+            if let Some(span) = self.span_slot(packet) {
+                if first {
+                    span.first_grant_at = now;
+                }
+                if is_rf {
+                    span.took_rf = true;
+                }
+            }
+        }
+    }
+
+    /// Records one flit transmitted on the RF broadcast band.
+    pub(super) fn on_rf_mc_flit(&mut self) {
+        if self.on(ChannelMask::LINKS) {
+            self.cur.rf_mc_flits += 1;
+        }
+    }
+
+    /// Records a grant refused for lack of downstream credits.
+    fn on_credit_stall(&mut self) {
+        if self.on(ChannelMask::STALLS) {
+            self.cur.credit_stalls += 1;
+        }
+    }
+
+    /// Records a failed VC allocation attempt.
+    fn on_va_stall(&mut self) {
+        if self.on(ChannelMask::STALLS) {
+            self.cur.va_stalls += 1;
+        }
+    }
+
+    /// Records `count` switch-allocation requests that lost arbitration
+    /// this cycle.
+    fn on_sa_stalls(&mut self, count: u64) {
+        if self.on(ChannelMask::STALLS) {
+            self.cur.sa_stalls += count;
+        }
+    }
+
+    /// Records a flit entering router `r`'s input buffers.
+    fn on_buffer_push(&mut self, r: usize) {
+        if let Some(b) = self.buffered.get_mut(r) {
+            *b += 1;
+        }
+    }
+
+    /// Records a flit retired from router `r`'s input buffers.
+    fn on_buffer_pop(&mut self, r: usize) {
+        if let Some(b) = self.buffered.get_mut(r) {
+            debug_assert!(*b > 0, "buffered-flit underflow at router {r}");
+            *b = b.saturating_sub(1);
+        }
+    }
+
+    /// Records one injected message.
+    pub(super) fn on_injected(&mut self) {
+        if self.on(ChannelMask::RATES) {
+            self.cur.injected += 1;
+        }
+    }
+
+    /// Records one flit ejected at a local port.
+    fn on_ejected_flit(&mut self) {
+        if self.on(ChannelMask::RATES) {
+            self.cur.ejected_flits += 1;
+        }
+    }
+
+    /// Records a packet whose last flit just ejected: the rates and
+    /// latency channels, and the span's eject stamp. `created` and
+    /// `head_grants` are the packet's values at ejection.
+    fn on_packet_done(&mut self, packet: u32, created: u64, head_grants: u32, at: u64) {
+        if self.on(ChannelMask::RATES) {
+            self.cur.completed_packets += 1;
+        }
+        if self.on(ChannelMask::LATENCY) {
+            self.cur.latency_hist[latency_bucket(at.saturating_sub(created))] += 1;
+        }
+        if self.on(ChannelMask::SPANS) {
+            if let Some(span) = self.span_slot(packet) {
+                span.ejected_at = at;
+                span.hops = head_grants.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Opens a hop record: a profiled unicast head flit entered router
+    /// `r`'s input buffer on `port` at cycle `at`. (The unicast-only gate
+    /// lives at the emission site, which has packet-table access.)
+    fn on_hop_arrived(&mut self, packet: u32, r: usize, port: usize, at: u64) {
+        if let Some(h) = self.open_hop(packet) {
+            *h = OpenHop {
+                router: r as u32,
+                port_in: port as u8,
+                credit_waits: 0,
+                arrived_at: at,
+                va_done_at: u64::MAX,
+            };
+        }
+    }
+
+    /// Stamps the open hop's VC-allocation success cycle.
+    fn on_hop_va(&mut self, packet: u32, now: u64) {
+        if let Some(h) = self.open_hop(packet) {
+            if h.arrived_at != u64::MAX {
+                h.va_done_at = now;
+            }
+        }
+    }
+
+    /// Counts one credit-refused head-flit switch grant on the open hop.
+    fn on_hop_credit(&mut self, packet: u32) {
+        if let Some(h) = self.open_hop(packet) {
+            if h.arrived_at != u64::MAX {
+                h.credit_waits += 1;
+            }
+        }
+    }
+
+    /// Closes the open hop on a head-flit switch grant at router `r`
+    /// toward `out`, flushing the [`HopRecord`] (hop-cap permitting).
+    fn on_hop_granted(&mut self, packet: u32, r: usize, out: usize, now: u64) {
+        let Some(h) = self.open_hop(packet) else { return };
+        if h.arrived_at == u64::MAX || h.va_done_at == u64::MAX || h.router != r as u32 {
+            return;
+        }
+        let done = *h;
+        *h = NO_HOP;
+        if self.hops.len() >= self.cfg.hop_limit {
+            self.dropped_hops += 1;
+            return;
+        }
+        self.hops.push(HopRecord {
+            packet,
+            router: done.router,
+            port_in: done.port_in,
+            port_out: out as u8,
+            credit_waits: done.credit_waits,
+            arrived_at: done.arrived_at,
+            va_done_at: done.va_done_at,
+            granted_at: now,
+        });
+    }
+
+    /// Appends a timeline event at `cycle`.
+    pub(super) fn on_event(&mut self, cycle: u64, kind: TimelineEventKind) {
+        if self.on(ChannelMask::EVENTS) {
+            self.events.push(TimelineEvent { cycle, kind });
+        }
+    }
+}
+
+impl Network {
     /// The recorded flit trace so far (empty unless
     /// [`crate::SimConfig::flit_trace`] enables tracing).
     pub fn flit_trace(&self) -> &[FlitEvent] {
@@ -908,237 +1124,31 @@ impl Network {
     }
 
     /// Registers a freshly created packet: opens its lifecycle span.
+    /// (Serial-phase creations only — sweep-phase creations go through
+    /// [`super::sweep::Sweep::new_packet`].)
     #[inline]
     pub(super) fn tel_packet_created(&mut self, packet: u32) {
         let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if !t.on(ChannelMask::SPANS) {
-            return;
-        }
         let p = &self.packets[packet as usize];
-        if t.span_of.len() <= packet as usize {
-            t.span_of.resize(packet as usize + 1, NO_SPAN);
-        }
-        if t.spans.len() >= t.cfg.span_limit {
-            t.dropped_spans += 1;
-            return;
-        }
-        t.span_of[packet as usize] = t.spans.len() as u32;
-        if t.profiling() {
-            t.open_hops.push(NO_HOP);
-        }
-        t.spans.push(PacketSpan {
-            packet,
-            src: p.src,
-            dest: match p.dest {
-                PacketDest::Unicast(d) => d as u32,
-                PacketDest::Tree(_) => u32::MAX,
-            },
-            injected_at: p.created,
-            first_grant_at: u64::MAX,
-            ejected_at: u64::MAX,
-            hops: 0,
-            took_rf: false,
-            measured: p.measured,
-        });
-    }
-
-    /// Records a switch grant: the links channel and span first-grant/RF
-    /// marks. `first` is true for the head flit's first grant anywhere;
-    /// `is_rf` when `out` is the granting router's RF slot.
-    #[inline]
-    pub(super) fn tel_grant(
-        &mut self,
-        r: usize,
-        out: usize,
-        is_rf: bool,
-        packet: u32,
-        first: bool,
-        now: u64,
-    ) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::LINKS) {
-            t.cur.port_grants[r * t.ports + out] += 1;
-            if is_rf {
-                t.cur.rf_grants += 1;
-            }
-        }
-        if (first || is_rf) && t.on(ChannelMask::SPANS) {
-            if let Some(span) = t.span_slot(packet) {
-                if first {
-                    span.first_grant_at = now;
-                }
-                if is_rf {
-                    span.took_rf = true;
-                }
-            }
-        }
+        let dest = match p.dest {
+            PacketDest::Unicast(d) => d as u32,
+            PacketDest::Tree(_) => u32::MAX,
+        };
+        t.on_packet_created(packet, p.src, dest, p.created, p.measured);
     }
 
     /// Records one flit transmitted on the RF broadcast band.
     #[inline]
     pub(super) fn tel_rf_mc_flit(&mut self) {
         let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::LINKS) {
-            t.cur.rf_mc_flits += 1;
-        }
-    }
-
-    /// Records a grant refused for lack of downstream credits.
-    #[inline]
-    pub(super) fn tel_credit_stall(&mut self) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::STALLS) {
-            t.cur.credit_stalls += 1;
-        }
-    }
-
-    /// Records a failed VC allocation attempt.
-    #[inline]
-    pub(super) fn tel_va_stall(&mut self) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::STALLS) {
-            t.cur.va_stalls += 1;
-        }
-    }
-
-    /// Records `count` switch-allocation requests that lost arbitration
-    /// this cycle.
-    #[inline]
-    pub(super) fn tel_sa_stalls(&mut self, count: u64) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::STALLS) {
-            t.cur.sa_stalls += count;
-        }
-    }
-
-    /// Records a flit entering a router's input buffers.
-    #[inline]
-    pub(super) fn tel_buffer_push(&mut self, r: usize) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if let Some(b) = t.buffered.get_mut(r) {
-            *b += 1;
-        }
-    }
-
-    /// Records a flit retired from a router's input buffers.
-    #[inline]
-    pub(super) fn tel_buffer_pop(&mut self, r: usize) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if let Some(b) = t.buffered.get_mut(r) {
-            debug_assert!(*b > 0, "buffered-flit underflow at router {r}");
-            *b = b.saturating_sub(1);
-        }
+        t.on_rf_mc_flit();
     }
 
     /// Records one injected message.
     #[inline]
     pub(super) fn tel_injected(&mut self) {
         let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::RATES) {
-            t.cur.injected += 1;
-        }
-    }
-
-    /// Records one flit ejected at a local port.
-    #[inline]
-    pub(super) fn tel_ejected_flit(&mut self) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::RATES) {
-            t.cur.ejected_flits += 1;
-        }
-    }
-
-    /// Records a packet whose last flit just ejected: the rates and
-    /// latency channels, and the span's eject stamp.
-    #[inline]
-    pub(super) fn tel_packet_done(&mut self, packet: u32, at: u64) {
-        let (created, head_grants) = {
-            let p = &self.packets[packet as usize];
-            (p.created, p.head_grants)
-        };
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::RATES) {
-            t.cur.completed_packets += 1;
-        }
-        if t.on(ChannelMask::LATENCY) {
-            t.cur.latency_hist[latency_bucket(at.saturating_sub(created))] += 1;
-        }
-        if t.on(ChannelMask::SPANS) {
-            if let Some(span) = t.span_slot(packet) {
-                span.ejected_at = at;
-                span.hops = head_grants.saturating_sub(1);
-            }
-        }
-    }
-
-    /// Opens a hop record: a profiled unicast head flit entered router
-    /// `r`'s input buffer on `port` at cycle `at`.
-    #[inline]
-    pub(super) fn tel_hop_arrived(&mut self, packet: u32, r: usize, port: usize, at: u64) {
-        // Tree-multicast packets fork mid-network; only unicast packets
-        // (RF-multicast carriers included) get hop chains.
-        if !matches!(self.packets[packet as usize].dest, PacketDest::Unicast(_)) {
-            return;
-        }
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if let Some(h) = t.open_hop(packet) {
-            *h = OpenHop {
-                router: r as u32,
-                port_in: port as u8,
-                credit_waits: 0,
-                arrived_at: at,
-                va_done_at: u64::MAX,
-            };
-        }
-    }
-
-    /// Stamps the open hop's VC-allocation success cycle.
-    #[inline]
-    pub(super) fn tel_hop_va(&mut self, packet: u32, now: u64) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if let Some(h) = t.open_hop(packet) {
-            if h.arrived_at != u64::MAX {
-                h.va_done_at = now;
-            }
-        }
-    }
-
-    /// Counts one credit-refused head-flit switch grant on the open hop.
-    #[inline]
-    pub(super) fn tel_hop_credit(&mut self, packet: u32) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if let Some(h) = t.open_hop(packet) {
-            if h.arrived_at != u64::MAX {
-                h.credit_waits += 1;
-            }
-        }
-    }
-
-    /// Closes the open hop on a head-flit switch grant at router `r`
-    /// toward `out`, flushing the [`HopRecord`] (hop-cap permitting).
-    #[inline]
-    pub(super) fn tel_hop_granted(&mut self, packet: u32, r: usize, out: usize, now: u64) {
-        let Some(t) = self.telemetry.as_deref_mut() else { return };
-        let Some(h) = t.open_hop(packet) else { return };
-        if h.arrived_at == u64::MAX || h.va_done_at == u64::MAX || h.router != r as u32 {
-            return;
-        }
-        let done = *h;
-        *h = NO_HOP;
-        if t.hops.len() >= t.cfg.hop_limit {
-            t.dropped_hops += 1;
-            return;
-        }
-        t.hops.push(HopRecord {
-            packet,
-            router: done.router,
-            port_in: done.port_in,
-            port_out: out as u8,
-            credit_waits: done.credit_waits,
-            arrived_at: done.arrived_at,
-            va_done_at: done.va_done_at,
-            granted_at: now,
-        });
+        t.on_injected();
     }
 
     /// Appends a timeline event at the current cycle.
@@ -1146,9 +1156,7 @@ impl Network {
     pub(super) fn tel_event(&mut self, kind: TimelineEventKind) {
         let cycle = self.cycle;
         let Some(t) = self.telemetry.as_deref_mut() else { return };
-        if t.on(ChannelMask::EVENTS) {
-            t.events.push(TimelineEvent { cycle, kind });
-        }
+        t.on_event(cycle, kind);
     }
 }
 

@@ -10,7 +10,7 @@ use rfnoc_sim::{
     FaultEvent, FaultPlan, FaultRates, HealthDiagnosis, MessageClass, MessageSpec, Network,
     NetworkSpec, ScriptedWorkload, SimConfig,
 };
-use rfnoc_topology::{GridDims, Shortcut};
+use rfnoc_topology::{FabricSpec, GridDims, Shortcut};
 
 fn quick_config() -> SimConfig {
     let mut cfg = SimConfig::paper_baseline().with_link_width(LinkWidth::B16);
@@ -106,7 +106,7 @@ proptest! {
             glitches: 0.0,
             repair_after: (repair == 1).then_some(500),
         };
-        let plan = FaultPlan::random(seed, dims, &shortcuts, rates, 0..3_000);
+        let plan = FaultPlan::random(seed, &FabricSpec::mesh(dims), &shortcuts, rates, 0..3_000);
         prop_assert!(plan.rf_only());
 
         let mut injected = Vec::new();

@@ -162,11 +162,12 @@ impl Workload for SyntheticWorkload {
     }
 }
 
-fn golden_config() -> SimConfig {
+fn golden_config(threads: usize) -> SimConfig {
     let mut cfg = SimConfig::paper_baseline();
     cfg.warmup_cycles = 200;
     cfg.measure_cycles = 1_500;
     cfg.drain_cycles = 8_000;
+    cfg.threads = threads;
     cfg
 }
 
@@ -229,50 +230,50 @@ fn ring_fabric() -> FabricSpec {
     FabricSpec::ring_mesh(GridDims::new(8, 8), 4)
 }
 
-fn run_case(name: &str) -> RunStats {
+fn run_case(name: &str, threads: usize) -> RunStats {
     let dims = GridDims::new(6, 6);
     let n = dims.nodes();
     let horizon = |cfg: &SimConfig| cfg.warmup_cycles + cfg.measure_cycles;
     match name {
         "mesh_xy_low_load" => {
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let mut w = SyntheticWorkload::unicast(0x5eed_0001, n, 4, horizon(&cfg));
             Network::new(NetworkSpec::mesh_baseline(dims, cfg)).run(&mut w)
         }
         "mesh_xy_saturating" => {
-            let mut cfg = golden_config();
+            let mut cfg = golden_config(threads);
             cfg.drain_cycles = 2_000;
             cfg.watchdog_cycles = 0;
             let mut w = SyntheticWorkload::unicast(0x5eed_0002, n, 96, horizon(&cfg));
             Network::new(NetworkSpec::mesh_baseline(dims, cfg)).run(&mut w)
         }
         "rf_static" => {
-            let mut cfg = golden_config();
+            let mut cfg = golden_config(threads);
             cfg.adaptive_shortcut_routing = false;
             let mut w = SyntheticWorkload::unicast(0x5eed_0003, n, 16, horizon(&cfg));
             Network::new(NetworkSpec::with_shortcuts(dims, cfg, shortcuts(dims))).run(&mut w)
         }
         "rf_adaptive_detour" => {
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let mut w = SyntheticWorkload::unicast(0x5eed_0004, n, 48, horizon(&cfg));
             Network::new(NetworkSpec::with_shortcuts(dims, cfg, shortcuts(dims))).run(&mut w)
         }
         "wire_shortcuts" => {
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let mut spec = NetworkSpec::with_shortcuts(dims, cfg, shortcuts(dims));
             spec.wire_shortcut_cycles_per_hop = Some(0.8);
             let mut w = SyntheticWorkload::unicast(0x5eed_0005, n, 16, horizon(&spec.config));
             Network::new(spec).run(&mut w)
         }
         "mc_as_unicasts" => {
-            let mut cfg = golden_config();
+            let mut cfg = golden_config(threads);
             cfg.collect_pair_counts = true;
             let mut w = SyntheticWorkload::unicast(0x5eed_0006, n, 12, horizon(&cfg))
                 .with_multicast(5, vec![7, 10, 25, 28]);
             Network::new(NetworkSpec::mesh_baseline(dims, cfg)).run(&mut w)
         }
         "mc_vct_tree" => {
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let mut spec = NetworkSpec::mesh_baseline(dims, cfg);
             spec.multicast = MulticastMode::Vct(VctConfig::default());
             let mut w = SyntheticWorkload::unicast(0x5eed_0007, n, 12, horizon(&spec.config))
@@ -280,14 +281,14 @@ fn run_case(name: &str) -> RunStats {
             Network::new(spec).run(&mut w)
         }
         "mc_rf_broadcast" => {
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let spec = rf_mc_spec(dims, cfg);
             let mut w = SyntheticWorkload::unicast(0x5eed_0008, n, 12, horizon(&spec.config))
                 .with_multicast(4, vec![7, 10, 25, 28]);
             Network::new(spec).run(&mut w)
         }
         "faults_and_glitches" => {
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let plan = FaultPlan::new(vec![
                 (300, FaultEvent::ShortcutDown { src: 0 }),
                 (500, FaultEvent::MeshLinkDown { a: 14, b: 15 }),
@@ -301,7 +302,7 @@ fn run_case(name: &str) -> RunStats {
             Network::new(spec).run(&mut w)
         }
         "reconfigure_live" => {
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let mut net = Network::new(NetworkSpec::with_shortcuts(dims, cfg, shortcuts(dims)));
             net.reconfigure(vec![Shortcut::new(2, 33), Shortcut::new(33, 2)])
                 .expect("legal retune");
@@ -311,14 +312,14 @@ fn run_case(name: &str) -> RunStats {
         }
         "ringmesh_base_low_load" => {
             let fabric = ring_fabric();
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let mut w =
                 SyntheticWorkload::unicast(0x5eed_000b, fabric.dims().nodes(), 8, horizon(&cfg));
             Network::new(NetworkSpec::with_fabric(fabric, cfg, Vec::new())).run(&mut w)
         }
         "ringmesh_rf_adaptive" => {
             let fabric = ring_fabric();
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let rn = fabric.dims().nodes();
             let mut w = SyntheticWorkload::unicast(0x5eed_000c, rn, 32, horizon(&cfg));
             Network::new(NetworkSpec::with_fabric(fabric, cfg, shortcuts(fabric.dims())))
@@ -326,7 +327,7 @@ fn run_case(name: &str) -> RunStats {
         }
         "ringmesh_faults" => {
             let fabric = ring_fabric();
-            let cfg = golden_config();
+            let cfg = golden_config(threads);
             let rn = fabric.dims().nodes();
             // A base link of router 0 picked from the fabric itself, so the
             // case stays valid whatever the tile's ring order is.
@@ -351,7 +352,7 @@ fn golden_stats_match_seed_engine() {
     let bless = std::env::var("GOLDEN_BLESS").is_ok();
     let mut failures = Vec::new();
     for &(name, expected) in GOLDEN {
-        let stats = run_case(name);
+        let stats = run_case(name, 1);
         // Campaigns off: no recovery tracker was configured, so no records
         // may leak into the stats (and none are hashed above).
         assert!(stats.recovery.is_empty(), "{name}: recovery records without a tracker");
@@ -376,8 +377,43 @@ fn golden_stats_match_seed_engine() {
 #[test]
 fn golden_cases_repeat_identically() {
     for &(name, _) in GOLDEN {
-        let a = hash_stats(&run_case(name));
-        let b = hash_stats(&run_case(name));
+        let a = hash_stats(&run_case(name, 1));
+        let b = hash_stats(&run_case(name, 1));
         assert_eq!(a, b, "case {name} is non-deterministic");
     }
+}
+
+/// The sharded engine must be bit-identical to the serial engine: every
+/// golden hash reproduces at every thread count, against the *same*
+/// pinned constants (never re-blessed per thread count). The sweep covers
+/// mid-run reconfiguration (`reconfigure_live`), fault storms
+/// (`faults_and_glitches`, `ringmesh_faults`), and the VCT fallback to
+/// the serial path (`mc_vct_tree`). Thread counts above the router count
+/// exercise the shard-clamp path.
+#[test]
+fn golden_stats_reproduce_at_every_thread_count() {
+    let threads_env = std::env::var("GOLDEN_THREADS").ok();
+    let sweep: Vec<usize> = match &threads_env {
+        Some(list) => list
+            .split(',')
+            .map(|t| t.trim().parse().expect("GOLDEN_THREADS is a comma-separated list"))
+            .collect(),
+        None => vec![2, 4, 8],
+    };
+    let mut failures = Vec::new();
+    for &threads in &sweep {
+        for &(name, expected) in GOLDEN {
+            let actual = hash_stats(&run_case(name, threads));
+            if actual != expected {
+                failures.push(format!(
+                    "{name} @ {threads} threads: expected {expected:#018x}, got {actual:#018x}"
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "sharded engine diverged from the serial engine:\n  {}",
+        failures.join("\n  ")
+    );
 }

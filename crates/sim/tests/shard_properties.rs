@@ -1,0 +1,137 @@
+//! Sharded-engine properties: the shard partition covers every router of
+//! any fabric exactly once, and the parallel engine is bit-identical to
+//! the serial one — including under a correlated fault storm, the
+//! adversarial case for cross-shard event ordering (mid-run table
+//! rewrites, glitch retransmissions, and RF-band teardown all land at
+//! cycle boundaries shared by every shard).
+
+use proptest::prelude::*;
+use rfnoc_sim::{
+    shard_ranges, FaultPlan, MessageClass, MessageSpec, Network, NetworkSpec, SimConfig,
+    Workload,
+};
+use rfnoc_topology::{FabricSpec, GridDims, Shortcut};
+
+/// Deterministic xorshift unicast workload (mirrors the golden-stats
+/// generator; no external RNG crate).
+struct SyntheticUnicasts {
+    state: u64,
+    nodes: usize,
+    load_256: u64,
+    until: u64,
+}
+
+impl Workload for SyntheticUnicasts {
+    fn messages_at(&mut self, cycle: u64, out: &mut Vec<MessageSpec>) {
+        if cycle >= self.until {
+            return;
+        }
+        let (nodes, load) = (self.nodes, self.load_256);
+        let mut next = || {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x
+        };
+        for src in 0..nodes {
+            if next() % 256 >= load {
+                continue;
+            }
+            let mut dst = (next() % nodes as u64) as usize;
+            if dst == src {
+                dst = (dst + 1) % nodes;
+            }
+            let class = match next() % 3 {
+                0 => MessageClass::Request,
+                1 => MessageClass::Data,
+                _ => MessageClass::Memory,
+            };
+            out.push(MessageSpec::unicast(src, dst, class));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `shard_ranges` partitions any fabric's routers: every router falls
+    /// in exactly one contiguous shard, shards are ordered, and no shard
+    /// is empty. Thread counts above the router count must clamp rather
+    /// than emit empty shards.
+    #[test]
+    fn shard_partition_covers_every_router_exactly_once(
+        w in 2usize..10,
+        h in 2usize..10,
+        tile_sel in 0usize..3,
+        threads in 1usize..33,
+    ) {
+        let dims = GridDims::new(w, h);
+        // A mesh, or a ring-mesh when a tile evenly divides the grid.
+        let tiles: Vec<usize> =
+            (2..=w.min(h)).filter(|t| w % t == 0 && h % t == 0).collect();
+        let fabric = if tiles.is_empty() {
+            FabricSpec::mesh(dims)
+        } else {
+            match tile_sel {
+                0 => FabricSpec::mesh(dims),
+                _ => FabricSpec::ring_mesh(dims, tiles[tile_sel % tiles.len()]),
+            }
+        };
+        let n = fabric.nodes();
+        let ranges = shard_ranges(n, threads);
+
+        prop_assert!(!ranges.is_empty());
+        prop_assert!(ranges.len() <= threads.min(n));
+        let mut next = 0usize;
+        for &(start, end) in &ranges {
+            prop_assert_eq!(start, next, "shards must be contiguous and ordered");
+            prop_assert!(end > start, "no empty shards");
+            next = end;
+        }
+        prop_assert_eq!(next, n, "every router covered exactly once");
+        // Balanced: shard sizes differ by at most one router.
+        let sizes: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "unbalanced shards: {:?}", sizes);
+    }
+}
+
+/// A correlated fault storm — regional link failures, a glitch burst, and
+/// the band-down-during-retune race — produces bit-identical statistics
+/// at 1, 2, 4, and 8 engine threads. (The golden-stats thread sweep
+/// covers the pinned scripted cases including mid-run `reconfigure`; this
+/// covers the storm generator end to end.)
+#[test]
+fn fault_storm_stats_identical_across_thread_counts() {
+    let dims = GridDims::new(8, 8);
+    let fabric = FabricSpec::mesh(dims);
+    let shortcuts = vec![Shortcut::new(0, 63), Shortcut::new(56, 7), Shortcut::new(7, 56)];
+    let run = |threads: usize| {
+        let mut cfg = SimConfig::paper_baseline().with_threads(threads);
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 6_000;
+        cfg.drain_cycles = 20_000;
+        let plan =
+            FaultPlan::correlated(11, &fabric, &shortcuts, 2.0, 1.0, 500..6_500);
+        assert!(!plan.is_empty());
+        let spec = NetworkSpec::with_shortcuts(dims, cfg, shortcuts.clone())
+            .with_fault_plan(plan);
+        let mut w = SyntheticUnicasts {
+            state: 0x5701_4a11,
+            nodes: dims.nodes(),
+            load_256: 20,
+            until: 6_500,
+        };
+        Network::new(spec).run(&mut w)
+    };
+    let serial = run(1);
+    for threads in [2usize, 4, 8] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial, parallel,
+            "storm run diverged between 1 and {threads} engine threads"
+        );
+    }
+}

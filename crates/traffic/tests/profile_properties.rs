@@ -7,7 +7,7 @@ use rfnoc_sim::{
     Destination, FaultEvent, FaultPlan, Network, NetworkSpec, RecoveryConfig, SimConfig,
     Workload,
 };
-use rfnoc_topology::{GridDims, Shortcut};
+use rfnoc_topology::{FabricSpec, GridDims, Shortcut};
 use rfnoc_traffic::{
     compile_profiles, derive_seed, Placement, Profile, ProfileSpec, ProfileWorkload,
     TrafficConfig,
@@ -96,7 +96,7 @@ fn band_down_under_adversarial_traffic_reconverges() {
     cfg.drain_cycles = 60_000;
 
     let fault_cycle = 10_000;
-    let plan = FaultPlan::validated(vec![(fault_cycle, FaultEvent::BandDown)], dims)
+    let plan = FaultPlan::validated(vec![(fault_cycle, FaultEvent::BandDown)], &FabricSpec::mesh(dims))
         .expect("a lone BandDown is a valid plan");
     // Moderate adversarial load: enough pressure to feel the band loss,
     // light enough that the mesh absorbs it and latency levels off again.
@@ -149,7 +149,7 @@ fn band_down_under_adversarial_traffic_reconverges() {
         vec![Shortcut::new(0, 99), Shortcut::new(90, 9), Shortcut::new(44, 55)],
     )
     .with_fault_plan(
-        FaultPlan::validated(vec![(fault_cycle, FaultEvent::BandDown)], dims).unwrap(),
+        FaultPlan::validated(vec![(fault_cycle, FaultEvent::BandDown)], &FabricSpec::mesh(dims)).unwrap(),
     );
     let stats2 = Network::new(spec2).run(&mut workload2);
     assert_eq!(stats2.recovery, stats.recovery, "same seeds, same recovery record");
