@@ -167,25 +167,62 @@ pub fn write_json(name: &str, results: &PlanResults) -> Option<PathBuf> {
     }
 }
 
+/// One configuration's headline metrics in a BENCH_trajectory row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Configuration id (`mesh10x10_low_load`, `mesh64x64_saturated_t4`).
+    pub id: String,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Switch-allocator flit grants per wall-clock second.
+    pub flit_grants_per_sec: f64,
+    /// Max-over-mean per-shard sweep time on the sharded engine; `None`
+    /// on serial configs or when the run was not ledger-instrumented.
+    pub shard_imbalance: Option<f64>,
+    /// Barrier-wait share of the sharded sweep wall time (`None` like
+    /// `shard_imbalance`).
+    pub barrier_wait_frac: Option<f64>,
+}
+
+impl TrajectoryPoint {
+    /// A point with throughput metrics only (the serial-engine shape).
+    pub fn new(id: impl Into<String>, cycles_per_sec: f64, flit_grants_per_sec: f64) -> Self {
+        Self {
+            id: id.into(),
+            cycles_per_sec,
+            flit_grants_per_sec,
+            shard_imbalance: None,
+            barrier_wait_frac: None,
+        }
+    }
+}
+
 /// Renders one BENCH_trajectory row: provenance plus the headline
 /// throughput of each config. The row is itself a complete artifact, so a
 /// row extracted from the trajectory diffs cleanly against another row.
-pub fn trajectory_row(git: &str, unix: u64, quick: bool, configs: &[(&str, f64, f64)]) -> String {
+pub fn trajectory_row(git: &str, unix: u64, quick: bool, configs: &[TrajectoryPoint]) -> String {
     let mut row = String::new();
     let _ = write!(
         row,
         "{{\"git\": {}, \"generated_unix\": {unix}, \"quick\": {quick}, \"configs\": [",
         json_str(git)
     );
-    for (i, (id, cps, gps)) in configs.iter().enumerate() {
+    for (i, p) in configs.iter().enumerate() {
         let _ = write!(
             row,
-            "{}{{\"id\": {}, \"cycles_per_sec\": {}, \"flit_grants_per_sec\": {}}}",
+            "{}{{\"id\": {}, \"cycles_per_sec\": {}, \"flit_grants_per_sec\": {}",
             if i == 0 { "" } else { ", " },
-            json_str(id),
-            json_f64(*cps),
-            json_f64(*gps),
+            json_str(&p.id),
+            json_f64(p.cycles_per_sec),
+            json_f64(p.flit_grants_per_sec),
         );
+        if let Some(v) = p.shard_imbalance {
+            let _ = write!(row, ", \"shard_imbalance\": {}", json_f64(v));
+        }
+        if let Some(v) = p.barrier_wait_frac {
+            let _ = write!(row, ", \"barrier_wait_frac\": {}", json_f64(v));
+        }
+        row.push('}');
     }
     row.push_str("]}");
     row
@@ -194,7 +231,7 @@ pub fn trajectory_row(git: &str, unix: u64, quick: bool, configs: &[(&str, f64, 
 /// Appends a row to `results/json/BENCH_trajectory.json`, creating the
 /// file on first run. The file is a `{"rows": [...]}` object appended by
 /// string splice (no JSON reader needed: the writer owns the format).
-pub fn append_trajectory(git: &str, unix: u64, quick: bool, configs: &[(&str, f64, f64)]) {
+pub fn append_trajectory(git: &str, unix: u64, quick: bool, configs: &[TrajectoryPoint]) {
     const PATH: &str = "results/json/BENCH_trajectory.json";
     const TAIL: &str = "\n  ]\n}\n";
     let row = trajectory_row(git, unix, quick, configs);

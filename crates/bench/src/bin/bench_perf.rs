@@ -8,13 +8,17 @@
 //! criterion crate is an API stub, so timing is hand-rolled with
 //! `std::time::Instant`, exactly like the sweep runner.
 //!
-//! Usage: `bench_perf [--quick] [--telemetry] [--sim-threads N]`
+//! Usage: `bench_perf [--quick] [--telemetry] [--ledger] [--sim-threads N]`
 //!   --quick        one short repetition per config (CI smoke)
 //!   --telemetry    enable the telemetry layer (all channels, 1k-cycle
 //!                  interval) and write the artifact as
 //!                  `BENCH_sim_throughput_telemetry.json` — CI compares its
 //!                  cycles/sec against the telemetry-off run to bound the
 //!                  observation overhead
+//!   --ledger       enable the run ledger (1k-cycle heartbeats) on every
+//!                  timed run and write the artifact as
+//!                  `BENCH_sim_throughput_ledger.json` — CI compares its
+//!                  cycles/sec against the ledger-off run the same way
 //!   --sim-threads  step every simulation on N sharded-engine threads
 //!                  (bit-identical to serial; 0 is rejected)
 //!
@@ -22,12 +26,17 @@
 //! thread and — when `--sim-threads N > 1` — again at N threads; both land
 //! in the artifact and the BENCH_trajectory row (ids
 //! `mesh64x64_saturated_t<threads>`), so the trajectory records wall time
-//! against thread count for the scaling workload.
+//! against thread count for the scaling workload. Threaded scale rows also
+//! carry `shard_imbalance` (max/mean per-shard sweep time) and
+//! `barrier_wait_frac` (barrier share of the sweep wall), measured by one
+//! extra ledger-instrumented run so the timed run stays un-instrumented.
 
-use rfnoc_bench::artifact::{append_trajectory, git_describe, json_f64, json_str};
+use rfnoc_bench::artifact::{
+    append_trajectory, git_describe, json_f64, json_str, TrajectoryPoint,
+};
 use rfnoc_sim::{
-    McConfig, MessageClass, MessageSpec, MulticastMode, Network, NetworkSpec, RunStats, SimConfig,
-    TelemetryConfig, Workload,
+    LedgerConfig, LedgerRecord, McConfig, MessageClass, MessageSpec, MulticastMode, Network,
+    NetworkSpec, RunStats, SimConfig, TelemetryConfig, Workload,
 };
 use rfnoc_topology::{GridDims, Shortcut};
 use std::fmt::Write as _;
@@ -183,7 +192,13 @@ struct Sample {
     wall: Duration,
 }
 
-fn run_once(bc: &BenchConfig, measure_cycles: u64, telemetry: bool, threads: usize) -> Sample {
+fn run_once(
+    bc: &BenchConfig,
+    measure_cycles: u64,
+    telemetry: bool,
+    ledger: bool,
+    threads: usize,
+) -> Sample {
     let mut cfg = SimConfig::paper_baseline().with_threads(threads);
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = measure_cycles;
@@ -191,6 +206,9 @@ fn run_once(bc: &BenchConfig, measure_cycles: u64, telemetry: bool, threads: usi
     cfg.watchdog_cycles = 0;
     if telemetry {
         cfg.telemetry = Some(TelemetryConfig::every(1_000));
+    }
+    if ledger {
+        cfg.ledger = Some(LedgerConfig::every(1_000));
     }
     let horizon = cfg.warmup_cycles + cfg.measure_cycles;
     let spec = (bc.build)(cfg);
@@ -204,7 +222,7 @@ fn run_once(bc: &BenchConfig, measure_cycles: u64, telemetry: bool, threads: usi
 /// The thread-scaling workload: a saturated 64×64 mesh, the configuration
 /// where the sharded engine has enough routers per shard to amortise the
 /// cycle-boundary barriers.
-fn run_scale(threads: usize, measure_cycles: u64, quick: bool) -> Sample {
+fn run_scale(threads: usize, measure_cycles: u64, quick: bool, ledger: bool) -> Sample {
     let d = GridDims::new(64, 64);
     let mut cfg = SimConfig::paper_baseline().with_threads(threads);
     cfg.warmup_cycles = if quick { 100 } else { 200 };
@@ -213,6 +231,9 @@ fn run_scale(threads: usize, measure_cycles: u64, quick: bool) -> Sample {
     // drains anyway, so cap the tail hard in quick mode.
     cfg.drain_cycles = if quick { 400 } else { 3_000 };
     cfg.watchdog_cycles = 0;
+    if ledger {
+        cfg.ledger = Some(LedgerConfig::every(1_000));
+    }
     let horizon = cfg.warmup_cycles + cfg.measure_cycles;
     let spec = NetworkSpec::mesh_baseline(d, cfg);
     let mut network = Network::new(spec);
@@ -222,10 +243,37 @@ fn run_scale(threads: usize, measure_cycles: u64, quick: bool) -> Sample {
     Sample { stats, wall: t0.elapsed() }
 }
 
+/// Reduces a ledger-instrumented run's shard records to the two scaling
+/// metrics: `(shard_imbalance, barrier_wait_frac)` — max/mean per-shard
+/// total sweep time, and the barrier share of the sweep-phase wall.
+/// `(None, None)` without a ledger or without shard records (serial run).
+fn shard_metrics(stats: &RunStats) -> (Option<f64>, Option<f64>) {
+    let Some(report) = &stats.ledger else { return (None, None) };
+    let mut per_shard: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+    let (mut sweep_total, mut barrier_total) = (0.0f64, 0.0f64);
+    for r in &report.records {
+        if let LedgerRecord::Shard { shard, sweep_ms, barrier_ms, .. } = r {
+            *per_shard.entry(*shard).or_insert(0.0) += sweep_ms;
+            sweep_total += sweep_ms;
+            barrier_total += barrier_ms;
+        }
+    }
+    if per_shard.is_empty() {
+        return (None, None);
+    }
+    let mean = sweep_total / per_shard.len() as f64;
+    let max = per_shard.values().copied().fold(0.0, f64::max);
+    let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+    let total = sweep_total + barrier_total;
+    let frac = if total > 0.0 { barrier_total / total } else { 0.0 };
+    (Some(imbalance), Some(frac))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let telemetry = args.iter().any(|a| a == "--telemetry");
+    let ledger = args.iter().any(|a| a == "--ledger");
     let sim_threads: usize = match args.iter().position(|a| a == "--sim-threads") {
         Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
             Some(0) | None => {
@@ -242,26 +290,29 @@ fn main() {
     let (measure_cycles, reps) = if quick { (4_000, 2) } else { (40_000, 3) };
     let name = if telemetry {
         "BENCH_sim_throughput_telemetry"
+    } else if ledger {
+        "BENCH_sim_throughput_ledger"
     } else {
         "BENCH_sim_throughput"
     };
     let git = git_describe();
     eprintln!(
-        "bench_perf: {} configs x {reps} reps, {measure_cycles} measured cycles each ({}{}{})",
+        "bench_perf: {} configs x {reps} reps, {measure_cycles} measured cycles each ({}{}{}{})",
         CONFIGS.len(),
         if quick { "quick" } else { "full" },
         if telemetry { ", telemetry on" } else { "" },
+        if ledger { ", ledger on" } else { "" },
         if sim_threads > 1 { ", sharded engine" } else { "" },
     );
 
     let mut rows = String::new();
-    let mut trajectory: Vec<(String, f64, f64)> = Vec::new();
+    let mut trajectory: Vec<TrajectoryPoint> = Vec::new();
     for bc in CONFIGS.iter() {
         // Best-of-N wall time: the least-perturbed run of a deterministic
         // simulation is the most faithful throughput estimate.
         let mut best: Option<Sample> = None;
         for _ in 0..reps {
-            let s = run_once(bc, measure_cycles, telemetry, sim_threads);
+            let s = run_once(bc, measure_cycles, telemetry, ledger, sim_threads);
             if best.as_ref().is_none_or(|b| s.wall < b.wall) {
                 best = Some(s);
             }
@@ -272,7 +323,7 @@ fn main() {
         let grants: u64 = s.stats.port_flits.iter().sum();
         let cps = cycles as f64 / secs;
         let gps = grants as f64 / secs;
-        trajectory.push((bc.id.to_string(), cps, gps));
+        trajectory.push(TrajectoryPoint::new(bc.id, cps, gps));
         eprintln!(
             "  {:<22} {:>9.0} kcycles/s  {:>9.0} kgrants/s  ({} cycles in {:.1?}{})",
             bc.id,
@@ -313,7 +364,7 @@ fn main() {
     for (k, &threads) in scale_threads.iter().enumerate() {
         let mut best: Option<Sample> = None;
         for _ in 0..scale_reps {
-            let s = run_scale(threads, scale_cycles, quick);
+            let s = run_scale(threads, scale_cycles, quick, ledger);
             if best.as_ref().is_none_or(|b| s.wall < b.wall) {
                 best = Some(s);
             }
@@ -330,8 +381,20 @@ fn main() {
         if threads == 1 {
             serial_wall = Some(s.wall);
         }
+        // Shard balance for threaded rows: read the timed run's ledger if
+        // it had one (`--ledger`), else run once more instrumented so the
+        // timed wall stays comparable across the trajectory.
+        let (imbalance, barrier_frac) = if threads > 1 {
+            if ledger {
+                shard_metrics(&s.stats)
+            } else {
+                shard_metrics(&run_scale(threads, scale_cycles, quick, true).stats)
+            }
+        } else {
+            (None, None)
+        };
         eprintln!(
-            "  {:<22} {:>9.0} kcycles/s  {:>9.0} kgrants/s  ({} cycles in {:.1?}{})",
+            "  {:<22} {:>9.0} kcycles/s  {:>9.0} kgrants/s  ({} cycles in {:.1?}{}{})",
             id,
             cps / 1e3,
             gps / 1e3,
@@ -341,12 +404,26 @@ fn main() {
                 Some(x) => format!(", {x:.2}x vs 1 thread"),
                 None => String::new(),
             },
+            match (imbalance, barrier_frac) {
+                (Some(i), Some(b)) => {
+                    format!(", imbalance {i:.2}x, barrier {:.1}%", b * 100.0)
+                }
+                _ => String::new(),
+            },
         );
+        let mut shard_fields = String::new();
+        if let Some(v) = imbalance {
+            let _ = write!(shard_fields, ", \"shard_imbalance\": {}", json_f64(v));
+        }
+        if let Some(v) = barrier_frac {
+            let _ = write!(shard_fields, ", \"barrier_wait_frac\": {}", json_f64(v));
+        }
         let _ = writeln!(
             rows,
             "    {{\"id\": {}, \"description\": {}, \"cycles\": {}, \"flit_grants\": {}, \
              \"wall_ms\": {}, \"cycles_per_sec\": {}, \"flit_grants_per_sec\": {}, \
-             \"completed_messages\": {}, \"avg_latency_cycles\": {}, \"saturated\": {}}}{}",
+             \"completed_messages\": {}, \"avg_latency_cycles\": {}, \
+             \"saturated\": {}{}}}{}",
             json_str(&id),
             json_str(&format!(
                 "64x64 mesh, XY, saturating injection, {threads} engine thread(s)"
@@ -359,9 +436,16 @@ fn main() {
             s.stats.completed_messages,
             json_f64(s.stats.avg_message_latency()),
             s.stats.saturated,
+            shard_fields,
             if k + 1 == scale_threads.len() { "" } else { "," },
         );
-        trajectory.push((id, cps, gps));
+        trajectory.push(TrajectoryPoint {
+            id,
+            cycles_per_sec: cps,
+            flit_grants_per_sec: gps,
+            shard_imbalance: imbalance,
+            barrier_wait_frac: barrier_frac,
+        });
     }
 
     let unix = std::time::SystemTime::now()
@@ -374,6 +458,7 @@ fn main() {
     let _ = writeln!(out, "  \"generated_unix\": {unix},");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"telemetry\": {telemetry},");
+    let _ = writeln!(out, "  \"ledger\": {ledger},");
     let _ = writeln!(out, "  \"measure_cycles\": {measure_cycles},");
     let _ = writeln!(out, "  \"reps\": {reps},");
     out.push_str("  \"configs\": [\n");
@@ -389,11 +474,9 @@ fn main() {
         Err(e) => eprintln!("WARNING: could not write {}: {e}", path.display()),
     }
 
-    // Telemetry-off runs also extend the dated perf trajectory, the
+    // Un-instrumented runs also extend the dated perf trajectory, the
     // baseline CI diffs fresh runs against with `rfnoc-cli compare`.
-    if !telemetry {
-        let view: Vec<(&str, f64, f64)> =
-            trajectory.iter().map(|(id, c, g)| (id.as_str(), *c, *g)).collect();
-        append_trajectory(&git, unix, quick, &view);
+    if !telemetry && !ledger {
+        append_trajectory(&git, unix, quick, &trajectory);
     }
 }

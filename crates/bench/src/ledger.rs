@@ -1,0 +1,168 @@
+//! The run-ledger sink: streams the runner's point-lifecycle records and
+//! the engine's heartbeat/shard records onto one JSONL timeline.
+//!
+//! The sink is the single outlet for runner progress. It tees two ways:
+//!
+//! * **human one-liners** to stderr (suppressed by `--quiet`), and
+//! * **structured JSONL** to `results/ledger/<name>.jsonl` when `--ledger
+//!   <name>` is set — one flat object per line, every line stamped with
+//!   `t_ms` (wall milliseconds since the sink was created) so records
+//!   from concurrent workers and from inside the engine share one
+//!   timeline.
+//!
+//! `--quiet` therefore means "human output off"; the ledger file, when
+//! configured, is still written. Lines are flushed as they are emitted so
+//! `rfnoc-cli tail --follow` (or plain `tail -f`) sees them live.
+
+use crate::artifact::json_str;
+use crate::runner::RunnerConfig;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Heartbeat interval (cycles) for the engine-level ledger the runner
+/// enables on each experiment when a ledger file is being written: two
+/// thousand cycles keeps tens of heartbeats per standard measurement
+/// window without measurable overhead.
+pub const ENGINE_HEARTBEAT_CYCLES: u64 = 2_000;
+
+/// A runner progress sink: human one-liners on stderr plus an optional
+/// JSONL ledger file. Shared by the runner's worker threads (the file
+/// writer sits behind a mutex; stderr is line-atomic already).
+#[derive(Debug)]
+pub struct LedgerSink {
+    file: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    path: Option<PathBuf>,
+    quiet: bool,
+    start: Instant,
+}
+
+impl LedgerSink {
+    /// A sink with no ledger file: human output only (or nothing, when
+    /// `quiet`).
+    pub fn disabled(quiet: bool) -> Self {
+        Self { file: None, path: None, quiet, start: Instant::now() }
+    }
+
+    /// Builds the sink a [`RunnerConfig`] asks for: a JSONL file under
+    /// `results/ledger/` when `--ledger <name>` was given (a name
+    /// containing `/` or ending in `.jsonl` is taken as a path verbatim),
+    /// stderr teeing unless `--quiet`. File-creation failures are
+    /// reported and degrade to a file-less sink rather than aborting the
+    /// run.
+    pub fn from_config(cfg: &RunnerConfig) -> Self {
+        let mut sink = Self::disabled(cfg.quiet);
+        let Some(name) = &cfg.ledger else { return sink };
+        let path = if name.contains('/') || name.ends_with(".jsonl") {
+            PathBuf::from(name)
+        } else {
+            PathBuf::from(format!("results/ledger/{name}.jsonl"))
+        };
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("ledger: cannot create {}: {e}", dir.display());
+                return sink;
+            }
+        }
+        match std::fs::File::create(&path) {
+            Ok(f) => {
+                sink.file = Some(Mutex::new(std::io::BufWriter::new(f)));
+                sink.path = Some(path);
+            }
+            Err(e) => eprintln!("ledger: cannot create {}: {e}", path.display()),
+        }
+        sink
+    }
+
+    /// Whether a ledger file is being written.
+    pub fn enabled(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// The ledger file's path, when one is being written.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Wall milliseconds since the sink was created — the `t_ms` stamp.
+    pub fn t_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Appends one record to the ledger file (no-op without one).
+    /// `fields` is the record's inner JSON — `"kind": ..., ...` — without
+    /// braces; the sink prepends the `t_ms` stamp and wraps the object.
+    /// Each line is flushed so followers see it immediately.
+    pub fn emit(&self, fields: &str) {
+        let Some(file) = &self.file else { return };
+        let line = format!("{{\"t_ms\": {:.3}, {fields}}}\n", self.t_ms());
+        let mut w = file.lock().expect("ledger writer");
+        if w.write_all(line.as_bytes()).and_then(|()| w.flush()).is_err() {
+            // A dead ledger file (disk full, deleted directory) must not
+            // kill the run; the error surfaces once via stderr below.
+            drop(w);
+            eprintln!("ledger: write failed; further records may be lost");
+        }
+    }
+
+    /// Emits a `"kind"`-tagged record: `extra` is appended after the kind
+    /// tag (pass `""` for none).
+    pub fn emit_kind(&self, kind: &str, extra: &str) {
+        if extra.is_empty() {
+            self.emit(&format!("\"kind\": {}", json_str(kind)));
+        } else {
+            self.emit(&format!("\"kind\": {}, {extra}", json_str(kind)));
+        }
+    }
+
+    /// Prints a human progress line to stderr unless `--quiet`.
+    pub fn human(&self, line: &str) {
+        if !self.quiet {
+            eprintln!("{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_sink(name: &str) -> (LedgerSink, PathBuf) {
+        let path = std::env::temp_dir()
+            .join("rfnoc_ledger_sink_test")
+            .join(format!("{name}.jsonl"));
+        let cfg = RunnerConfig {
+            ledger: Some(path.to_str().unwrap().to_string()),
+            quiet: true,
+            ..RunnerConfig::default()
+        };
+        (LedgerSink::from_config(&cfg), path)
+    }
+
+    #[test]
+    fn sink_writes_stamped_jsonl() {
+        let (sink, path) = temp_sink("stamped");
+        assert!(sink.enabled());
+        sink.emit_kind("plan_start", "\"points\": 3");
+        sink.emit_kind("plan_finish", "");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with("{\"t_ms\": "), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"kind\": \"plan_start\", \"points\": 3"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = LedgerSink::disabled(true);
+        assert!(!sink.enabled());
+        assert!(sink.path().is_none());
+        sink.emit_kind("heartbeat", "\"cycle\": 1"); // must not panic
+    }
+
+}

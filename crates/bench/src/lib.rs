@@ -13,6 +13,7 @@
 
 pub mod artifact;
 pub mod campaign;
+pub mod ledger;
 pub mod perfetto;
 pub mod plan;
 pub mod profile;

@@ -13,8 +13,11 @@
 //! `--jobs` so `jobs × sim_threads` stays within the machine's
 //! parallelism.
 
+use crate::artifact::{json_f64, json_str};
+use crate::ledger::{LedgerSink, ENGINE_HEARTBEAT_CYCLES};
 use crate::plan::{Plan, RunPoint};
 use rfnoc::RunReport;
+use rfnoc_sim::LedgerConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -27,13 +30,21 @@ pub struct RunnerConfig {
     /// Simulator worker threads per experiment (`--sim-threads N`; the
     /// sharded cycle engine, bit-identical at any count). Defaults to 1.
     pub sim_threads: usize,
-    /// Suppress per-point progress lines on stderr.
+    /// Suppress human progress lines on stderr (`--quiet`). Quiet means
+    /// "human output off", not "no observability": when [`Self::ledger`]
+    /// is also set, the structured JSONL ledger is still written in full.
     pub quiet: bool,
+    /// Stream a structured run ledger (`--ledger <name>`): point
+    /// lifecycle records plus each experiment's engine heartbeats and
+    /// per-shard sweep metrics, as JSONL in `results/ledger/<name>.jsonl`
+    /// (a value containing `/` or ending in `.jsonl` is used as a path
+    /// verbatim). `None` (the default) writes no ledger.
+    pub ledger: Option<String>,
 }
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        Self { jobs: default_jobs(), sim_threads: 1, quiet: false }
+        Self { jobs: default_jobs(), sim_threads: 1, quiet: false, ledger: None }
     }
 }
 
@@ -43,8 +54,9 @@ pub fn default_jobs() -> usize {
 }
 
 impl RunnerConfig {
-    /// Parses `--jobs N` (or `-j N`, or `--jobs=N`) and `--sim-threads N`
-    /// (or `--sim-threads=N`) out of the process arguments; every other
+    /// Parses `--jobs N` (or `-j N`, or `--jobs=N`), `--sim-threads N`
+    /// (or `--sim-threads=N`), `--quiet`, and `--ledger NAME` (or
+    /// `--ledger=NAME`) out of the process arguments; every other
     /// argument is ignored.
     ///
     /// Exits with status 2 on `--sim-threads 0` — the simulator rejects a
@@ -74,6 +86,13 @@ impl RunnerConfig {
                 if let Ok(n) = v.parse() {
                     cfg.sim_threads = n;
                 }
+            } else if arg == "--ledger" {
+                if let Some(name) = args.get(i + 1) {
+                    cfg.ledger = Some(name.clone());
+                    i += 1;
+                }
+            } else if let Some(name) = arg.strip_prefix("--ledger=") {
+                cfg.ledger = Some(name.to_string());
             } else if arg == "--quiet" {
                 cfg.quiet = true;
             }
@@ -178,6 +197,18 @@ impl PlanResults {
 ///
 /// Panics if a worker thread panics (the panic is propagated).
 pub fn run_plan(plan: &Plan, cfg: &RunnerConfig) -> PlanResults {
+    let sink = LedgerSink::from_config(cfg);
+    run_plan_with(plan, cfg, &sink)
+}
+
+/// [`run_plan`] against an explicit progress/ledger sink — the variant
+/// for embedders that share one sink across several plans (a campaign's
+/// phases on one timeline).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is propagated).
+pub fn run_plan_with(plan: &Plan, cfg: &RunnerConfig, sink: &LedgerSink) -> PlanResults {
     let start = Instant::now();
     // Deduplicate by experiment value; points index into `unique`.
     let mut unique: Vec<&RunPoint> = Vec::new();
@@ -203,14 +234,31 @@ pub fn run_plan(plan: &Plan, cfg: &RunnerConfig) -> PlanResults {
     });
 
     let jobs = cfg.effective_jobs().clamp(1, unique.len().max(1));
-    if !cfg.quiet {
-        eprintln!(
-            "plan: {} points ({} unique experiments) on {} thread{}",
+    sink.human(&format!(
+        "plan: {} points ({} unique experiments) on {} thread{}",
+        plan.len(),
+        unique.len(),
+        jobs,
+        if jobs == 1 { "" } else { "s" }
+    ));
+    sink.emit_kind(
+        "plan_start",
+        &format!(
+            "\"points\": {}, \"unique\": {}, \"dedup_hits\": {}, \
+             \"jobs\": {jobs}, \"sim_threads\": {}",
             plan.len(),
             unique.len(),
-            jobs,
-            if jobs == 1 { "" } else { "s" }
-        );
+            plan.len() - unique.len(),
+            cfg.sim_threads,
+        ),
+    );
+    if sink.enabled() {
+        for &u in &order {
+            sink.emit_kind(
+                "point_queued",
+                &format!("\"point\": {}", json_str(&unique[u].id)),
+            );
+        }
     }
 
     let slots: Vec<OnceLock<(RunReport, Duration)>> =
@@ -224,29 +272,68 @@ pub fn run_plan(plan: &Plan, cfg: &RunnerConfig) -> PlanResults {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&u) = order.get(k) else { break };
                     let point = unique[u];
+                    sink.emit_kind(
+                        "point_start",
+                        &format!("\"point\": {}", json_str(&point.id)),
+                    );
                     let t0 = Instant::now();
-                    let report = if cfg.sim_threads > 1 {
+                    // The engine-level ledger rides along only when a
+                    // ledger file is being written — enabling it (like
+                    // sim-threads) needs a mutated experiment copy, and
+                    // neither changes simulated results (bit-identical).
+                    let report = if cfg.sim_threads > 1 || sink.enabled() {
                         let mut exp = point.experiment.clone();
-                        exp.system.sim.threads = cfg.sim_threads;
+                        if cfg.sim_threads > 1 {
+                            exp.system.sim.threads = cfg.sim_threads;
+                        }
+                        if sink.enabled() {
+                            exp.system.sim.ledger =
+                                Some(LedgerConfig::every(ENGINE_HEARTBEAT_CYCLES));
+                        }
                         exp.run()
                     } else {
                         point.experiment.run()
                     };
                     let wall = t0.elapsed();
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if !cfg.quiet {
-                        eprintln!(
-                            "  [{finished}/{}] {} — {:.1} cyc, {:.2?}{}{}",
-                            unique.len(),
-                            point.id,
-                            report.avg_latency(),
-                            wall,
-                            if report.stats.saturated {
-                                " [SATURATED: latency is a lower bound]"
-                            } else {
-                                ""
-                            },
-                            if report.stats.is_healthy() { "" } else { " [WATCHDOG]" },
+                    sink.human(&format!(
+                        "  [{finished}/{}] {} — {:.1} cyc, {:.2?}{}{}",
+                        unique.len(),
+                        point.id,
+                        report.avg_latency(),
+                        wall,
+                        if report.stats.saturated {
+                            " [SATURATED: latency is a lower bound]"
+                        } else {
+                            ""
+                        },
+                        if report.stats.is_healthy() { "" } else { " [WATCHDOG]" },
+                    ));
+                    if sink.enabled() {
+                        // Forward the experiment's engine stream onto the
+                        // shared timeline, each record tagged with the
+                        // point it belongs to.
+                        if let Some(led) = &report.stats.ledger {
+                            for rec in &led.records {
+                                sink.emit(&format!(
+                                    "\"point\": {}, {}",
+                                    json_str(&point.id),
+                                    rec.render_fields()
+                                ));
+                            }
+                        }
+                        sink.emit_kind(
+                            "point_finish",
+                            &format!(
+                                "\"point\": {}, \"wall_ms\": {}, \
+                                 \"avg_latency\": {}, \"saturated\": {}, \
+                                 \"healthy\": {}",
+                                json_str(&point.id),
+                                json_f64(wall.as_secs_f64() * 1e3),
+                                json_f64(report.avg_latency()),
+                                report.stats.saturated,
+                                report.stats.is_healthy(),
+                            ),
                         );
                     }
                     slots[u].set((report, wall)).expect("each unique point runs once");
@@ -274,11 +361,23 @@ pub fn run_plan(plan: &Plan, cfg: &RunnerConfig) -> PlanResults {
             PointResult { point: point.clone(), report: report.clone(), wall: *wall, normalized }
         })
         .collect();
+    let total_wall = start.elapsed();
+    let points_wall: Duration = reports.iter().map(|(_, wall)| *wall).sum();
+    sink.emit_kind(
+        "plan_finish",
+        &format!(
+            "\"points\": {}, \"unique\": {}, \"wall_ms\": {}, \"points_wall_ms\": {}",
+            plan.len(),
+            unique.len(),
+            json_f64(total_wall.as_secs_f64() * 1e3),
+            json_f64(points_wall.as_secs_f64() * 1e3),
+        ),
+    );
     PlanResults {
         results,
-        total_wall: start.elapsed(),
+        total_wall,
         jobs,
         unique_runs: unique.len(),
-        points_wall: reports.iter().map(|(_, wall)| *wall).sum(),
+        points_wall,
     }
 }

@@ -943,8 +943,10 @@ fn render_mesh_scaling(results: &PlanResults, opts: &SuiteOptions) {
         &csv,
     );
     write_scaling_artifact(opts, &points);
-    let refs: Vec<(&str, f64, f64)> =
-        trajectory.iter().map(|(id, c, g)| (id.as_str(), *c, *g)).collect();
+    let refs: Vec<artifact::TrajectoryPoint> = trajectory
+        .iter()
+        .map(|(id, c, g)| artifact::TrajectoryPoint::new(id.as_str(), *c, *g))
+        .collect();
     let unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());

@@ -1,0 +1,117 @@
+//! End-to-end tests of the run ledger through the bench runner: a plan
+//! executed with `--ledger` must write a JSONL file whose every line
+//! parses, whose point lifecycle is balanced, and whose engine heartbeat
+//! and shard records ride the same timeline — and the instrumented run's
+//! statistics must be bit-identical to an uninstrumented one.
+
+use rfnoc::ledger::LedgerSummary;
+use rfnoc::{Architecture, WorkloadSpec};
+use rfnoc_bench::plan::{labeled, Design, Plan, SweepSpec};
+use rfnoc_bench::runner::{run_plan, RunnerConfig};
+use rfnoc_power::LinkWidth;
+use rfnoc_sim::SimConfig;
+use rfnoc_traffic::TraceKind;
+
+fn small_plan() -> Plan {
+    let mut sim = SimConfig::paper_baseline();
+    sim.warmup_cycles = 200;
+    sim.measure_cycles = 1_500;
+    sim.drain_cycles = 500;
+    SweepSpec::new("ledger_e2e")
+        .designs(vec![
+            Design::new("base", Architecture::Baseline, LinkWidth::B4),
+            Design::new("static", Architecture::StaticShortcuts, LinkWidth::B4),
+        ])
+        .workloads(vec![
+            labeled("Uniform", WorkloadSpec::Trace(TraceKind::Uniform)),
+            labeled("1Hotspot", WorkloadSpec::Trace(TraceKind::Hotspot1)),
+        ])
+        .sims(vec![labeled("short", sim)])
+        .expand()
+}
+
+fn temp_ledger(name: &str) -> String {
+    let dir = std::env::temp_dir().join("rfnoc_ledger_e2e");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{name}.jsonl")).to_str().unwrap().to_string()
+}
+
+/// The written ledger parses line-by-line, the lifecycle is balanced
+/// (every unique point queued, started, and finished; plan bracketed by
+/// `plan_start`/`plan_finish`), engine heartbeats are present and
+/// well-formed per point, and — at `sim_threads > 1` — shard records
+/// appear. [`LedgerSummary`] is the same reader `rfnoc-cli tail` and
+/// `ledger-summary` use, so this is the full schema round-trip.
+#[test]
+fn runner_ledger_schema_roundtrip() {
+    let path = temp_ledger("roundtrip");
+    let plan = small_plan();
+    let cfg =
+        RunnerConfig { jobs: 2, sim_threads: 2, quiet: true, ledger: Some(path.clone()) };
+    let results = run_plan(&plan, &cfg);
+    assert_eq!(results.results.len(), plan.len());
+
+    let summary = LedgerSummary::from_file(&path).expect("ledger parses");
+    assert!(summary.problems.is_empty(), "schema problems: {:?}", summary.problems);
+    let unique = results.unique_runs as f64;
+    assert_eq!(summary.points_planned, Some(unique));
+    assert_eq!(summary.points_queued, results.unique_runs);
+    assert_eq!(summary.points_started, results.unique_runs);
+    assert_eq!(summary.points_finished, results.unique_runs);
+    assert_eq!(summary.point_wall_ms.len(), results.unique_runs);
+    assert!(summary.plan_wall_ms.is_some(), "plan_finish must close the stream");
+    assert!(summary.heartbeats >= results.unique_runs, "each run heartbeats at least once");
+    assert!(summary.kcps_mean() > 0.0);
+    assert!(!summary.shards.is_empty(), "sharded runs must stream shard records");
+    assert!(summary.shard_imbalance().is_some());
+    assert!(summary.barrier_wait_frac().is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Runner-level inertness: running the same plan with and without the
+/// ledger produces bit-identical statistics for every point (the ledger
+/// report itself aside), serial and sharded.
+#[test]
+fn ledger_does_not_change_runner_results() {
+    let plan = small_plan();
+    for sim_threads in [1usize, 2] {
+        let plain = run_plan(
+            &plan,
+            &RunnerConfig { jobs: 2, sim_threads, quiet: true, ..RunnerConfig::default() },
+        );
+        let path = temp_ledger(&format!("inert_t{sim_threads}"));
+        let ledgered = run_plan(
+            &plan,
+            &RunnerConfig { jobs: 2, sim_threads, quiet: true, ledger: Some(path.clone()) },
+        );
+        for (a, b) in plain.iter().zip(ledgered.iter()) {
+            assert_eq!(a.point.id, b.point.id);
+            let mut sa = a.report.stats.clone();
+            let mut sb = b.report.stats.clone();
+            assert!(sb.ledger.is_some(), "{}: ledgered run carries a report", b.point.id);
+            sa.ledger = None;
+            sb.ledger = None;
+            assert_eq!(sa, sb, "ledger perturbed {} at {sim_threads} sim threads", a.point.id);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// `--quiet` plus `--ledger`: the quiet flag silences stderr only — the
+/// ledger file must still be written in full.
+#[test]
+fn quiet_still_writes_the_ledger() {
+    let path = temp_ledger("quiet");
+    let plan = small_plan();
+    let cfg = RunnerConfig {
+        jobs: 1,
+        quiet: true,
+        ledger: Some(path.clone()),
+        ..RunnerConfig::default()
+    };
+    let _ = run_plan(&plan, &cfg);
+    let summary = LedgerSummary::from_file(&path).expect("ledger parses");
+    assert!(summary.records > 0, "quiet must not suppress the ledger file");
+    assert!(summary.plan_wall_ms.is_some());
+    let _ = std::fs::remove_file(&path);
+}

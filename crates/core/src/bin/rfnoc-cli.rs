@@ -9,6 +9,8 @@
 //!                                            exit 2 on a regression
 //! rfnoc-cli sweep <arch> <workload>          16B/8B/4B width sweep
 //! rfnoc-cli map <workload>                   adaptive shortcut map
+//! rfnoc-cli tail <ledger.jsonl> [--follow]   live run-ledger summary
+//! rfnoc-cli ledger-summary <ledger.jsonl>    ledger -> flat JSON report
 //! rfnoc-cli info                             architecture & workload names
 //! ```
 //!
@@ -24,6 +26,15 @@
 //! Threads (run only): `--sim-threads <n>` steps the router sweep on `n`
 //! worker threads (the sharded cycle engine). Results are bit-identical
 //! at any thread count; `0` is rejected.
+//!
+//! Ledger: `tail` renders a compact live view of a run-ledger JSONL file
+//! (written by the bench runner's `--ledger <name>` flag) — throughput
+//! sparkline, slowest shard, imbalance ratio, ETA from the remaining plan
+//! points; `--follow` re-renders as the file grows and exits once the
+//! plan finishes. `ledger-summary` reduces a finished ledger to a flat
+//! JSON report (metric names carry the `compare` direction keywords, so
+//! two reports gate with `rfnoc-cli compare a.json b.json`); schema
+//! problems go to stderr and exit code 2.
 
 use rfnoc::{Architecture, Experiment, FaultSpec, RunReport, SystemConfig, WorkloadSpec};
 use rfnoc_power::LinkWidth;
@@ -303,6 +314,62 @@ fn cmd_map(args: &[String]) -> Option<ExitCode> {
     Some(ExitCode::SUCCESS)
 }
 
+/// `tail <ledger.jsonl> [--follow]`: renders the live run-ledger summary.
+/// With `--follow`, re-renders whenever new records land (polling twice a
+/// second) and exits once the plan finishes.
+fn cmd_tail(args: &[String]) -> Option<ExitCode> {
+    let (path, follow) = match args {
+        [path] => (path, false),
+        [path, flag] if flag == "--follow" => (path, true),
+        _ => return None,
+    };
+    let mut last_records = usize::MAX;
+    loop {
+        let summary = match rfnoc::ledger::LedgerSummary::from_file(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tail: {e}");
+                return Some(ExitCode::FAILURE);
+            }
+        };
+        if summary.records != last_records {
+            last_records = summary.records;
+            if follow {
+                println!("--- {path} ---");
+            }
+            print!("{}", summary.render_tail());
+        }
+        if !follow || summary.plan_wall_ms.is_some() {
+            return Some(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}
+
+/// `ledger-summary <ledger.jsonl>`: reduces a finished ledger to a flat
+/// JSON report on stdout. Schema problems (non-monotone heartbeats, gaps,
+/// missing fields) are listed on stderr and yield exit code 2 so CI can
+/// gate on them.
+fn cmd_ledger_summary(args: &[String]) -> Option<ExitCode> {
+    let [path] = args else { return None };
+    let summary = match rfnoc::ledger::LedgerSummary::from_file(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ledger-summary: {e}");
+            return Some(ExitCode::FAILURE);
+        }
+    };
+    print!("{}", summary.render_json());
+    if summary.problems.is_empty() {
+        Some(ExitCode::SUCCESS)
+    } else {
+        for p in &summary.problems {
+            eprintln!("ledger-summary: {p}");
+        }
+        Some(ExitCode::from(2))
+    }
+}
+
 fn cmd_info() -> Option<ExitCode> {
     println!("architectures: {}", ARCH_NAMES.join(" "));
     let traces: Vec<&str> = TraceKind::all().iter().map(|t| t.name()).collect();
@@ -320,6 +387,8 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "compare" => cmd_compare(rest),
         Some((cmd, rest)) if cmd == "sweep" => cmd_sweep(rest),
         Some((cmd, rest)) if cmd == "map" => cmd_map(rest),
+        Some((cmd, rest)) if cmd == "tail" => cmd_tail(rest),
+        Some((cmd, rest)) if cmd == "ledger-summary" => cmd_ledger_summary(rest),
         Some((cmd, _)) if cmd == "info" => cmd_info(),
         _ => None,
     };
@@ -333,6 +402,8 @@ fn main() -> ExitCode {
              rfnoc-cli compare <base.json> <new.json> [--threshold PCT]\n  \
              rfnoc-cli sweep <arch> <workload>\n  \
              rfnoc-cli map <workload>\n  \
+             rfnoc-cli tail <ledger.jsonl> [--follow]\n  \
+             rfnoc-cli ledger-summary <ledger.jsonl>\n  \
              rfnoc-cli info"
         );
         ExitCode::FAILURE

@@ -10,7 +10,7 @@
 //! Each metric's *direction* is inferred from its name: throughput-like
 //! metrics (`*_per_sec`, `*throughput*`, `*rate*`) should not fall,
 //! cost-like metrics (`*latency*`, `*stall*`, `*wait*`, `*wall_ms*`,
-//! `*dropped*`, `*fault*`) should not rise, and anything else is
+//! `*dropped*`, `*fault*`, `*imbalance*`) should not rise, and anything else is
 //! informational. A metric whose worsening exceeds the threshold is a
 //! **breach**; the CLI exits nonzero if any metric breaches, which is
 //! what CI uses to gate simulator-throughput regressions against the
@@ -318,7 +318,7 @@ pub fn direction_of(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
     const HIGHER: &[&str] = &["per_sec", "throughput", "rate", "coverage"];
     const LOWER: &[&str] =
-        &["latency", "stall", "wait", "wall_ms", "dropped", "fault", "retransmit"];
+        &["latency", "stall", "wait", "wall_ms", "dropped", "fault", "retransmit", "imbalance"];
     if HIGHER.iter().any(|k| leaf.contains(k)) {
         Direction::HigherIsBetter
     } else if LOWER.iter().any(|k| leaf.contains(k)) {

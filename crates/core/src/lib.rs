@@ -58,6 +58,7 @@ mod arch;
 mod builder;
 pub mod compare;
 mod experiment;
+pub mod ledger;
 mod phased;
 mod workload;
 

@@ -2,6 +2,7 @@
 
 use crate::error::ConfigError;
 use crate::fault::RecoveryConfig;
+use crate::network::ledger::LedgerConfig;
 use crate::network::telemetry::{FlitTraceConfig, TelemetryConfig};
 use rfnoc_power::LinkWidth;
 
@@ -88,6 +89,13 @@ pub struct SimConfig {
     /// free of the observer — like telemetry, enabling it never changes
     /// simulated behaviour.
     pub recovery: Option<RecoveryConfig>,
+    /// Run-ledger configuration: `Some` streams structured observability
+    /// records — periodic heartbeats, per-shard sweep metrics when
+    /// `threads > 1`, and mirrored timeline events — returned through
+    /// `RunStats::ledger`; `None` (the default) keeps the engine
+    /// ledger-free. Like telemetry, enabling it never changes simulated
+    /// behaviour (bit-identical golden hashes, on or off).
+    pub ledger: Option<LedgerConfig>,
     /// Worker threads stepping the router sweep (the sharded cycle
     /// engine). `1` (the default) runs the classic serial sweep; `N > 1`
     /// partitions the fabric into `N` contiguous router shards stepped
@@ -120,6 +128,7 @@ impl SimConfig {
             watchdog_cycles: 10_000,
             link_retry_cycles: 6,
             recovery: None,
+            ledger: None,
             threads: 1,
         }
     }
@@ -169,6 +178,14 @@ impl SimConfig {
         self
     }
 
+    /// Returns a copy with the run ledger enabled at the given
+    /// configuration.
+    #[must_use]
+    pub fn with_ledger(mut self, ledger: LedgerConfig) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
     /// Returns a copy stepping the router sweep on `threads` worker
     /// threads (the sharded cycle engine; bit-identical at any count).
     #[must_use]
@@ -213,6 +230,11 @@ impl SimConfig {
         if let Some(t) = &self.telemetry {
             if t.interval == 0 {
                 return Err(ConfigError::ZeroTelemetryInterval);
+            }
+        }
+        if let Some(l) = &self.ledger {
+            if l.interval == 0 {
+                return Err(ConfigError::ZeroLedgerInterval);
             }
         }
         if let Some(r) = &self.recovery {
@@ -314,6 +336,15 @@ mod tests {
         cfg.telemetry = Some(TelemetryConfig { interval: 0, ..TelemetryConfig::every(1) });
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroTelemetryInterval));
         cfg.telemetry = Some(TelemetryConfig::every(1_000));
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_ledger_interval_rejected() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.ledger = Some(LedgerConfig { interval: 0 });
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroLedgerInterval));
+        cfg = cfg.with_ledger(LedgerConfig::every(1_000));
         assert_eq!(cfg.validate(), Ok(()));
     }
 

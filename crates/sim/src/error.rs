@@ -40,6 +40,8 @@ pub enum ConfigError {
     },
     /// Telemetry was enabled with a zero sampling interval.
     ZeroTelemetryInterval,
+    /// The run ledger was enabled with a zero heartbeat interval.
+    ZeroLedgerInterval,
     /// Recovery tracking was enabled with a zero-completion window.
     ZeroRecoveryWindow,
     /// Recovery tracking was enabled with a non-positive convergence
@@ -90,6 +92,9 @@ impl fmt::Display for ConfigError {
             ),
             Self::ZeroTelemetryInterval => {
                 write!(f, "telemetry sampling interval must be non-zero")
+            }
+            Self::ZeroLedgerInterval => {
+                write!(f, "ledger heartbeat interval must be non-zero")
             }
             Self::ZeroRecoveryWindow => {
                 write!(f, "recovery tracking needs a non-zero completion window")

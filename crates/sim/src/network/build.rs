@@ -214,7 +214,16 @@ impl Network {
             spec.config.threads.clamp(1, n)
         };
         let pool = (sweep_threads > 1).then(|| rfnoc_parallel::WorkerPool::new(sweep_threads));
-        let shard_bufs = (0..sweep_threads).map(|_| sweep::ShardBuf::new(max_ports)).collect();
+        // Per-shard sweep timing is only worth the clock reads when the run
+        // ledger will consume it, and only the sharded engine reports it.
+        let time_sweeps = spec.config.ledger.is_some() && sweep_threads > 1;
+        let shard_bufs = (0..sweep_threads)
+            .map(|_| {
+                let mut b = sweep::ShardBuf::new(max_ports);
+                b.timed = time_sweeps;
+                b
+            })
+            .collect();
         Ok(Self {
             dims,
             fabric,
@@ -249,6 +258,10 @@ impl Network {
                 .telemetry
                 .map(|t| Box::new(telemetry::TelemetryState::new(t, n, max_ports))),
             recovery: spec.config.recovery.map(|r| Box::new(faults::RecoveryState::new(r))),
+            ledger: spec
+                .config
+                .ledger
+                .map(|c| Box::new(ledger::LedgerState::new(c, sweep_threads))),
             reconfig: ReconfigState::Idle,
             reconfigurations: 0,
             active_shortcuts: spec.shortcuts,

@@ -59,6 +59,7 @@ impl Network {
         // drains its per-fault records the same way.
         self.finish_telemetry();
         self.finish_recovery();
+        self.finish_ledger();
         // Return the accumulated statistics by move — the per-message
         // latency and per-router activity vectors can run to megabytes
         // and were previously cloned once per experiment. The network
@@ -113,6 +114,7 @@ impl Network {
         self.apply_outboxes();
         self.cycle += 1;
         self.step_telemetry();
+        self.step_ledger();
     }
 
     pub(super) fn step_routers(&mut self) {
@@ -149,6 +151,10 @@ impl Network {
             injection_stalled: self.injection_stalled(),
         };
         let trace_limit = self.config.flit_trace.limit;
+        // Sharded sweep-phase wall time, for the ledger's barrier-wait
+        // attribution; stays `None` on the serial path and when the
+        // ledger is off.
+        let mut sweep_wall_ns: Option<u64> = None;
         if self.sweep_threads <= 1 {
             // Serial engine: one shard with exclusive packet access (tree
             // multicast may allocate children mid-sweep) and direct
@@ -223,6 +229,10 @@ impl Network {
                 })));
             }
             let tasks = &tasks;
+            // Wall-clock the whole sweep phase only when the ledger will
+            // consume it (per-shard barrier wait = this total minus the
+            // shard's own sweep time).
+            let t0 = self.ledger.is_some().then(std::time::Instant::now);
             self.pool
                 .as_ref()
                 .expect("sharded engine builds its worker pool")
@@ -234,6 +244,10 @@ impl Network {
                         .expect("one shard task per worker");
                     shard.run_shard();
                 });
+            sweep_wall_ns = t0.map(|t| t.elapsed().as_nanos() as u64);
+        }
+        if self.ledger.is_some() {
+            self.ledger_note_sweep(sweep_wall_ns);
         }
         self.replay_shards();
     }

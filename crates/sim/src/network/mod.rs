@@ -359,6 +359,9 @@ pub struct Network {
     /// Per-fault recovery tracker, present when [`SimConfig::recovery`]
     /// is set. Boxed for the same reason as `telemetry`.
     recovery: Option<Box<faults::RecoveryState>>,
+    /// Run-ledger accumulator, present when [`SimConfig::ledger`] is set.
+    /// Boxed for the same reason as `telemetry`.
+    ledger: Option<Box<ledger::LedgerState>>,
     // Active-router scheduling (see DESIGN.md, "Engine performance"):
     // `step_routers` visits only routers that can possibly make progress.
     /// Sweep counter: bumped once per `step_routers` call. A router is
@@ -372,11 +375,13 @@ mod build;
 mod engine;
 mod faults;
 mod inject;
+pub(crate) mod ledger;
 mod mc_engine;
 mod reconfig;
 mod sweep;
 pub(crate) mod telemetry;
 
+pub use ledger::{LedgerConfig, LedgerRecord, LedgerReport};
 pub use sweep::shard_ranges;
 
 pub use telemetry::{

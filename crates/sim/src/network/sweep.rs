@@ -237,6 +237,15 @@ pub(super) struct ShardBuf {
     pub rf_bytes: u64,
     /// Whether any switch grant happened in this shard (watchdog food).
     pub progress: bool,
+    /// Routers visited by the last `run_shard` (ledger observability;
+    /// written only by the shard that owns this buffer).
+    pub swept: u64,
+    /// Wall-clock nanoseconds the last `run_shard` took, when `timed`.
+    pub sweep_ns: u64,
+    /// Record per-sweep wall time (set at build only when the run ledger
+    /// is enabled on the sharded engine; the serial path never reads the
+    /// clock inside the sweep).
+    pub timed: bool,
 }
 
 impl ShardBuf {
@@ -273,11 +282,14 @@ impl Sweep<'_> {
     /// Steps every active router in this shard through the full pipeline,
     /// in ascending router order (the serial engine's visit order).
     pub fn run_shard(&mut self) {
+        let t0 = self.buf.timed.then(std::time::Instant::now);
         let e = self.sh.epoch;
+        let mut swept: u64 = 0;
         for rl in 0..self.routers.len() {
             if self.stamps[rl] != e {
                 continue;
             }
+            swept += 1;
             let r = self.base + rl;
             self.deliver_arrivals(r);
             self.step_injector(r);
@@ -286,6 +298,10 @@ impl Sweep<'_> {
             if !self.routers[rl].quiescent() {
                 self.stamps[rl] = e + 1;
             }
+        }
+        self.buf.swept = swept;
+        if let Some(t0) = t0 {
+            self.buf.sweep_ns = t0.elapsed().as_nanos() as u64;
         }
     }
 

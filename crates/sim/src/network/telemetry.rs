@@ -1151,10 +1151,15 @@ impl Network {
         t.on_injected();
     }
 
-    /// Appends a timeline event at the current cycle.
+    /// Appends a timeline event at the current cycle, mirroring it onto
+    /// the run ledger's stream when that is enabled (the ledger carries
+    /// the same events even with telemetry off).
     #[inline]
     pub(super) fn tel_event(&mut self, kind: TimelineEventKind) {
         let cycle = self.cycle;
+        if let Some(l) = self.ledger.as_deref_mut() {
+            l.on_event(cycle, kind);
+        }
         let Some(t) = self.telemetry.as_deref_mut() else { return };
         t.on_event(cycle, kind);
     }

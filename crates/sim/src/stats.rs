@@ -1,6 +1,7 @@
 //! Simulation statistics and run reports.
 
 use crate::fault::{HealthReport, RecoveryRecord};
+use crate::network::ledger::LedgerReport;
 use crate::network::telemetry::TelemetryReport;
 use rfnoc_power::ActivityCounters;
 
@@ -89,6 +90,12 @@ pub struct RunStats {
     /// determinism hashes, and the aggregate fields above must be
     /// bit-identical with recovery tracking on or off.
     pub recovery: Vec<RecoveryRecord>,
+    /// The run-ledger stream, when [`crate::SimConfig::ledger`] was set
+    /// (boxed: the record stream can be large and most runs don't carry
+    /// one). Like `telemetry`, a pure observation: excluded from the
+    /// golden determinism hashes, and the aggregate fields above must be
+    /// bit-identical with the ledger on or off.
+    pub ledger: Option<Box<LedgerReport>>,
 }
 
 impl RunStats {
@@ -127,6 +134,7 @@ impl RunStats {
             per_dest: vec![0; routers],
             telemetry: None,
             recovery: Vec::new(),
+            ledger: None,
         }
     }
 

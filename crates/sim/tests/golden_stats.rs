@@ -14,10 +14,11 @@
 //! and copy the printed table over `GOLDEN`.
 
 use rfnoc_sim::{
-    DestSet, FaultEvent, FaultPlan, McConfig, MessageClass, MessageSpec, MulticastMode, Network,
-    NetworkSpec, RunStats, SimConfig, VctConfig, Workload,
+    DestSet, FaultEvent, FaultPlan, LedgerConfig, McConfig, MessageClass, MessageSpec,
+    MulticastMode, Network, NetworkSpec, RunStats, SimConfig, VctConfig, Workload,
 };
 use rfnoc_topology::{FabricSpec, GridDims, Shortcut};
+use std::cell::Cell;
 
 /// FNV-1a over a canonical little-endian serialization.
 #[derive(Clone)]
@@ -162,12 +163,24 @@ impl Workload for SyntheticWorkload {
     }
 }
 
+thread_local! {
+    /// When set, [`golden_config`] instruments the run with the ledger —
+    /// the golden-with-ledger test flips this to re-run every pinned case
+    /// observed, without touching the thirteen `run_case` arms. A
+    /// thread-local (not an env var) keeps the parallel test harness
+    /// race-free.
+    static LEDGER_ON: Cell<bool> = const { Cell::new(false) };
+}
+
 fn golden_config(threads: usize) -> SimConfig {
     let mut cfg = SimConfig::paper_baseline();
     cfg.warmup_cycles = 200;
     cfg.measure_cycles = 1_500;
     cfg.drain_cycles = 8_000;
     cfg.threads = threads;
+    if LEDGER_ON.with(Cell::get) {
+        cfg.ledger = Some(LedgerConfig::every(400));
+    }
     cfg
 }
 
@@ -414,6 +427,38 @@ fn golden_stats_reproduce_at_every_thread_count() {
     assert!(
         failures.is_empty(),
         "sharded engine diverged from the serial engine:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// The run ledger is a pure observer: every golden hash reproduces with
+/// the ledger streaming, serial and sharded, against the *same* pinned
+/// constants. The hash covers the simulated statistics only, so a ledger
+/// that perturbed arbitration, scheduling, or fault handling anywhere in
+/// the thirteen cases would show up as a hash mismatch.
+#[test]
+fn golden_stats_reproduce_with_ledger_enabled() {
+    LEDGER_ON.with(|l| l.set(true));
+    let mut failures = Vec::new();
+    for &threads in &[1usize, 4] {
+        for &(name, expected) in GOLDEN {
+            let stats = run_case(name, threads);
+            assert!(
+                stats.ledger.is_some(),
+                "{name} @ {threads} threads: ledger report missing"
+            );
+            let actual = hash_stats(&stats);
+            if actual != expected {
+                failures.push(format!(
+                    "{name} @ {threads} threads: expected {expected:#018x}, got {actual:#018x}"
+                ));
+            }
+        }
+    }
+    LEDGER_ON.with(|l| l.set(false));
+    assert!(
+        failures.is_empty(),
+        "ledger instrumentation perturbed the engine:\n  {}",
         failures.join("\n  ")
     );
 }
