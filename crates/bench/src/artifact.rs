@@ -10,7 +10,7 @@
 
 use crate::runner::PlanResults;
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Escapes a string for a JSON literal.
@@ -158,12 +158,82 @@ pub fn write_json(name: &str, results: &PlanResults) -> Option<PathBuf> {
     match std::fs::write(&path, render_json(name, results)) {
         Ok(()) => {
             eprintln!("artifact: wrote {}", path.display());
+            ingest_history(&path);
             Some(path)
         }
         Err(e) => {
             eprintln!("artifact: cannot write {}: {e}", path.display());
             None
         }
+    }
+}
+
+/// Best-effort ingest of a freshly written artifact into the cross-run
+/// trend store ([`rfnoc::history`]). Controlled by `RFNOC_HISTORY`:
+/// unset files records under `results/history/`, a path redirects the
+/// store, and `off`/`0` disables ingestion entirely. Failures are logged,
+/// never propagated — observability must not fail the run. Re-ingesting
+/// an unchanged artifact is a no-op (records are content-addressed).
+pub fn ingest_history(path: &Path) {
+    let Some(store) = rfnoc::history::HistoryStore::from_env() else { return };
+    let records = std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| rfnoc::compare::parse(&text).map_err(|e| e.to_string()))
+        .and_then(|doc| rfnoc::history::HistoryRecord::from_artifact(&doc, None));
+    let records = match records {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("history: cannot ingest {}: {e}", path.display());
+            return;
+        }
+    };
+    let mut added = 0usize;
+    for rec in &records {
+        match store.ingest(rec) {
+            Ok(rfnoc::history::IngestOutcome::Added(_)) => added += 1,
+            Ok(rfnoc::history::IngestOutcome::Duplicate(_)) => {}
+            Err(e) => {
+                eprintln!("history: cannot ingest {}: {e}", path.display());
+                return;
+            }
+        }
+    }
+    if added > 0 {
+        eprintln!(
+            "history: {added} new record(s) from {} into {}",
+            path.display(),
+            store.dir().display()
+        );
+    }
+}
+
+/// The wall-clock noise envelope of a best-of-N timed metric: the spread
+/// of the repeat samples behind the reported best value. Stored alongside
+/// the metric so the regression gate has a per-row noise prior instead of
+/// assuming every row is equally (un)reliable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSpread {
+    /// Smallest repeat sample.
+    pub min: f64,
+    /// Largest repeat sample.
+    pub max: f64,
+    /// Population standard deviation of the repeat samples.
+    pub stddev: f64,
+}
+
+impl MetricSpread {
+    /// The spread of `samples`, or `None` when fewer than two repeats
+    /// were timed (a single sample has no measurable spread).
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        Some(Self { min, max, stddev: var.sqrt() })
     }
 }
 
@@ -182,6 +252,11 @@ pub struct TrajectoryPoint {
     /// Barrier-wait share of the sharded sweep wall time (`None` like
     /// `shard_imbalance`).
     pub barrier_wait_frac: Option<f64>,
+    /// Spread of the `cycles_per_sec` repeat samples (best-of-N runs);
+    /// `None` on single-repeat configs. The `_spread_*` metric names
+    /// contain "spread", which `rfnoc::compare` treats as informational,
+    /// so the noise metadata itself is never gated.
+    pub spread: Option<MetricSpread>,
 }
 
 impl TrajectoryPoint {
@@ -193,6 +268,7 @@ impl TrajectoryPoint {
             flit_grants_per_sec,
             shard_imbalance: None,
             barrier_wait_frac: None,
+            spread: None,
         }
     }
 }
@@ -222,6 +298,16 @@ pub fn trajectory_row(git: &str, unix: u64, quick: bool, configs: &[TrajectoryPo
         if let Some(v) = p.barrier_wait_frac {
             let _ = write!(row, ", \"barrier_wait_frac\": {}", json_f64(v));
         }
+        if let Some(s) = p.spread {
+            let _ = write!(
+                row,
+                ", \"cycles_per_sec_spread_min\": {}, \"cycles_per_sec_spread_max\": {}, \
+                 \"cycles_per_sec_spread_stddev\": {}",
+                json_f64(s.min),
+                json_f64(s.max),
+                json_f64(s.stddev),
+            );
+        }
         row.push('}');
     }
     row.push_str("]}");
@@ -247,7 +333,12 @@ pub fn append_trajectory(git: &str, unix: u64, quick: bool, configs: &[Trajector
         Err(_) => fresh,
     };
     match std::fs::write(PATH, content) {
-        Ok(()) => eprintln!("appended trajectory row to {PATH}"),
+        Ok(()) => {
+            eprintln!("appended trajectory row to {PATH}");
+            // Idempotent: rows already in the store hash to the same
+            // filename, so only the fresh row actually lands.
+            ingest_history(Path::new(PATH));
+        }
         Err(e) => eprintln!("WARNING: could not write {PATH}: {e}"),
     }
 }
@@ -277,5 +368,27 @@ mod tests {
     #[test]
     fn git_describe_never_empty() {
         assert!(!git_describe().is_empty());
+    }
+
+    #[test]
+    fn metric_spread_needs_two_samples() {
+        assert_eq!(MetricSpread::of(&[]), None);
+        assert_eq!(MetricSpread::of(&[5.0]), None);
+        let s = MetricSpread::of(&[10.0, 14.0]).unwrap();
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 14.0);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_row_renders_spread_fields() {
+        let mut p = TrajectoryPoint::new("mesh", 100.0, 50.0);
+        p.spread = MetricSpread::of(&[90.0, 100.0]);
+        let row = trajectory_row("g", 1, true, std::slice::from_ref(&p));
+        assert!(row.contains("\"cycles_per_sec_spread_min\": 90.0000"), "{row}");
+        assert!(row.contains("\"cycles_per_sec_spread_max\": 100.0000"), "{row}");
+        assert!(row.contains("\"cycles_per_sec_spread_stddev\": 5.0000"), "{row}");
+        let bare = trajectory_row("g", 1, true, &[TrajectoryPoint::new("m", 1.0, 1.0)]);
+        assert!(!bare.contains("spread"), "{bare}");
     }
 }

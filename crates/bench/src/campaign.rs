@@ -476,6 +476,7 @@ pub fn write_resilience_json(
     match std::fs::write(&path, render_resilience_json(name, quick, summary)) {
         Ok(()) => {
             eprintln!("artifact: wrote {}", path.display());
+            crate::artifact::ingest_history(&path);
             Some(path)
         }
         Err(e) => {

@@ -1,25 +1,36 @@
 //! The run-ledger sink: streams the runner's point-lifecycle records and
 //! the engine's heartbeat/shard records onto one JSONL timeline.
 //!
-//! The sink is the single outlet for runner progress. It tees two ways:
+//! The sink is the single outlet for runner progress. It tees three ways:
 //!
-//! * **human one-liners** to stderr (suppressed by `--quiet`), and
+//! * **human one-liners** to stderr (suppressed by `--quiet`),
 //! * **structured JSONL** to `results/ledger/<name>.jsonl` when `--ledger
 //!   <name>` is set — one flat object per line, every line stamped with
 //!   `t_ms` (wall milliseconds since the sink was created) so records
 //!   from concurrent workers and from inside the engine share one
-//!   timeline.
+//!   timeline. `--ledger -` streams the same JSONL to **stdout** instead
+//!   of a file (pipe it into `jq`, `rfnoc-cli tail -`, or a collector).
+//!   Human one-liners always go to *stderr*, so stdout stays pure JSONL;
+//!   add `--quiet` only to silence the human channel — it never affects
+//!   the ledger stream itself, and
+//! * **the observatory hub** when `--obs-port <p>` is set: every record
+//!   is mirrored into an in-process [`rfnoc::obs::ObsHub`] serving
+//!   `/metrics`, `/healthz`, and `/events` over HTTP while the run is
+//!   live. File and socket see the same records in the same order; the
+//!   sink's `Drop` closes the hub and briefly waits for connected
+//!   `/events` subscribers to drain.
 //!
-//! `--quiet` therefore means "human output off"; the ledger file, when
-//! configured, is still written. Lines are flushed as they are emitted so
-//! `rfnoc-cli tail --follow` (or plain `tail -f`) sees them live.
+//! Lines are flushed as they are emitted so `rfnoc-cli tail --follow`
+//! (or plain `tail -f`) sees them live.
 
 use crate::artifact::json_str;
 use crate::runner::RunnerConfig;
+use rfnoc::obs::ObsHub;
 use std::io::Write;
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Heartbeat interval (cycles) for the engine-level ledger the runner
 /// enables on each experiment when a ledger file is being written: two
@@ -27,33 +38,75 @@ use std::time::Instant;
 /// window without measurable overhead.
 pub const ENGINE_HEARTBEAT_CYCLES: u64 = 2_000;
 
+/// How long a dropping sink waits for live `/events` subscribers to
+/// receive the final records before the process moves on.
+const OBS_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// A runner progress sink: human one-liners on stderr plus an optional
-/// JSONL ledger file. Shared by the runner's worker threads (the file
-/// writer sits behind a mutex; stderr is line-atomic already).
-#[derive(Debug)]
+/// JSONL ledger stream (file or stdout) and an optional live HTTP
+/// observatory. Shared by the runner's worker threads (the stream writer
+/// sits behind a mutex; stderr is line-atomic already).
 pub struct LedgerSink {
-    file: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    out: Option<Mutex<Box<dyn Write + Send>>>,
     path: Option<PathBuf>,
+    hub: Option<Arc<ObsHub>>,
+    obs_addr: Option<SocketAddr>,
     quiet: bool,
     start: Instant,
 }
 
+impl std::fmt::Debug for LedgerSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LedgerSink")
+            .field("out", &self.out.as_ref().map(|_| "..."))
+            .field("path", &self.path)
+            .field("obs_addr", &self.obs_addr)
+            .field("quiet", &self.quiet)
+            .finish()
+    }
+}
+
 impl LedgerSink {
-    /// A sink with no ledger file: human output only (or nothing, when
+    /// A sink with no ledger stream: human output only (or nothing, when
     /// `quiet`).
     pub fn disabled(quiet: bool) -> Self {
-        Self { file: None, path: None, quiet, start: Instant::now() }
+        Self {
+            out: None,
+            path: None,
+            hub: None,
+            obs_addr: None,
+            quiet,
+            start: Instant::now(),
+        }
     }
 
     /// Builds the sink a [`RunnerConfig`] asks for: a JSONL file under
     /// `results/ledger/` when `--ledger <name>` was given (a name
-    /// containing `/` or ending in `.jsonl` is taken as a path verbatim),
-    /// stderr teeing unless `--quiet`. File-creation failures are
-    /// reported and degrade to a file-less sink rather than aborting the
-    /// run.
+    /// containing `/` or ending in `.jsonl` is taken as a path verbatim;
+    /// `-` streams to stdout), stderr teeing unless `--quiet`, and a live
+    /// observatory server when `--obs-port <p>` was given (`0` picks a
+    /// free port). Stream-creation and bind failures are reported and
+    /// degrade rather than aborting the run.
     pub fn from_config(cfg: &RunnerConfig) -> Self {
         let mut sink = Self::disabled(cfg.quiet);
+        if let Some(port) = cfg.obs_port {
+            let hub = Arc::new(ObsHub::new());
+            match rfnoc::obs::spawn_server(Arc::clone(&hub), port) {
+                Ok(addr) => {
+                    sink.hub = Some(hub);
+                    sink.obs_addr = Some(addr);
+                    sink.human(&format!(
+                        "obs: serving http://{addr}/metrics /healthz /events"
+                    ));
+                }
+                Err(e) => eprintln!("obs: cannot bind port {port}: {e}"),
+            }
+        }
         let Some(name) = &cfg.ledger else { return sink };
+        if name == "-" {
+            sink.out = Some(Mutex::new(Box::new(std::io::stdout())));
+            return sink;
+        }
         let path = if name.contains('/') || name.ends_with(".jsonl") {
             PathBuf::from(name)
         } else {
@@ -67,7 +120,7 @@ impl LedgerSink {
         }
         match std::fs::File::create(&path) {
             Ok(f) => {
-                sink.file = Some(Mutex::new(std::io::BufWriter::new(f)));
+                sink.out = Some(Mutex::new(Box::new(std::io::BufWriter::new(f))));
                 sink.path = Some(path);
             }
             Err(e) => eprintln!("ledger: cannot create {}: {e}", path.display()),
@@ -75,14 +128,27 @@ impl LedgerSink {
         sink
     }
 
-    /// Whether a ledger file is being written.
+    /// Whether ledger records go anywhere (file, stdout, or observatory):
+    /// the runner enables the engine-level ledger on each experiment only
+    /// when this is true.
     pub fn enabled(&self) -> bool {
-        self.file.is_some()
+        self.out.is_some() || self.hub.is_some()
     }
 
-    /// The ledger file's path, when one is being written.
+    /// The ledger file's path, when one is being written (`None` for
+    /// stdout streaming).
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
+    }
+
+    /// The observatory hub, when `--obs-port` started one.
+    pub fn hub(&self) -> Option<&Arc<ObsHub>> {
+        self.hub.as_ref()
+    }
+
+    /// The bound observatory address, when `--obs-port` started one.
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.obs_addr
     }
 
     /// Wall milliseconds since the sink was created — the `t_ms` stamp.
@@ -90,19 +156,31 @@ impl LedgerSink {
         self.start.elapsed().as_secs_f64() * 1e3
     }
 
-    /// Appends one record to the ledger file (no-op without one).
-    /// `fields` is the record's inner JSON — `"kind": ..., ...` — without
-    /// braces; the sink prepends the `t_ms` stamp and wraps the object.
-    /// Each line is flushed so followers see it immediately.
+    /// Appends one record to the ledger stream and observatory hub
+    /// (no-op without either). `fields` is the record's inner JSON —
+    /// `"kind": ..., ...` — without braces; the sink prepends the `t_ms`
+    /// stamp and wraps the object. Each line is flushed so followers see
+    /// it immediately.
     pub fn emit(&self, fields: &str) {
-        let Some(file) = &self.file else { return };
-        let line = format!("{{\"t_ms\": {:.3}, {fields}}}\n", self.t_ms());
-        let mut w = file.lock().expect("ledger writer");
-        if w.write_all(line.as_bytes()).and_then(|()| w.flush()).is_err() {
-            // A dead ledger file (disk full, deleted directory) must not
-            // kill the run; the error surfaces once via stderr below.
-            drop(w);
-            eprintln!("ledger: write failed; further records may be lost");
+        if self.out.is_none() && self.hub.is_none() {
+            return;
+        }
+        let line = format!("{{\"t_ms\": {:.3}, {fields}}}", self.t_ms());
+        if let Some(out) = &self.out {
+            let mut w = out.lock().expect("ledger writer");
+            if w.write_all(line.as_bytes())
+                .and_then(|()| w.write_all(b"\n"))
+                .and_then(|()| w.flush())
+                .is_err()
+            {
+                // A dead ledger stream (disk full, closed pipe) must not
+                // kill the run; the error surfaces once via stderr below.
+                drop(w);
+                eprintln!("ledger: write failed; further records may be lost");
+            }
+        }
+        if let Some(hub) = &self.hub {
+            hub.push_line(&line);
         }
     }
 
@@ -120,6 +198,17 @@ impl LedgerSink {
     pub fn human(&self, line: &str) {
         if !self.quiet {
             eprintln!("{line}");
+        }
+    }
+}
+
+impl Drop for LedgerSink {
+    fn drop(&mut self) {
+        if let Some(hub) = &self.hub {
+            hub.close();
+            if !hub.wait_drained(OBS_DRAIN_TIMEOUT) {
+                eprintln!("obs: subscribers still attached after drain timeout");
+            }
         }
     }
 }
@@ -162,7 +251,37 @@ mod tests {
         let sink = LedgerSink::disabled(true);
         assert!(!sink.enabled());
         assert!(sink.path().is_none());
+        assert!(sink.hub().is_none());
         sink.emit_kind("heartbeat", "\"cycle\": 1"); // must not panic
     }
 
+    #[test]
+    fn stdout_sink_is_enabled_without_a_path() {
+        let cfg = RunnerConfig {
+            ledger: Some("-".to_string()),
+            quiet: true,
+            ..RunnerConfig::default()
+        };
+        let sink = LedgerSink::from_config(&cfg);
+        assert!(sink.enabled());
+        assert!(sink.path().is_none(), "stdout streaming has no file path");
+    }
+
+    #[test]
+    fn obs_hub_sees_emitted_records() {
+        let cfg = RunnerConfig {
+            obs_port: Some(0),
+            quiet: true,
+            ..RunnerConfig::default()
+        };
+        let sink = LedgerSink::from_config(&cfg);
+        assert!(sink.enabled(), "a hub alone enables the sink");
+        assert!(sink.obs_addr().is_some());
+        sink.emit_kind("plan_start", "\"points\": 1");
+        sink.emit_kind("plan_finish", "\"wall_ms\": 1.0");
+        let hub = sink.hub().unwrap();
+        assert_eq!(hub.lines_pushed(), 2);
+        let summary = hub.summary();
+        assert!(summary.plan_wall_ms.is_some());
+    }
 }

@@ -38,13 +38,25 @@ pub struct RunnerConfig {
     /// lifecycle records plus each experiment's engine heartbeats and
     /// per-shard sweep metrics, as JSONL in `results/ledger/<name>.jsonl`
     /// (a value containing `/` or ending in `.jsonl` is used as a path
-    /// verbatim). `None` (the default) writes no ledger.
+    /// verbatim; `-` streams JSONL to stdout). `None` (the default)
+    /// writes no ledger.
     pub ledger: Option<String>,
+    /// Serve the live observatory endpoints (`--obs-port P`): `/metrics`
+    /// (Prometheus text), `/healthz`, and `/events` (SSE ledger tail) on
+    /// `127.0.0.1:P` for the duration of the run. `0` picks a free port
+    /// (printed on stderr). `None` (the default) serves nothing.
+    pub obs_port: Option<u16>,
 }
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        Self { jobs: default_jobs(), sim_threads: 1, quiet: false, ledger: None }
+        Self {
+            jobs: default_jobs(),
+            sim_threads: 1,
+            quiet: false,
+            ledger: None,
+            obs_port: None,
+        }
     }
 }
 
@@ -55,9 +67,9 @@ pub fn default_jobs() -> usize {
 
 impl RunnerConfig {
     /// Parses `--jobs N` (or `-j N`, or `--jobs=N`), `--sim-threads N`
-    /// (or `--sim-threads=N`), `--quiet`, and `--ledger NAME` (or
-    /// `--ledger=NAME`) out of the process arguments; every other
-    /// argument is ignored.
+    /// (or `--sim-threads=N`), `--quiet`, `--ledger NAME` (or
+    /// `--ledger=NAME`), and `--obs-port P` (or `--obs-port=P`) out of
+    /// the process arguments; every other argument is ignored.
     ///
     /// Exits with status 2 on `--sim-threads 0` — the simulator rejects a
     /// zero thread count ([`rfnoc_sim::ConfigError::ZeroSimThreads`]), so
@@ -93,6 +105,15 @@ impl RunnerConfig {
                 }
             } else if let Some(name) = arg.strip_prefix("--ledger=") {
                 cfg.ledger = Some(name.to_string());
+            } else if arg == "--obs-port" {
+                if let Some(p) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    cfg.obs_port = Some(p);
+                    i += 1;
+                }
+            } else if let Some(v) = arg.strip_prefix("--obs-port=") {
+                if let Ok(p) = v.parse() {
+                    cfg.obs_port = Some(p);
+                }
             } else if arg == "--quiet" {
                 cfg.quiet = true;
             }

@@ -983,7 +983,10 @@ fn write_scaling_artifact(opts: &SuiteOptions, points: &[String]) {
         let _ = std::fs::create_dir_all(dir);
     }
     match std::fs::write(path, out) {
-        Ok(()) => eprintln!("artifact: wrote {path}"),
+        Ok(()) => {
+            eprintln!("artifact: wrote {path}");
+            artifact::ingest_history(std::path::Path::new(path));
+        }
         Err(e) => eprintln!("artifact: cannot write {path}: {e}"),
     }
 }

@@ -46,8 +46,13 @@ fn temp_ledger(name: &str) -> String {
 fn runner_ledger_schema_roundtrip() {
     let path = temp_ledger("roundtrip");
     let plan = small_plan();
-    let cfg =
-        RunnerConfig { jobs: 2, sim_threads: 2, quiet: true, ledger: Some(path.clone()) };
+    let cfg = RunnerConfig {
+        jobs: 2,
+        sim_threads: 2,
+        quiet: true,
+        ledger: Some(path.clone()),
+        ..RunnerConfig::default()
+    };
     let results = run_plan(&plan, &cfg);
     assert_eq!(results.results.len(), plan.len());
 
@@ -82,7 +87,13 @@ fn ledger_does_not_change_runner_results() {
         let path = temp_ledger(&format!("inert_t{sim_threads}"));
         let ledgered = run_plan(
             &plan,
-            &RunnerConfig { jobs: 2, sim_threads, quiet: true, ledger: Some(path.clone()) },
+            &RunnerConfig {
+                jobs: 2,
+                sim_threads,
+                quiet: true,
+                ledger: Some(path.clone()),
+                ..RunnerConfig::default()
+            },
         );
         for (a, b) in plain.iter().zip(ledgered.iter()) {
             assert_eq!(a.point.id, b.point.id);
@@ -113,5 +124,67 @@ fn quiet_still_writes_the_ledger() {
     let summary = LedgerSummary::from_file(&path).expect("ledger parses");
     assert!(summary.records > 0, "quiet must not suppress the ledger file");
     assert!(summary.plan_wall_ms.is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Blocking HTTP GET against the observatory server; returns the body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    body.to_string()
+}
+
+/// Full observatory e2e: a plan run with `--obs-port 0` serves
+/// `/healthz`, a `/metrics` exposition carrying the headline series, and
+/// an `/events` SSE replay whose data frames are exactly the records in
+/// the ledger file — file and socket tee from one sink.
+#[test]
+fn obs_endpoints_mirror_the_ledger_file() {
+    let path = temp_ledger("obs_e2e");
+    let plan = small_plan();
+    let cfg = RunnerConfig {
+        jobs: 2,
+        sim_threads: 2,
+        quiet: true,
+        ledger: Some(path.clone()),
+        obs_port: Some(0),
+    };
+    let sink = rfnoc_bench::ledger::LedgerSink::from_config(&cfg);
+    let addr = sink.obs_addr().expect("obs server bound");
+    let results = rfnoc_bench::runner::run_plan_with(&plan, &cfg, &sink);
+    assert_eq!(results.results.len(), plan.len());
+
+    assert_eq!(http_get(addr, "/healthz"), "ok\n");
+    let metrics = http_get(addr, "/metrics");
+    for series in [
+        "rfnoc_kcycles_per_sec",
+        "rfnoc_in_flight",
+        "rfnoc_shard_imbalance",
+        "rfnoc_points_finished",
+        "rfnoc_ledger_records",
+    ] {
+        assert!(metrics.contains(series), "missing {series} in:\n{metrics}");
+    }
+
+    // The SSE replay starts from record zero, so attaching after the run
+    // still yields the full stream; dropping the sink closes the hub and
+    // terminates the stream with an `event: end`.
+    let events = std::thread::spawn(move || http_get(addr, "/events"));
+    drop(sink);
+    let sse = events.join().expect("events reader");
+    assert!(sse.contains("event: end"), "stream must terminate:\n{sse}");
+    let streamed: Vec<&str> = sse
+        .lines()
+        .filter_map(|l| l.strip_prefix("data: "))
+        .filter(|l| l.starts_with('{'))
+        .collect();
+    let file = std::fs::read_to_string(&path).expect("ledger file");
+    let on_disk: Vec<&str> = file.lines().collect();
+    assert_eq!(streamed, on_disk, "socket and file must see the same records");
     let _ = std::fs::remove_file(&path);
 }

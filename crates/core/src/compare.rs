@@ -314,12 +314,21 @@ pub enum Direction {
 }
 
 /// Infers a metric's direction from the last segment of its path.
+///
+/// Noise metadata is checked first: a leaf containing `spread` (the
+/// best-of-N min/max/stddev fields the perf benchmark records, e.g.
+/// `cycles_per_sec_spread_stddev`) is always informational, even though
+/// the stem would otherwise match a directional keyword — run-to-run
+/// spread is an input to the noise-aware gate, never a gated metric
+/// itself.
 pub fn direction_of(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
     const HIGHER: &[&str] = &["per_sec", "throughput", "rate", "coverage"];
     const LOWER: &[&str] =
         &["latency", "stall", "wait", "wall_ms", "dropped", "fault", "retransmit", "imbalance"];
-    if HIGHER.iter().any(|k| leaf.contains(k)) {
+    if leaf.contains("spread") {
+        Direction::Informational
+    } else if HIGHER.iter().any(|k| leaf.contains(k)) {
         Direction::HigherIsBetter
     } else if LOWER.iter().any(|k| leaf.contains(k)) {
         Direction::LowerIsBetter

@@ -115,6 +115,9 @@ pub struct LedgerSummary {
     pub jobs: Option<f64>,
     /// Dedup cache hits announced in `plan_start`.
     pub dedup_hits: Option<f64>,
+    /// Last heartbeat's `completed` reading (cumulative completed
+    /// messages inside the current point's engine run).
+    pub completed_last: f64,
     /// `point_queued` / `point_start` / `point_finish` record counts.
     pub points_queued: usize,
     /// Points that have started.
@@ -149,54 +152,18 @@ impl LedgerSummary {
     /// A malformed JSON line, except a truncated *final* line — under
     /// `--follow` the writer may be mid-line; that line is ignored.
     pub fn from_text(data: &str) -> Result<Self, String> {
-        let mut s = Self::default();
-        // `(point, last heartbeat cycle)` for monotonicity + tiling.
-        let mut hb_last: BTreeMap<String, f64> = BTreeMap::new();
+        let mut r = LedgerReader::new();
         let lines: Vec<&str> = data.lines().collect();
         for (i, line) in lines.iter().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let rec = match parse(line) {
-                Ok(rec) => rec,
+            match r.push_line(line) {
+                Ok(()) => {}
                 // A truncated final line is the expected artifact of
                 // tailing a live file; anything earlier is corruption.
                 Err(_) if i + 1 == lines.len() => continue,
-                Err(e) => return Err(format!("line {}: {e}", i + 1)),
-            };
-            s.records += 1;
-            if let Some(t) = num(&rec, "t_ms") {
-                if s.records == 1 {
-                    s.t_ms_span.0 = t;
-                }
-                s.t_ms_span.1 = s.t_ms_span.1.max(t);
-            }
-            let point = text(&rec, "point").unwrap_or("").to_string();
-            match text(&rec, "kind") {
-                Some("heartbeat") => s.note_heartbeat(&rec, &point, i + 1, &mut hb_last),
-                Some("shard") => s.note_shard(&rec, i + 1),
-                Some("event") => {
-                    let name = text(&rec, "event").unwrap_or("unknown").to_string();
-                    *s.events.entry(name).or_insert(0) += 1;
-                }
-                Some("plan_start") => {
-                    s.points_planned = num(&rec, "unique").or_else(|| num(&rec, "points"));
-                    s.jobs = num(&rec, "jobs");
-                    s.dedup_hits = num(&rec, "dedup_hits");
-                }
-                Some("point_queued") => s.points_queued += 1,
-                Some("point_start") => s.points_started += 1,
-                Some("point_finish") => {
-                    s.points_finished += 1;
-                    if let Some(w) = num(&rec, "wall_ms") {
-                        s.point_wall_ms.push(w);
-                    }
-                }
-                Some("plan_finish") => s.plan_wall_ms = num(&rec, "wall_ms"),
-                _ => s.unknown_kinds += 1,
+                Err(e) => return Err(e),
             }
         }
-        Ok(s)
+        Ok(r.into_summary())
     }
 
     fn note_heartbeat(
@@ -217,6 +184,9 @@ impl LedgerSummary {
         }
         if let Some(f) = num(rec, "in_flight") {
             self.in_flight_last = f;
+        }
+        if let Some(c) = num(rec, "completed") {
+            self.completed_last = c;
         }
         let prev = hb_last.get(point).copied().unwrap_or(0.0);
         if cycle <= prev {
@@ -441,6 +411,92 @@ impl LedgerSummary {
             let _ = writeln!(out, "PROBLEM: {p}");
         }
         out
+    }
+}
+
+/// Incremental ledger reduction: feed JSONL lines one at a time and read
+/// the running [`LedgerSummary`] between pushes. This is the engine under
+/// [`LedgerSummary::from_text`] and under the live observatory hub
+/// ([`crate::obs::ObsHub`]), which needs per-record aggregation without
+/// re-reading the whole file on every `/metrics` request.
+#[derive(Debug, Default, Clone)]
+pub struct LedgerReader {
+    summary: LedgerSummary,
+    /// `point -> last heartbeat cycle` for monotonicity + tiling checks.
+    hb_last: BTreeMap<String, f64>,
+    /// Lines pushed so far (including blank and rejected ones) — the
+    /// 1-based line number used in problem and error messages.
+    lines_seen: usize,
+}
+
+impl LedgerReader {
+    /// A reader with nothing pushed yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The running reduction over everything pushed so far.
+    pub fn summary(&self) -> &LedgerSummary {
+        &self.summary
+    }
+
+    /// Consumes the reader, yielding the final reduction.
+    pub fn into_summary(self) -> LedgerSummary {
+        self.summary
+    }
+
+    /// Lines pushed so far (blank and malformed lines included).
+    pub fn lines_seen(&self) -> usize {
+        self.lines_seen
+    }
+
+    /// Feeds one ledger line. Blank lines are ignored (but counted for
+    /// line numbering).
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON; the summary is unchanged by a rejected line, so
+    /// the caller may drop it (truncated tail) or abort (corruption).
+    pub fn push_line(&mut self, line: &str) -> Result<(), String> {
+        self.lines_seen += 1;
+        let line_no = self.lines_seen;
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        let rec = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let s = &mut self.summary;
+        s.records += 1;
+        if let Some(t) = num(&rec, "t_ms") {
+            if s.records == 1 {
+                s.t_ms_span.0 = t;
+            }
+            s.t_ms_span.1 = s.t_ms_span.1.max(t);
+        }
+        let point = text(&rec, "point").unwrap_or("").to_string();
+        match text(&rec, "kind") {
+            Some("heartbeat") => s.note_heartbeat(&rec, &point, line_no, &mut self.hb_last),
+            Some("shard") => s.note_shard(&rec, line_no),
+            Some("event") => {
+                let name = text(&rec, "event").unwrap_or("unknown").to_string();
+                *s.events.entry(name).or_insert(0) += 1;
+            }
+            Some("plan_start") => {
+                s.points_planned = num(&rec, "unique").or_else(|| num(&rec, "points"));
+                s.jobs = num(&rec, "jobs");
+                s.dedup_hits = num(&rec, "dedup_hits");
+            }
+            Some("point_queued") => s.points_queued += 1,
+            Some("point_start") => s.points_started += 1,
+            Some("point_finish") => {
+                s.points_finished += 1;
+                if let Some(w) = num(&rec, "wall_ms") {
+                    s.point_wall_ms.push(w);
+                }
+            }
+            Some("plan_finish") => s.plan_wall_ms = num(&rec, "wall_ms"),
+            _ => s.unknown_kinds += 1,
+        }
+        Ok(())
     }
 }
 

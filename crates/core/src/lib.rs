@@ -58,7 +58,10 @@ mod arch;
 mod builder;
 pub mod compare;
 mod experiment;
+pub mod gate;
+pub mod history;
 pub mod ledger;
+pub mod obs;
 mod phased;
 mod workload;
 

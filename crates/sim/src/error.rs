@@ -42,6 +42,10 @@ pub enum ConfigError {
     ZeroTelemetryInterval,
     /// The run ledger was enabled with a zero heartbeat interval.
     ZeroLedgerInterval,
+    /// A ledger follower (`tail --follow`, `serve-obs`) was asked to
+    /// poll with a zero-millisecond interval, which would spin a CPU
+    /// core re-reading the file.
+    ZeroPollInterval,
     /// Recovery tracking was enabled with a zero-completion window.
     ZeroRecoveryWindow,
     /// Recovery tracking was enabled with a non-positive convergence
@@ -95,6 +99,9 @@ impl fmt::Display for ConfigError {
             }
             Self::ZeroLedgerInterval => {
                 write!(f, "ledger heartbeat interval must be non-zero")
+            }
+            Self::ZeroPollInterval => {
+                write!(f, "poll interval must be a non-zero number of milliseconds")
             }
             Self::ZeroRecoveryWindow => {
                 write!(f, "recovery tracking needs a non-zero completion window")
@@ -319,6 +326,7 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(ConfigError::NoEscapeVcs.to_string().contains("escape VCs"));
+        assert!(ConfigError::ZeroPollInterval.to_string().contains("poll interval"));
         assert!(ReconfigError::XyRouting.to_string().contains("shortest-path"));
         assert!(SimError::ShortcutsOnXy.to_string().contains("XY routing"));
     }
